@@ -1,0 +1,46 @@
+"""Benchmark E10 — ablations (design-choice checks).
+
+* pre-ordering value: full HRMS vs the same placer in program order;
+* initial-hypernode invariance (footnote 1);
+* phase-time split (ordering vs placement).
+"""
+
+from repro.experiments.ablations import (
+    hypernode_sensitivity,
+    phase_split,
+    preordering_value,
+)
+from repro.workloads.perfectclub import perfect_club_suite
+
+
+def test_preordering_value(benchmark, pc_machine):
+    loops = perfect_club_suite(n_loops=60, seed=31)
+
+    result = benchmark.pedantic(
+        preordering_value, args=(loops, pc_machine), rounds=1, iterations=1
+    )
+    assert result.hrms_maxlive <= result.ablated_maxlive
+
+
+def test_hypernode_sensitivity(benchmark, gov_suite, gov_machine):
+    sample = gov_suite[:6]
+
+    rows = benchmark.pedantic(
+        hypernode_sensitivity,
+        args=(sample, gov_machine),
+        kwargs={"max_candidates": 6},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row.max_maxlive - row.min_maxlive <= 2
+        assert row.min_ii == row.max_ii
+
+
+def test_phase_split(benchmark, pc_machine):
+    loops = perfect_club_suite(n_loops=40, seed=37)
+
+    split = benchmark.pedantic(
+        phase_split, args=(loops, pc_machine), rounds=1, iterations=1
+    )
+    assert split.ordering_share < 0.6  # placement dominates

@@ -1,0 +1,44 @@
+"""Benchmarks E6–E8 — Figures 11, 12, 13 (register-pressure curves).
+
+The scheduling study is built once; each figure's curve construction is
+benchmarked separately and its dominance/monotonicity properties are
+asserted inline.
+"""
+
+import pytest
+
+from repro.experiments.fig11 import figure11
+from repro.experiments.fig12 import figure12
+from repro.experiments.fig13 import figure13
+from repro.experiments.results import series_at
+from repro.experiments.stats import run_study
+
+
+@pytest.fixture(scope="module")
+def study(pc_suite_small):
+    return run_study(loops=pc_suite_small)
+
+
+@pytest.mark.parametrize(
+    "figure", [figure11, figure12, figure13], ids=["fig11", "fig12", "fig13"]
+)
+def test_figure_curves(benchmark, study, figure):
+    series = benchmark(figure, study)
+    for name, curve in series.items():
+        fractions = [frac for _, frac in curve]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:])), name
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_fig11_hrms_dominates(study):
+    series = figure11(study)
+    # The paper's claim: HRMS's cumulative curve lies on or above
+    # Top-Down's nearly everywhere (mean requirement ~87 %).
+    top = max(x for x, _ in series["topdown"])
+    losses = sum(
+        1
+        for x in range(top + 1)
+        if series_at(series["hrms"], x) < series_at(series["topdown"], x)
+        - 1e-9
+    )
+    assert losses <= max(2, top // 20)

@@ -1,0 +1,27 @@
+"""Benchmark E9 — Figure 14 (cycles under register budgets, with spill).
+
+The heaviest artefact: every loop is scheduled under infinite / 64 / 32
+registers, spilling and re-scheduling when over budget.  Benchmarked on a
+40-loop slice (the full population is the CLI's job); the Figure 14 shape
+claims are asserted on the result.
+"""
+
+from repro.experiments.fig14 import figure14
+from repro.experiments.stats import run_study
+
+
+def test_figure14_budgets(benchmark, pc_suite_tiny):
+    study = run_study(loops=pc_suite_tiny)
+
+    result = benchmark.pedantic(
+        figure14, args=(study,), rounds=1, iterations=1
+    )
+
+    for method in ("hrms", "topdown"):
+        unlimited = result.cycles(method, None)
+        at64 = result.cycles(method, 64)
+        at32 = result.cycles(method, 32)
+        assert unlimited <= at64 <= at32
+    # HRMS never loses under register pressure.
+    assert result.cycles("hrms", 64) <= result.cycles("topdown", 64)
+    assert result.cycles("hrms", 32) <= result.cycles("topdown", 32)

@@ -1,0 +1,33 @@
+"""Benchmark E1 — the motivating example (Figures 2–4).
+
+Times each scheduler on the Section 2 graph and asserts the paper's
+register counts (8 / 7 / 6) inside the benchmarked function, so the
+benchmark doubles as a regression gate.
+"""
+
+import pytest
+
+from repro.machine.configs import motivating_machine
+from repro.schedule.maxlive import max_live
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.motivating import (
+    MOTIVATING_REGISTERS,
+    motivating_example,
+)
+
+MACHINE = motivating_machine()
+
+
+@pytest.mark.parametrize("method", ["topdown", "bottomup", "hrms"])
+def test_motivating_schedule(benchmark, method):
+    graph = motivating_example()
+    scheduler = make_scheduler(method)
+
+    def run():
+        schedule = scheduler.schedule(graph, MACHINE)
+        assert schedule.ii == 2
+        assert max_live(schedule) == MOTIVATING_REGISTERS[method]
+        return schedule
+
+    schedule = benchmark(run)
+    assert schedule.stage_count == 5

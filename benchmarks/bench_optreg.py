@@ -1,0 +1,70 @@
+"""Benchmark — HRMS register quality vs the MILP optimum ([7]).
+
+The paper argues HRMS "performs ... almost as well as a linear
+programming method but requiring much less time".  Table 1 makes that
+case against SPILP's buffer objective; this bench audits the *register*
+objective directly: the Eichenberger-style MILP of
+:mod:`repro.schedulers.optreg` computes the minimum MaxLive at the
+achieved II on the small Table-1 kernels, and HRMS must stay within one
+register of it while being orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.mii.analysis import compute_mii
+from repro.schedule.maxlive import max_live
+from repro.schedulers.optreg import OptRegScheduler
+from repro.schedulers.registry import make_scheduler
+
+#: Kernels small enough for the MILP to solve quickly.
+SMALL_KERNEL_LIMIT = 10
+
+
+def test_hrms_vs_register_optimum(benchmark, gov_suite, gov_machine):
+    loops = [
+        loop for loop in gov_suite if len(loop.graph) <= SMALL_KERNEL_LIMIT
+    ]
+    assert loops, "suite unexpectedly has no small kernels"
+
+    def run():
+        rows = []
+        for loop in loops:
+            analysis = compute_mii(loop.graph, gov_machine)
+            hrms_started = time.perf_counter()
+            hrms = make_scheduler("hrms").schedule(
+                loop.graph, gov_machine, analysis
+            )
+            hrms_seconds = time.perf_counter() - hrms_started
+            milp_started = time.perf_counter()
+            optimal = OptRegScheduler(time_limit=60.0).schedule(
+                loop.graph, gov_machine, analysis
+            )
+            milp_seconds = time.perf_counter() - milp_started
+            rows.append(
+                (
+                    loop.name,
+                    hrms.ii,
+                    optimal.ii,
+                    max_live(hrms),
+                    max_live(optimal),
+                    hrms_seconds,
+                    milp_seconds,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nkernel            II(h/o)  MaxLive(h/o)  time h/o (s)")
+    over = 0
+    for name, hrms_ii, opt_ii, hrms_ml, opt_ml, ht, mt in rows:
+        print(
+            f"{name:16s}  {hrms_ii}/{opt_ii}      {hrms_ml}/{opt_ml}"
+            f"          {ht:.4f}/{mt:.3f}"
+        )
+        if hrms_ii == opt_ii:
+            over += max(0, hrms_ml - opt_ml)
+    # HRMS stays within one register of the optimum per kernel on
+    # average across the small suite.
+    assert over <= len(rows)

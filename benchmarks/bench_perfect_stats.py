@@ -1,0 +1,36 @@
+"""Benchmark E5 — the Section 4.2 aggregate study.
+
+Times the full schedule-everything pipeline (MII analysis + HRMS +
+Top-Down on the loop population) and asserts the paper's aggregate claims
+in their shape form: near-optimal II almost everywhere, mean II/MII close
+to 1, HRMS needing fewer registers than Top-Down overall.
+"""
+
+from repro.experiments.stats import aggregate, run_study
+
+
+def test_perfect_club_study(benchmark, pc_suite_small):
+    def run():
+        study = run_study(loops=pc_suite_small)
+        return aggregate(study)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.loops == len(pc_suite_small)
+    assert stats.optimal_fraction > 0.9  # paper: 97.5 %
+    assert stats.mean_ii_over_mii < 1.05  # paper: 1.01
+    assert stats.dynamic_performance > 0.9  # paper: 98.4 %
+    assert stats.register_ratio_vs["topdown"] < 0.95  # paper: 0.87
+
+
+def test_hrms_only_throughput(benchmark, pc_suite_small, pc_machine):
+    """Loops scheduled per second by HRMS alone (the paper: 1258 loops
+    in 5.5 minutes on a Sparc-10/40)."""
+    from repro.core.scheduler import HRMSScheduler
+
+    scheduler = HRMSScheduler()
+
+    def run():
+        for loop in pc_suite_small:
+            scheduler.schedule(loop.graph, pc_machine)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Scalability microbenchmarks (not a paper artefact).
+
+How the pipeline's phases scale with loop-body size: MII analysis
+(circuit enumeration), the HRMS pre-ordering, and the full schedule.
+Useful for spotting complexity regressions in the graph algorithms.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ordering import hrms_order
+from repro.core.scheduler import HRMSScheduler
+from repro.mii.analysis import compute_mii
+from repro.workloads.synthetic import random_ddg
+
+SIZES = [16, 64, 160]
+
+
+def graph_of(size: int):
+    return random_ddg(random.Random(size), size, name=f"scale{size}")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_mii_analysis(benchmark, size, pc_machine):
+    graph = graph_of(size)
+    result = benchmark(compute_mii, graph, pc_machine)
+    assert result.mii >= 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_preordering(benchmark, size, pc_machine):
+    graph = graph_of(size)
+    analysis = compute_mii(graph, pc_machine)
+    result = benchmark(hrms_order, graph, analysis)
+    assert len(result.order) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_full_schedule(benchmark, size, pc_machine):
+    graph = graph_of(size)
+    analysis = compute_mii(graph, pc_machine)
+    scheduler = HRMSScheduler()
+    schedule = benchmark(scheduler.schedule, graph, pc_machine, analysis)
+    assert schedule.ii >= analysis.mii

@@ -1,0 +1,48 @@
+"""Benchmark E2 — Table 1 (24 loops × method: II, buffers, time).
+
+One benchmark per scheduling method over the whole 24-kernel suite; the
+per-method totals are the paper's Table 3 raw material.  SPILP is
+benchmarked on a representative subset (its full-suite cost is the
+paper's point, not something to repeat every benchmark round — the
+``table1`` harness and EXPERIMENTS.md carry the full numbers).
+"""
+
+import pytest
+
+from repro.mii.analysis import compute_mii
+from repro.schedule.buffers import buffer_requirements
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.govindarajan import daxpy, liv2, liv3, liv5, stencil3
+
+
+@pytest.mark.parametrize("method", ["hrms", "slack", "frlc", "topdown"])
+def test_heuristics_full_suite(benchmark, method, gov_suite, gov_machine):
+    scheduler = make_scheduler(method)
+
+    def run():
+        total_buffers = 0
+        for loop in gov_suite:
+            analysis = compute_mii(loop.graph, gov_machine)
+            schedule = scheduler.schedule(loop.graph, gov_machine, analysis)
+            assert schedule.ii >= analysis.mii
+            total_buffers += buffer_requirements(schedule)
+        return total_buffers
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_spilp_subset(benchmark, gov_machine):
+    loops = [liv2(), liv3(), liv5(), daxpy(), stencil3()]
+    scheduler = make_scheduler("spilp", time_limit=20.0)
+
+    def run():
+        iis = []
+        for loop in loops:
+            analysis = compute_mii(loop.graph, gov_machine)
+            schedule = scheduler.schedule(loop.graph, gov_machine, analysis)
+            assert schedule.ii == analysis.mii  # optimal on these loops
+            iis.append(schedule.ii)
+        return iis
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Benchmarks E3/E4 — Tables 2 and 3 (summary + compile-time totals).
+
+Runs the full Table-1 harness once (heuristics only, to keep benchmark
+rounds bounded) and benchmarks the summarisation; the assertions encode
+the paper's Table 2 expectations: HRMS never loses II to the other
+heuristics on more loops than it wins, and the time totals exist for
+every method.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import summarise
+from repro.experiments.table3 import summarise_times
+
+
+@pytest.fixture(scope="module")
+def records(gov_suite, gov_machine):
+    return run_table1(
+        loops=gov_suite,
+        methods=("hrms", "slack", "frlc", "topdown"),
+        machine=gov_machine,
+    )
+
+
+def test_table2_summary(benchmark, records):
+    comparisons = benchmark(summarise, records)
+    by_method = {c.method: c for c in comparisons}
+    for method in ("slack", "frlc", "topdown"):
+        comparison = by_method[method]
+        assert comparison.ii_better >= comparison.ii_worse
+        assert comparison.buf_better >= comparison.buf_worse
+
+
+def test_table3_totals(benchmark, records):
+    totals = benchmark(summarise_times, records)
+    assert {t.method for t in totals} == {
+        "hrms", "slack", "frlc", "topdown",
+    }
+    assert all(t.total_seconds > 0 for t in totals)

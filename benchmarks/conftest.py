@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (a slice of) one of the paper's artefacts;
+the fixtures pin the workloads so numbers are comparable across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.configs import govindarajan_machine, perfect_club_machine
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.perfectclub import perfect_club_suite
+
+
+@pytest.fixture(scope="session")
+def gov_machine():
+    return govindarajan_machine()
+
+
+@pytest.fixture(scope="session")
+def pc_machine():
+    return perfect_club_machine()
+
+
+@pytest.fixture(scope="session")
+def gov_suite():
+    return govindarajan_suite()
+
+
+@pytest.fixture(scope="session")
+def pc_suite_small():
+    """120 loops: the figure benchmarks' population."""
+    return perfect_club_suite(n_loops=120)
+
+
+@pytest.fixture(scope="session")
+def pc_suite_tiny():
+    """40 loops: for the spill-heavy Figure 14 benchmark."""
+    return perfect_club_suite(n_loops=40)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compile loop-language source straight to a software-pipelined schedule.
+
+The paper obtained its dependence graphs from Fortran DO loops via the
+ICTINEO compiler and IF-converted conditional bodies (Section 4.2).  The
+:mod:`repro.frontend` package is the equivalent substrate: write the loop
+as source text and let the front end build the DDG — scalar and array
+dependence analysis, IF-conversion and invariant hoisting included.
+
+This example compiles a guarded in-place smoothing loop, shows the graph
+the compiler derived, then schedules it with HRMS and the register-blind
+Top-Down baseline to compare their register pressure.
+
+Run:  python examples/compile_and_schedule.py
+"""
+
+from repro import HRMSScheduler, compute_mii, perfect_club_machine
+from repro.frontend import compile_source
+from repro.graph.edges import DependenceKind
+from repro.schedule.lifetimes import compute_lifetimes
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.topdown import TopDownScheduler
+
+SOURCE = """
+! Guarded in-place smoothing: only rough points are filtered.
+! u(i) depends on u(i-1) -> a loop-carried memory recurrence; the
+! conditional body IF-converts to a compare + predicated store.
+real c, tol
+real u(1000), r(1000)
+do i = 2, 999
+  if (r(i) > tol) then
+    u(i) = u(i) + c * (u(i - 1) - u(i))
+  end if
+end do
+"""
+
+
+def main() -> None:
+    # 1. Compile.  The front end classifies c/tol as invariants, finds
+    #    the store->load distance-1 memory dependence on u, and guards
+    #    the store with a control edge from the compare.
+    loop = compile_source(SOURCE, name="smooth")
+    graph = loop.graph
+    print(f"compiled {graph.name!r}: {len(graph)} ops, "
+          f"{graph.edge_count()} edges, {loop.invariants} invariants, "
+          f"{loop.iterations} iterations")
+
+    for edge in graph.edges():
+        if edge.kind is not DependenceKind.REGISTER or edge.distance:
+            print(f"  {edge}")
+
+    # 2. Lower bounds: the memory recurrence dominates here.
+    machine = perfect_club_machine()
+    analysis = compute_mii(graph, machine)
+    print(f"\nResMII = {analysis.resmii}, RecMII = {analysis.recmii}, "
+          f"MII = {analysis.mii}")
+
+    # 3. Schedule with both methods and compare register pressure.
+    for scheduler in (HRMSScheduler(), TopDownScheduler()):
+        schedule = scheduler.schedule(graph, machine, analysis)
+        verify_schedule(schedule)
+        longest = max(compute_lifetimes(schedule), key=lambda lt: lt.length)
+        print(f"\n{scheduler.name:8s}: II = {schedule.ii}, "
+              f"MaxLive = {max_live(schedule)}")
+        print(f"          longest lifetime: {longest.producer} "
+              f"({longest.length} cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scheduling for a user-defined machine, plus scheduler comparison.
+
+Defines a custom 2-wide DSP-style target (two multiply-accumulate-capable
+units, one unpipelined divider, two memory ports), builds a small IIR
+filter kernel with a loop-carried recurrence, and compares all bundled
+schedulers on it — including the optimal SPILP integer program.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro import GraphBuilder, MachineModel, UnitClass, compute_mii
+from repro.schedule.buffers import buffer_requirements
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.schedulers import available_schedulers, make_scheduler
+from repro.schedulers.registry import EXACT_SCHEDULERS
+from repro.sim import simulate
+
+
+def build_machine() -> MachineModel:
+    """A small DSP: 2 ALUs, 1 unpipelined divider, 2 memory ports."""
+    return MachineModel(
+        "dsp2",
+        [
+            UnitClass("alu", 2, pipelined=True),
+            UnitClass("div", 1, pipelined=False),
+            UnitClass("mem", 2, pipelined=True),
+        ],
+    )
+
+
+def build_loop():
+    """Biquad IIR section: y[i] = b0*x[i] + b1*x[i-1] - a1*y[i-1]."""
+    return (
+        GraphBuilder("biquad")
+        .op("ld_x", "mem", latency=2)
+        .op("m0", "alu", latency=3, deps=["ld_x"])          # b0 * x[i]
+        .op("m1", "alu", latency=3, deps=[("ld_x", 1)])     # b1 * x[i-1]
+        .op("acc", "alu", latency=1, deps=["m0", "m1"])
+        .op("m2", "alu", latency=3, deps=[("y", 1)])        # a1 * y[i-1]
+        .op("y", "alu", latency=1, deps=["acc", "m2"])
+        .op("norm", "div", latency=9, deps=["y"])           # gain normalise
+        .op("st_y", "mem", latency=1, deps=["norm"],
+            produces_value=False)
+        .build()
+    )
+
+
+def main() -> None:
+    machine = build_machine()
+    graph = build_loop()
+    analysis = compute_mii(graph, machine)
+    print(f"machine: {machine}")
+    print(f"loop: {graph}")
+    print(f"MII = {analysis.mii} "
+          f"(ResMII {analysis.resmii}, RecMII {analysis.recmii})")
+    print(f"recurrence subgraphs: "
+          f"{[s.nodes for s in analysis.subgraphs if not s.is_trivial]}")
+
+    print(f"\n{'method':10s} {'II':>3s} {'MaxLive':>8s} {'buffers':>8s} "
+          f"{'time':>9s}")
+    for name in available_schedulers():
+        # The MILP-backed methods get a tight time budget; on this
+        # small loop they still find the optimum almost instantly.
+        kwargs = {"time_limit": 5.0} if name in EXACT_SCHEDULERS else {}
+        scheduler = make_scheduler(name, **kwargs)
+        schedule = scheduler.schedule(graph, machine, analysis)
+        verify_schedule(schedule)
+        # The simulator doubles as an execution-semantics check.
+        report = simulate(schedule, iterations=3 * schedule.stage_count)
+        assert report.peak_live_steady == max_live(schedule)
+        print(f"{name:10s} {schedule.ii:3d} {max_live(schedule):8d} "
+              f"{buffer_requirements(schedule):8d} "
+              f"{schedule.stats.total_seconds:8.3f}s")
+
+    print("\nAll schedules verified against dependences, resources and "
+          "the cycle-accurate simulator.")
+
+
+if __name__ == "__main__":
+    main()

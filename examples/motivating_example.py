@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Section 2 of the paper, reproduced end to end (Figures 2, 3 and 4).
+
+Schedules the seven-operation example graph with Top-Down, Bottom-Up and
+HRMS on four general-purpose units, printing the schedule, the variant
+lifetimes, the kernel, and the per-row live-register counts for each —
+and checks the paper's headline numbers: 8, 7 and 6 registers.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.experiments.motivating import render_motivating, run_motivating
+from repro.workloads.motivating import MOTIVATING_REGISTERS
+
+
+def main() -> None:
+    panels = run_motivating()
+    print(render_motivating(panels))
+
+    print("\nsummary (paper's Figures 2d / 3d / 4d):")
+    for panel in panels:
+        expected = MOTIVATING_REGISTERS[panel.method]
+        status = "OK" if panel.registers == expected else "MISMATCH"
+        print(f"  {panel.method:9s} {panel.registers} registers "
+              f"(paper: {expected})  [{status}]")
+
+    hrms = next(p for p in panels if p.method == "hrms")
+    print(
+        "\nHRMS shortens V5 (E is placed next to its consumer F) and V2\n"
+        "(C is placed next to its producer B) simultaneously — the\n"
+        "bidirectional placement only the pre-ordering makes safe."
+    )
+    print(f"E issues at {hrms.schedule.issue_cycle('E')}, "
+          f"F at {hrms.schedule.issue_cycle('F')}; "
+          f"B at {hrms.schedule.issue_cycle('B')}, "
+          f"C at {hrms.schedule.issue_cycle('C')}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Spill insertion in action: squeezing a loop into fewer registers.
+
+Takes a register-hungry synthetic loop, then repeatedly tightens the
+register budget and shows how the spiller pushes long-lived values
+through memory: which values get spilled, how the dependence graph grows,
+and what happens to the II (the performance cost the paper's Figure 14
+measures in aggregate).
+
+Run:  python examples/spill_under_pressure.py
+"""
+
+import random
+
+from repro import HRMSScheduler, perfect_club_machine
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.spill import schedule_with_register_budget
+from repro.workloads.synthetic import GeneratorProfile, random_ddg
+
+
+def find_pressure_heavy_loop(machine, scheduler, attempts: int = 300):
+    """Generate loops until one needs a healthy number of registers."""
+    rng = random.Random(2718)
+    profile = GeneratorProfile(recurrence_probability=0.15)
+    best_graph, best_pressure = None, 0
+    for index in range(attempts):
+        graph = random_ddg(rng, 28, name=f"cand{index}", profile=profile)
+        schedule = scheduler.schedule(graph, machine)
+        pressure = max_live(schedule)
+        if pressure > best_pressure:
+            best_graph, best_pressure = graph, pressure
+    return best_graph, best_pressure
+
+
+def main() -> None:
+    machine = perfect_club_machine()
+    scheduler = HRMSScheduler()
+    graph, baseline = find_pressure_heavy_loop(machine, scheduler)
+    print(f"selected loop {graph.name!r} ({len(graph)} ops), "
+          f"unconstrained MaxLive = {baseline}")
+
+    for budget in (baseline, baseline * 3 // 4, baseline // 2,
+                   baseline // 3):
+        outcome = schedule_with_register_budget(
+            graph, machine, scheduler, budget=budget
+        )
+        verify_schedule(outcome.schedule)
+        fit = "fits" if outcome.fits else "DOES NOT FIT"
+        print(f"\nbudget {budget:3d}: {fit} at pressure "
+              f"{outcome.register_pressure}, II = {outcome.schedule.ii}, "
+              f"{outcome.spill_count} values spilled, "
+              f"{len(outcome.graph)} ops after rewriting")
+        if outcome.spilled_values:
+            print(f"  spilled: {', '.join(outcome.spilled_values)}")
+
+    print(
+        "\nEach spill trades registers for memory traffic: the rewritten\n"
+        "graph gains a store plus one reload per consumer, raising the\n"
+        "load/store pressure and eventually the II — which is why the\n"
+        "paper's Figure 14 shows register-frugal scheduling (HRMS)\n"
+        "winning once the register file is finite."
+    )
+
+
+if __name__ == "__main__":
+    main()

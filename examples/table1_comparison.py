@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Tables 1–3: the four-method comparison on the 24-kernel suite.
+
+Runs HRMS, SPILP (integer programming), Slack and FRLC on the Table-1
+suite and prints the paper's three tables: per-loop II/buffers/time, the
+better/equal/worse summary, and total compilation times.
+
+SPILP dominates the runtime (as in the paper); pass ``--no-spilp`` or a
+smaller ``--spilp-time-limit`` to trade fidelity for speed.
+
+Run:  python examples/table1_comparison.py --spilp-time-limit 10
+"""
+
+import argparse
+
+from repro.experiments.table1 import (
+    TABLE1_METHODS,
+    render_table1,
+    run_table1,
+)
+from repro.experiments.table2 import render_table2, summarise
+from repro.experiments.table3 import render_table3, summarise_times
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--spilp-time-limit", type=float, default=30.0)
+    parser.add_argument("--no-spilp", action="store_true")
+    args = parser.parse_args()
+
+    methods = tuple(
+        m for m in TABLE1_METHODS if not (args.no_spilp and m == "spilp")
+    )
+    print(f"methods: {', '.join(methods)}")
+    records = run_table1(
+        methods=methods, spilp_time_limit=args.spilp_time_limit
+    )
+
+    print("\n--- Table 1: II, buffers and scheduling time per loop ---")
+    print(render_table1(records))
+
+    print("\n--- Table 2: HRMS versus each method ---")
+    print(render_table2(summarise(records)))
+
+    print("\n--- Table 3: total scheduling time ---")
+    print(render_table3(summarise_times(records)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Shim for environments without PEP 517 build tooling (offline installs).
+
+`pip install -e .` reads pyproject.toml; this file only exists so that
+`python setup.py develop` works where pip cannot bootstrap wheel/setuptools.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "hrms-experiments = repro.experiments.cli:main",
+            "hrms-compile = repro.frontend.cli:main",
+        ]
+    }
+)

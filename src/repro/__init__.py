@@ -1,0 +1,62 @@
+"""repro — Hypernode Reduction Modulo Scheduling (HRMS).
+
+A full reproduction of *"Hypernode Reduction Modulo Scheduling"* (Llosa,
+Valero, Ayguadé, González; MICRO-28, 1995): the HRMS register-sensitive
+software pipeliner, the machine and dependence-graph substrates it needs,
+the comparison schedulers of the paper's evaluation (Top-Down, Bottom-Up,
+Slack, FRLC, SPILP — plus IMS, SMS and a register-optimal MILP), a
+loop-language front end standing in for ICTINEO, the register-pressure
+metrics (lifetimes, MaxLive, buffers), register allocators (MVE,
+strategy matrix, rotating file), spill insertion, and harnesses that
+regenerate every table and figure.
+
+Quickstart::
+
+    from repro import GraphBuilder, HRMSScheduler, motivating_machine
+    from repro.schedule import max_live
+
+    g = (GraphBuilder("demo")
+         .load("x")
+         .op("scale", "generic", latency=2, deps=["x"])
+         .store("out", deps=["scale"])
+         .build())
+    schedule = HRMSScheduler().schedule(g, motivating_machine())
+    print(schedule.ii, max_live(schedule))
+"""
+
+from repro.core.scheduler import HRMSScheduler
+from repro.frontend.pipeline import compile_source
+from repro.graph.builder import GraphBuilder
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import Operation
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.machine.machine import MachineModel, UnitClass
+from repro.mii.analysis import compute_mii
+from repro.schedule.schedule import Schedule
+from repro.workloads.loops import Loop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DependenceGraph",
+    "DependenceKind",
+    "Edge",
+    "GraphBuilder",
+    "HRMSScheduler",
+    "Loop",
+    "MachineModel",
+    "Operation",
+    "Schedule",
+    "UnitClass",
+    "__version__",
+    "compile_source",
+    "compute_mii",
+    "govindarajan_machine",
+    "motivating_machine",
+    "perfect_club_machine",
+]

@@ -1,0 +1,189 @@
+"""The mutable working graph used by the pre-ordering phase.
+
+:class:`HypernodeGraph` is a light adjacency-set view over a
+:class:`~repro.graph.ddg.DependenceGraph`.  It supports the one rewriting
+operation the paper's Figure 6 defines — **hypernode reduction** — plus the
+virtual edges Section 3.2 needs to connect otherwise-unreachable recurrence
+subgraphs.
+
+Edge distances and kinds are irrelevant here: ordering happens on the
+backward-edge-free (acyclic) graph, and the topological sorts only need
+adjacency plus node latencies (read through to the base graph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import UnknownOperationError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.ops import Operation
+
+
+class HypernodeGraph:
+    """Adjacency view supporting hypernode reduction.
+
+    Parameters
+    ----------
+    base:
+        The original dependence graph (for latencies and program order).
+    nodes:
+        Subset of base nodes this working graph covers.
+    dropped_edge_keys:
+        Keys of edges to omit (the recurrence backward edges).
+    """
+
+    def __init__(
+        self,
+        base: DependenceGraph,
+        nodes: Iterable[str] | None = None,
+        dropped_edge_keys: set[tuple[str, str, int, str]] | None = None,
+    ) -> None:
+        self._base = base
+        keep = set(base.node_names() if nodes is None else nodes)
+        self._position = {
+            name: i for i, name in enumerate(base.node_names())
+        }
+        self._nodes: set[str] = keep
+        dropped = dropped_edge_keys or set()
+        self._succ: dict[str, set[str]] = {name: set() for name in keep}
+        self._pred: dict[str, set[str]] = {name: set() for name in keep}
+        for edge in base.edges():
+            if edge.key in dropped:
+                continue
+            if edge.src in keep and edge.dst in keep and edge.src != edge.dst:
+                self._succ[edge.src].add(edge.dst)
+                self._pred[edge.dst].add(edge.src)
+
+    # ------------------------------------------------------------------
+    # Graph protocol (shared with DependenceGraph)
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_names(self) -> list[str]:
+        """Remaining nodes in program order."""
+        return sorted(self._nodes, key=self._position.__getitem__)
+
+    def predecessors(self, name: str) -> list[str]:
+        self._check(name)
+        return sorted(self._pred[name], key=self._position.__getitem__)
+
+    def successors(self, name: str) -> list[str]:
+        self._check(name)
+        return sorted(self._succ[name], key=self._position.__getitem__)
+
+    def operation(self, name: str) -> Operation:
+        return self._base.operation(name)
+
+    @property
+    def first_node(self) -> str:
+        names = self.node_names()
+        if not names:
+            raise UnknownOperationError("<empty hypernode graph>")
+        return names[0]
+
+    def _check(self, name: str) -> None:
+        if name not in self._nodes:
+            raise UnknownOperationError(name)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_virtual_edge(self, src: str, dst: str) -> None:
+        """Connect *src* -> *dst* (Section 3.2's disconnected-recurrence fix).
+
+        Virtual edges exist only in the working graph; the scheduler never
+        sees them, so they bias the ordering without constraining placement.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def subview(self, names: Iterable[str]) -> "_SubView":
+        """Read-only induced subgraph over *names* (for topological sorts)."""
+        keep = set(names)
+        for name in keep:
+            self._check(name)
+        return _SubView(self, keep)
+
+    def reduce(self, names: Iterable[str], hypernode: str) -> "_SubView":
+        """Figure 6: reduce *names* into *hypernode*.
+
+        Returns the induced subgraph over *names* (captured before
+        deletion) so the caller can topologically sort the batch.  In the
+        working graph, edges among ``names + {hypernode}`` disappear and
+        edges crossing the boundary are re-attached to the hypernode.
+        """
+        self._check(hypernode)
+        batch = set(names)
+        batch.discard(hypernode)
+        for name in batch:
+            self._check(name)
+        captured = _SubView(self, set(batch))
+
+        merged = batch | {hypernode}
+        for name in batch:
+            for succ in self._succ[name]:
+                self._pred[succ].discard(name)
+                if succ not in merged:
+                    self._succ[hypernode].add(succ)
+                    self._pred[succ].add(hypernode)
+            for pred in self._pred[name]:
+                self._succ[pred].discard(name)
+                if pred not in merged:
+                    self._pred[hypernode].add(pred)
+                    self._succ[pred].add(hypernode)
+            del self._succ[name]
+            del self._pred[name]
+            self._nodes.discard(name)
+        # The reduction may have created h -> h artefacts; drop them.
+        self._succ[hypernode].discard(hypernode)
+        self._pred[hypernode].discard(hypernode)
+        return captured
+
+
+class _SubView:
+    """Frozen induced subgraph of a :class:`HypernodeGraph`.
+
+    Implements the traversal protocol so ASAP/ALAP/PALA sorts apply
+    directly.  Adjacency is copied at construction time, so later
+    reductions of the parent do not disturb it.
+    """
+
+    def __init__(self, parent: HypernodeGraph, keep: set[str]) -> None:
+        self._position = parent._position
+        self._nodes = set(keep)
+        self._succ = {
+            name: {s for s in parent._succ[name] if s in keep}
+            for name in keep
+        }
+        self._pred = {
+            name: {p for p in parent._pred[name] if p in keep}
+            for name in keep
+        }
+        self._base = parent._base
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes, key=self._position.__getitem__)
+
+    def predecessors(self, name: str) -> list[str]:
+        return sorted(self._pred[name], key=self._position.__getitem__)
+
+    def successors(self, name: str) -> list[str]:
+        return sorted(self._succ[name], key=self._position.__getitem__)
+
+    def operation(self, name: str) -> Operation:
+        return self._base.operation(name)

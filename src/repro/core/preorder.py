@@ -1,0 +1,54 @@
+"""Pre-ordering of graphs without recurrence circuits (Figure 5).
+
+Starting from the hypernode, the algorithm alternately drains the
+hypernode's predecessors and successors.  Each sweep:
+
+1. takes the current predecessor (successor) set of the hypernode,
+2. widens it with every node on a path between two of its members
+   (:func:`~repro.core.paths.search_all_paths`),
+3. reduces the widened set into the hypernode (Figure 6), capturing the
+   induced subgraph,
+4. topologically sorts the captured subgraph — **PALA** (ALAP order, list
+   inverted) for predecessors, **ASAP** for successors — and appends the
+   result to the ordered list.
+
+The invariant this establishes is the heart of HRMS: when the scheduler
+later places a node, the partial schedule contains only that node's
+predecessors or only its successors, never both (recurrence closers aside),
+so the node always has a reference operation and is never pushed too early
+or too late.
+"""
+
+from __future__ import annotations
+
+from repro.core.hypernode import HypernodeGraph
+from repro.core.paths import search_all_paths
+from repro.graph.traversal import asap_order, pala_order
+
+
+def pre_ordering(
+    hgraph: HypernodeGraph,
+    ordered: list[str],
+    hypernode: str,
+) -> list[str]:
+    """Order every node of *hgraph* reachable from *hypernode*.
+
+    *ordered* is the partial list built so far (mutated in place and also
+    returned).  On return, *hgraph* has been reduced to the hypernode (for
+    the nodes connected to it).
+    """
+    while True:
+        preds = hgraph.predecessors(hypernode)
+        if preds:
+            batch = search_all_paths(hgraph, preds, exclude=(hypernode,))
+            captured = hgraph.reduce(batch, hypernode)
+            ordered.extend(pala_order(captured))
+
+        succs = hgraph.successors(hypernode)
+        if succs:
+            batch = search_all_paths(hgraph, succs, exclude=(hypernode,))
+            captured = hgraph.reduce(batch, hypernode)
+            ordered.extend(asap_order(captured))
+
+        if not preds and not succs:
+            return ordered

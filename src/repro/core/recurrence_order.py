@@ -1,0 +1,125 @@
+"""Pre-ordering of graphs with recurrence circuits (Figure 9, Section 3.2).
+
+Recurrence subgraphs are processed by decreasing RecMII so the most
+restrictive circuit is never stretched by nodes ordered before it:
+
+1. The first subgraph (backward edges already removed from the working
+   graph) is ordered with the acyclic algorithm, its first node becoming
+   the component's hypernode, and then reduced into the hypernode.
+2. Every following subgraph is reached through
+   ``Search_All_Paths({hypernode} ∪ subgraph)`` so the connector nodes are
+   ordered together with the circuit, then the whole batch is reduced.
+   When no path exists, a *virtual edge* from the hypernode to the
+   subgraph's first node is added, making the subgraph an (artificial)
+   successor — the paper reduces an arbitrary node into the hypernode
+   instead; the virtual edge has the same connective effect while keeping
+   every node in the ordering (see DESIGN.md).
+3. What remains is an acyclic graph with a single hypernode; the caller
+   finishes it with the recurrence-free algorithm.
+
+Cross-subgraph simplification can leave a subgraph's surviving node list
+weakly disconnected; :func:`order_with_hypernode` therefore keeps adding
+virtual edges until the batch is fully ordered, guaranteeing every node is
+emitted exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.hypernode import HypernodeGraph
+from repro.core.paths import search_all_paths
+from repro.core.preorder import pre_ordering
+from repro.graph.traversal import backward_reachable, forward_reachable
+from repro.mii.recurrences import RecurrenceSubgraph
+
+
+def order_with_hypernode(
+    hgraph: HypernodeGraph,
+    ordered: list[str],
+    hypernode: str,
+) -> None:
+    """Run :func:`pre_ordering` until *hgraph* is reduced to the hypernode.
+
+    Nodes with no path to or from the hypernode (possible after
+    simplification or in stray acyclic fragments) are attached with a
+    virtual edge and swept again, so the routine always terminates with
+    every node ordered.
+    """
+    while True:
+        pre_ordering(hgraph, ordered, hypernode)
+        leftovers = [n for n in hgraph.node_names() if n != hypernode]
+        if not leftovers:
+            return
+        hgraph.add_virtual_edge(hypernode, leftovers[0])
+
+
+def order_recurrences(
+    hgraph: HypernodeGraph,
+    subgraphs: list[RecurrenceSubgraph],
+    ordered: list[str],
+) -> str | None:
+    """Order all recurrence nodes of *hgraph*; returns the hypernode name.
+
+    *subgraphs* must be sorted by decreasing RecMII with simplified node
+    lists (as produced by :func:`repro.mii.find_recurrence_subgraphs`) and
+    restricted to this working graph's component.  Returns ``None`` when no
+    non-trivial recurrence exists (the caller then starts from the
+    component's first node).
+    """
+    pending = [
+        s
+        for s in subgraphs
+        if not s.is_trivial
+        and any(name in hgraph for name in s.ordering_nodes)
+    ]
+    if not pending:
+        return None
+
+    first, *rest = pending
+    seeds = [name for name in first.ordering_nodes if name in hgraph]
+    inner = _clone_induced(hgraph, seeds)
+    hypernode = inner.first_node
+    ordered.append(hypernode)
+    order_with_hypernode(inner, ordered, hypernode)
+    hgraph.reduce([s for s in seeds if s != hypernode], hypernode)
+
+    for subgraph in rest:
+        seeds = [name for name in subgraph.ordering_nodes if name in hgraph]
+        if not seeds:
+            continue
+        if not _connected(hgraph, hypernode, seeds):
+            hgraph.add_virtual_edge(hypernode, seeds[0])
+        batch_nodes = search_all_paths(hgraph, {hypernode, *seeds})
+        inner = _clone_induced(hgraph, batch_nodes)
+        order_with_hypernode(inner, ordered, hypernode)
+        hgraph.reduce(batch_nodes - {hypernode}, hypernode)
+
+    return hypernode
+
+
+def _connected(
+    hgraph: HypernodeGraph, hypernode: str, seeds: list[str]
+) -> bool:
+    """Is any seed on a directed path from or to the hypernode?"""
+    forward = forward_reachable(hgraph, [hypernode])
+    if any(seed in forward for seed in seeds):
+        return True
+    backward = backward_reachable(hgraph, [hypernode])
+    return any(seed in backward for seed in seeds)
+
+
+def _clone_induced(
+    hgraph: HypernodeGraph, names: Iterable[str]
+) -> HypernodeGraph:
+    """Clone the induced subgraph over *names* as a mutable working graph.
+
+    Adjacency mirrors the *current* working graph (which may contain
+    virtual edges and earlier reductions), not the base dependence graph.
+    """
+    view = hgraph.subview(names)
+    clone = HypernodeGraph(hgraph._base, nodes=view.node_names())
+    for name in view.node_names():
+        clone._succ[name] = set(view.successors(name))
+        clone._pred[name] = set(view.predecessors(name))
+    return clone

@@ -1,0 +1,176 @@
+"""The HRMS scheduler (Section 3.3).
+
+Operations are placed in the pre-ordering's sequence.  Because of the
+ordering invariant, each operation (except recurrence closers) sees only
+predecessors or only successors in the partial schedule:
+
+* only predecessors — place **as soon as possible**: scan EarlyStart …
+  EarlyStart+II−1;
+* only successors — place **as late as possible**: scan LateStart …
+  LateStart−II+1;
+* both (recurrence closers) — scan EarlyStart … min(LateStart,
+  EarlyStart+II−1);
+* neither (the very first node of a component) — scan 0 … II−1.
+
+The modulo constraint makes windows longer than II pointless.  If any
+operation finds no slot the attempt fails and the driver retries with
+II+1 — *reusing the same ordering*, the asymmetry the paper highlights
+against ordering-per-II methods.
+
+One deliberate strengthening over the paper's formulas (see DESIGN.md):
+EarlyStart/LateStart are computed from the **MinDist matrix** (longest
+dependence paths at the candidate II) rather than from direct edges only.
+Direct-edge bounds are incomplete when a path between two recurrence
+nodes runs through a not-yet-scheduled operation — the gap they leave is
+II-invariant, so the paper's II+1 retry can loop forever on loops with
+several overlapping recurrence subgraphs.  Transitive bounds are exact:
+by the longest-path triangle inequality every window is non-empty, so
+only resource conflicts can fail an attempt and the II search always
+terminates.  On graphs where the direct bounds suffice (every example in
+the paper, and any loop whose scheduled neighbours mediate all paths) the
+two formulations place operations identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.ordering import OrderingResult, hrms_order
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+from repro.machine.mrt import ModuloReservationTable
+from repro.mii.analysis import MIIResult
+from repro.schedulers.base import (
+    ModuloScheduler,
+    downward_window,
+    scan_place,
+    upward_window,
+)
+from repro.schedulers.mindist import NO_PATH, mindist_matrix
+
+
+class HRMSScheduler(ModuloScheduler):
+    """Hypernode Reduction Modulo Scheduling."""
+
+    name = "hrms"
+
+    def __init__(
+        self,
+        max_ii: int | None = None,
+        initial_hypernode: str | None = None,
+    ) -> None:
+        super().__init__(max_ii=max_ii)
+        self._initial_hypernode = initial_hypernode
+
+    def prepare(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult,
+    ) -> OrderingResult:
+        return hrms_order(
+            graph,
+            mii_result=analysis,
+            initial_hypernode=self._initial_hypernode,
+        )
+
+    def attempt(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        context: Any,
+    ) -> dict[str, int] | None:
+        result = self._attempt_directional(graph, machine, ii, context,
+                                           both_down=False)
+        if result is not None:
+            return result
+        # Fallback for overlapping recurrences: a node constrained from
+        # both sides that the paper's ES-upward scan pins at its earliest
+        # cycle can leave a later recurrence node an *empty* window that
+        # no II increase repairs (the gap between the two bounds is
+        # II-invariant).  Retrying with the two-sided windows scanned from
+        # the LateStart end resolves those cases without affecting
+        # recurrence-free loops, which never produce two-sided windows.
+        return self._attempt_directional(graph, machine, ii, context,
+                                         both_down=True)
+
+    def _attempt_directional(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        context: Any,
+        both_down: bool,
+    ) -> dict[str, int] | None:
+        ordering: OrderingResult = context
+        solved = mindist_matrix(graph, ii)
+        if solved is None:
+            return None  # II below RecMII; cannot happen from the driver
+        dist, names = solved
+        index = {name: i for i, name in enumerate(names)}
+        mrt = ModuloReservationTable(machine, ii)
+        start: dict[str, int] = {}
+        for name in ordering.order:
+            op = graph.operation(name)
+            es = _transitive_early_start(dist, index, start, name)
+            ls = _transitive_late_start(dist, index, start, name)
+            if es is not None and ls is None:
+                window = upward_window(es, ii)
+            elif ls is not None and es is None:
+                window = downward_window(ls, ii)
+            elif es is not None and ls is not None:
+                if es > ls:
+                    return None
+                if both_down:
+                    # Anchor the II-length scan at the LateStart end: the
+                    # upward window [ES, ES+II-1] can miss the feasible
+                    # region entirely when LS - ES exceeds II.
+                    window = downward_window(ls, ii, es)
+                else:
+                    window = upward_window(es, ii, ls)
+            else:
+                window = upward_window(0, ii)
+            cycle = scan_place(mrt, op, window)
+            if cycle is None:
+                return None
+            start[name] = cycle
+        return start
+
+    def ordering_for(
+        self, graph: DependenceGraph, machine: MachineModel
+    ) -> list[str]:
+        """Expose the pre-ordering (tests and the ablation study use this)."""
+        from repro.mii.analysis import compute_mii
+
+        return self.prepare(graph, machine, compute_mii(graph, machine)).order
+
+
+def _transitive_early_start(
+    dist, index: dict[str, int], start: dict[str, int], name: str
+) -> int | None:
+    """EarlyStart over all scheduled operations via MinDist paths."""
+    i = index[name]
+    bound: int | None = None
+    for other, cycle in start.items():
+        weight = dist[index[other], i]
+        if weight <= NO_PATH // 2:
+            continue
+        candidate = cycle + int(weight)
+        bound = candidate if bound is None else max(bound, candidate)
+    return bound
+
+
+def _transitive_late_start(
+    dist, index: dict[str, int], start: dict[str, int], name: str
+) -> int | None:
+    """LateStart over all scheduled operations via MinDist paths."""
+    i = index[name]
+    bound: int | None = None
+    for other, cycle in start.items():
+        weight = dist[i, index[other]]
+        if weight <= NO_PATH // 2:
+            continue
+        candidate = cycle - int(weight)
+        bound = candidate if bound is None else min(bound, candidate)
+    return bound

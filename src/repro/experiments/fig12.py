@@ -1,0 +1,38 @@
+"""Figure 12 — dynamic cumulative distribution of variant registers.
+
+Same curves as Figure 11 but each loop is weighted by its execution time
+(``II × iterations`` under the scheduler in question), answering "what
+fraction of run time is spent in loops needing at most x registers".
+Loops with large register pressure tend to be the long-running ones, so
+the dynamic curves sit below the static ones — and HRMS still dominates
+Top-Down.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import cumulative_distribution
+from repro.experiments.stats import PerfectStudy
+from repro.experiments.fig11 import SAMPLE_POINTS, render_figure11
+
+
+def figure12(study: PerfectStudy) -> dict[str, list[tuple[int, float]]]:
+    """Cumulative series per scheduler, weighted by execution time."""
+    series: dict[str, list[tuple[int, float]]] = {}
+    top = max(
+        row.maxlive
+        for record in study.records
+        for row in record.rows.values()
+    )
+    for name in study.schedulers:
+        values = [record.rows[name].maxlive for record in study.records]
+        weights = [
+            float(record.rows[name].ii * record.loop.iterations)
+            for record in study.records
+        ]
+        series[name] = cumulative_distribution(values, weights, upto=top)
+    return series
+
+
+def render_figure12(series: dict[str, list[tuple[int, float]]]) -> str:
+    """Same sampled-table rendering as Figure 11."""
+    return render_figure11(series, points=SAMPLE_POINTS)

@@ -1,0 +1,40 @@
+"""Figure 13 — dynamic distribution of variants *plus* invariants.
+
+Loop invariants occupy one register each for the whole execution
+regardless of the schedule, so both schedulers shift right by the same
+per-loop amount; the paper highlights that a material share of execution
+time needs more than 32 (and even 64) total registers, motivating the
+register-budget experiment of Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11 import SAMPLE_POINTS, render_figure11
+from repro.experiments.results import cumulative_distribution
+from repro.experiments.stats import PerfectStudy
+
+
+def figure13(study: PerfectStudy) -> dict[str, list[tuple[int, float]]]:
+    """Execution-time-weighted distribution of variants + invariants."""
+    series: dict[str, list[tuple[int, float]]] = {}
+    top = max(
+        row.maxlive + record.loop.invariants
+        for record in study.records
+        for row in record.rows.values()
+    )
+    for name in study.schedulers:
+        values = [
+            record.rows[name].maxlive + record.loop.invariants
+            for record in study.records
+        ]
+        weights = [
+            float(record.rows[name].ii * record.loop.iterations)
+            for record in study.records
+        ]
+        series[name] = cumulative_distribution(values, weights, upto=top)
+    return series
+
+
+def render_figure13(series: dict[str, list[tuple[int, float]]]) -> str:
+    """Same sampled-table rendering as Figures 11/12."""
+    return render_figure11(series, points=SAMPLE_POINTS)

@@ -1,0 +1,119 @@
+"""Shared result containers and plain-text rendering.
+
+Every harness returns structured records and offers a ``render_*``
+function that prints the same rows/series the paper's table or figure
+reports, so the reproduction can be eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class MethodResult:
+    """One scheduler's outcome on one loop."""
+
+    method: str
+    ii: int
+    buffers: int
+    maxlive: int
+    seconds: float
+    mii: int
+    failed: bool = False
+
+    @property
+    def optimal(self) -> bool:
+        """Did the method reach the loop's MII?"""
+        return not self.failed and self.ii == self.mii
+
+
+@dataclass
+class LoopRecord:
+    """All methods' outcomes on one loop."""
+
+    loop: str
+    size: int
+    mii: int
+    resmii: int
+    recmii: int
+    results: dict[str, MethodResult] = field(default_factory=dict)
+
+    def result(self, method: str) -> MethodResult | None:
+        return self.results.get(method)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table (right-aligned numbers, left-aligned text)."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if _numeric(cells[i]) and i > 0
+            else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    out = [line(list(headers))]
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    return bool(cell) and all(c.isdigit() or c in ".-+x%" for c in cell)
+
+
+def cumulative_distribution(
+    values: Sequence[int],
+    weights: Sequence[float] | None = None,
+    upto: int | None = None,
+) -> list[tuple[int, float]]:
+    """Cumulative fraction of (weighted) population with value <= x.
+
+    Mirrors the paper's Figures 11–13: x is a register count, y the
+    fraction of loops (static) or of execution time (dynamic) needing at
+    most x registers.
+    """
+    if weights is None:
+        weights = [1.0] * len(values)
+    if len(weights) != len(values):
+        raise ValueError("values and weights must have equal length")
+    total = float(sum(weights))
+    if total == 0:
+        return []
+    top = max(values, default=0) if upto is None else upto
+    series: list[tuple[int, float]] = []
+    acc = 0.0
+    by_value: dict[int, float] = {}
+    for value, weight in zip(values, weights):
+        by_value[value] = by_value.get(value, 0.0) + weight
+    for x in range(0, top + 1):
+        acc += by_value.get(x, 0.0)
+        series.append((x, acc / total))
+    return series
+
+
+def series_at(series: list[tuple[int, float]], x: int) -> float:
+    """Value of a cumulative series at *x* (clamped to the ends)."""
+    if not series:
+        return 0.0
+    if x < series[0][0]:
+        return 0.0
+    for point, frac in reversed(series):
+        if point <= x:
+            return frac
+    return series[-1][1]

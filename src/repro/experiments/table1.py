@@ -1,0 +1,107 @@
+"""Table 1 — II, buffers and scheduling time for the 24-loop comparison.
+
+For every loop of the Govindarajan suite and every method (HRMS, SPILP,
+Slack, FRLC — Top-Down optionally added for context) the harness reports
+the achieved initiation interval, the buffer requirement (Govindarajan's
+metric) and the wall-clock scheduling time.  SPILP failures (time-limit or
+solver errors) are recorded rather than raised, matching how such entries
+would be reported in practice.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import SchedulingError, SolverError
+from repro.experiments.results import LoopRecord, MethodResult, render_table
+from repro.machine.configs import govindarajan_machine
+from repro.mii.analysis import compute_mii
+from repro.schedule.buffers import buffer_requirements
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.loops import Loop
+
+#: The methods Table 1 compares, in the paper's column order.
+TABLE1_METHODS = ("hrms", "spilp", "slack", "frlc")
+
+
+def run_table1(
+    loops: list[Loop] | None = None,
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    machine=None,
+    spilp_time_limit: float = 30.0,
+    verify: bool = True,
+) -> list[LoopRecord]:
+    """Schedule every loop with every method; returns one record per loop."""
+    loops = loops if loops is not None else govindarajan_suite()
+    machine = machine or govindarajan_machine()
+    records: list[LoopRecord] = []
+    for loop in loops:
+        analysis = compute_mii(loop.graph, machine)
+        record = LoopRecord(
+            loop=loop.name,
+            size=len(loop.graph),
+            mii=analysis.mii,
+            resmii=analysis.resmii,
+            recmii=analysis.recmii,
+        )
+        for method in methods:
+            kwargs = (
+                {"time_limit": spilp_time_limit} if method == "spilp" else {}
+            )
+            scheduler = make_scheduler(method, **kwargs)
+            began = time.perf_counter()
+            try:
+                schedule = scheduler.schedule(loop.graph, machine, analysis)
+            except (SolverError, SchedulingError):
+                record.results[method] = MethodResult(
+                    method=method,
+                    ii=0,
+                    buffers=0,
+                    maxlive=0,
+                    seconds=time.perf_counter() - began,
+                    mii=analysis.mii,
+                    failed=True,
+                )
+                continue
+            if verify:
+                verify_schedule(schedule)
+            record.results[method] = MethodResult(
+                method=method,
+                ii=schedule.ii,
+                buffers=buffer_requirements(schedule),
+                maxlive=max_live(schedule),
+                seconds=time.perf_counter() - began,
+                mii=analysis.mii,
+            )
+        records.append(record)
+    return records
+
+
+def render_table1(records: list[LoopRecord]) -> str:
+    """Text rendering in the paper's layout (one loop per row)."""
+    methods = _methods_of(records)
+    headers = ["Loop", "MII"]
+    for method in methods:
+        headers += [f"{method}.II", f"{method}.Buf", f"{method}.s"]
+    rows = []
+    for record in records:
+        row: list[object] = [record.loop, record.mii]
+        for method in methods:
+            result = record.result(method)
+            if result is None or result.failed:
+                row += ["-", "-", "-"]
+            else:
+                row += [result.ii, result.buffers, round(result.seconds, 3)]
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def _methods_of(records: list[LoopRecord]) -> list[str]:
+    methods: dict[str, None] = {}
+    for record in records:
+        for method in record.results:
+            methods.setdefault(method, None)
+    return list(methods)

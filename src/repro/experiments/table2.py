@@ -1,0 +1,90 @@
+"""Table 2 — HRMS versus each other method, loop by loop.
+
+For every competitor the paper counts the loops where HRMS achieves a
+lower / equal / higher initiation interval and, within the II ties, the
+loops where HRMS needs fewer / equal / more buffers.  The expectation
+being reproduced: HRMS matches SPILP nearly everywhere and dominates the
+other heuristics (it obtains a lower II on a noticeable fraction of loops
+and rarely loses on buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.results import LoopRecord, render_table
+
+
+@dataclass
+class Comparison:
+    """HRMS-vs-one-method tallies (the paper's Table 2 row)."""
+
+    method: str
+    ii_better: int = 0
+    ii_equal: int = 0
+    ii_worse: int = 0
+    buf_better: int = 0
+    buf_equal: int = 0
+    buf_worse: int = 0
+    skipped: int = 0
+
+
+def summarise(
+    records: list[LoopRecord], baseline: str = "hrms"
+) -> list[Comparison]:
+    """Tally HRMS against every other method present in *records*."""
+    methods: dict[str, None] = {}
+    for record in records:
+        for method in record.results:
+            if method != baseline:
+                methods.setdefault(method, None)
+
+    comparisons = []
+    for method in methods:
+        comparison = Comparison(method=method)
+        for record in records:
+            ours = record.result(baseline)
+            theirs = record.result(method)
+            if (
+                ours is None
+                or theirs is None
+                or ours.failed
+                or theirs.failed
+            ):
+                comparison.skipped += 1
+                continue
+            if ours.ii < theirs.ii:
+                comparison.ii_better += 1
+            elif ours.ii > theirs.ii:
+                comparison.ii_worse += 1
+            else:
+                comparison.ii_equal += 1
+                if ours.buffers < theirs.buffers:
+                    comparison.buf_better += 1
+                elif ours.buffers > theirs.buffers:
+                    comparison.buf_worse += 1
+                else:
+                    comparison.buf_equal += 1
+        comparisons.append(comparison)
+    return comparisons
+
+
+def render_table2(comparisons: list[Comparison]) -> str:
+    """Text rendering in the paper's layout."""
+    headers = [
+        "vs", "II<", "II=", "II>", "Buf<", "Buf=", "Buf>", "skipped",
+    ]
+    rows = [
+        [
+            c.method,
+            c.ii_better,
+            c.ii_equal,
+            c.ii_worse,
+            c.buf_better,
+            c.buf_equal,
+            c.buf_worse,
+            c.skipped,
+        ]
+        for c in comparisons
+    ]
+    return render_table(headers, rows)

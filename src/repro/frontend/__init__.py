@@ -1,0 +1,59 @@
+"""A miniature loop-language compiler front end.
+
+The paper's evaluation obtained dependence graphs from Fortran DO loops
+with the ICTINEO compiler and IF-converted conditional bodies into single
+basic blocks (Section 4.2).  This package is the equivalent substrate: a
+small Fortran-flavoured loop language, compiled through the classic
+stages —
+
+========================  ===============================================
+:mod:`~repro.frontend.lexer`       tokens (line-oriented, ``!`` comments)
+:mod:`~repro.frontend.parser`      recursive descent → AST
+:mod:`~repro.frontend.semantics`   declaration checks, variant/invariant
+                                   scalar classification, trip counts
+:mod:`~repro.frontend.ifconvert`   control → data dependences (guards)
+:mod:`~repro.frontend.affine`      affine subscript analysis
+:mod:`~repro.frontend.dependence`  SIV memory-dependence tests
+:mod:`~repro.frontend.lowering`    DDG construction (loads/stores/selects,
+                                   CSE, invariant hoisting)
+========================  ===============================================
+
+— producing :class:`~repro.workloads.loops.Loop` objects any scheduler in
+the library accepts.  See :data:`repro.frontend.kernels.KERNEL_SOURCES`
+for ready-made classic kernels.
+"""
+
+from repro.frontend.kernels import KERNEL_SOURCES, kernel_names, kernel_source
+from repro.frontend.lowering import LoweredLoop, lower_program
+from repro.frontend.nodes import Program
+from repro.frontend.parser import parse_program
+from repro.frontend.pipeline import (
+    DEFAULT_TRIPS,
+    compile_program,
+    compile_source,
+    compile_to_lowered,
+)
+from repro.frontend.profile import (
+    LoweringProfile,
+    OpSpec,
+    govindarajan_profile,
+    perfect_club_profile,
+)
+
+__all__ = [
+    "KERNEL_SOURCES",
+    "DEFAULT_TRIPS",
+    "LoweredLoop",
+    "LoweringProfile",
+    "OpSpec",
+    "Program",
+    "compile_program",
+    "compile_source",
+    "compile_to_lowered",
+    "govindarajan_profile",
+    "kernel_names",
+    "kernel_source",
+    "lower_program",
+    "parse_program",
+    "perfect_club_profile",
+]

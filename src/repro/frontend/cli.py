@@ -1,0 +1,145 @@
+"""``hrms-compile`` — the front end as a command-line compiler driver.
+
+Compiles a loop-language source file (or a bundled kernel) and emits any
+of the pipeline's artefacts::
+
+    hrms-compile loop.f90-ish                      # summary + schedule
+    hrms-compile --kernel daxpy --emit dot         # Graphviz DOT
+    hrms-compile loop.txt --emit lifetimes         # Figure-2b chart
+    hrms-compile loop.txt --emit kernel            # MVE-unrolled kernel
+    hrms-compile loop.txt --emit rotating          # rotating-file kernel
+    hrms-compile loop.txt --scheduler topdown --machine govindarajan
+
+The default machine/profile pair is the paper's Section 4.2
+configuration; ``--machine govindarajan`` selects Section 4.1's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.frontend.kernels import kernel_names, kernel_source
+from repro.frontend.pipeline import compile_source
+from repro.frontend.profile import (
+    govindarajan_profile,
+    perfect_club_profile,
+)
+from repro.machine.configs import (
+    govindarajan_machine,
+    perfect_club_machine,
+)
+from repro.mii.analysis import compute_mii
+from repro.schedule.buffers import buffer_requirements
+from repro.schedule.codegen import (
+    generate_rotating_kernel,
+    generate_unrolled_kernel,
+)
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.viz import graph_to_dot, lifetime_chart, schedule_table
+
+EMITS = ("summary", "schedule", "lifetimes", "dot", "kernel", "rotating")
+
+_MACHINES = {
+    "perfect": (perfect_club_machine, perfect_club_profile),
+    "govindarajan": (govindarajan_machine, govindarajan_profile),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hrms-compile",
+        description="Compile loop-language source and emit artefacts.",
+    )
+    source_group = parser.add_mutually_exclusive_group(required=True)
+    source_group.add_argument(
+        "path", nargs="?", help="loop-language source file"
+    )
+    source_group.add_argument(
+        "--kernel",
+        choices=kernel_names(),
+        help="compile a bundled kernel instead of a file",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=EMITS,
+        default="summary",
+        help="artefact to print (default: summary)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=available_schedulers(),
+        default="hrms",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=sorted(_MACHINES),
+        default="perfect",
+        help="machine + latency profile (default: perfect)",
+    )
+    parser.add_argument(
+        "--trips", type=int, default=None,
+        help="override the loop trip count",
+    )
+    args = parser.parse_args(argv)
+
+    if args.kernel:
+        source = kernel_source(args.kernel)
+        name = args.kernel
+    else:
+        path = Path(args.path)
+        if not path.exists():
+            print(f"hrms-compile: no such file: {path}", file=sys.stderr)
+            return 2
+        source = path.read_text()
+        name = path.stem
+
+    machine_factory, profile_factory = _MACHINES[args.machine]
+    machine = machine_factory()
+
+    try:
+        loop = compile_source(
+            source, name=name, profile=profile_factory(), trips=args.trips
+        )
+        if args.emit == "dot":
+            print(graph_to_dot(loop.graph), end="")
+            return 0
+        analysis = compute_mii(loop.graph, machine)
+        schedule = make_scheduler(args.scheduler).schedule(
+            loop.graph, machine, analysis
+        )
+        verify_schedule(schedule)
+    except ReproError as error:
+        print(f"hrms-compile: {error}", file=sys.stderr)
+        return 1
+
+    if args.emit == "summary":
+        print(
+            f"{name}: {len(loop.graph)} ops, "
+            f"{loop.graph.edge_count()} edges, "
+            f"{loop.invariants} invariants, {loop.iterations} iterations"
+        )
+        print(
+            f"MII = {analysis.mii} "
+            f"(res {analysis.resmii}, rec {analysis.recmii}); "
+            f"{args.scheduler} II = {schedule.ii}, "
+            f"MaxLive = {max_live(schedule)}, "
+            f"buffers = {buffer_requirements(schedule)}"
+        )
+    elif args.emit == "schedule":
+        print(schedule_table(schedule))
+    elif args.emit == "lifetimes":
+        print(lifetime_chart(schedule))
+    elif args.emit == "kernel":
+        print(generate_unrolled_kernel(schedule).render())
+    elif args.emit == "rotating":
+        print(generate_rotating_kernel(schedule).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

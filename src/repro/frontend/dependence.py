@@ -1,0 +1,133 @@
+"""Array dependence tests for the lowering pass.
+
+Memory references are collected in lowering order; each carries the
+affine form of every subscript (``None`` per dimension when that
+subscript resists analysis — indirect accesses like ``a(ind(i))``).
+Pairs touching the same array with at least one write are tested with
+the classic per-dimension **SIV** framework:
+
+* a dimension with matching affine shape (equal loop-variable
+  coefficient and symbolic part) either *constrains* the dependence
+  distance (``d = (c_early - c_late) / coef`` when ``coef ≠ 0``), is
+  *unconstraining* (``coef = 0`` with equal constants — the same plane
+  every iteration), or *disproves* the dependence (``coef = 0`` with
+  different constants, or a non-integer / inconsistent distance);
+* a dimension with mismatched shapes or an unanalysable subscript makes
+  the pair **conservative**: a distance-0 edge in program order plus a
+  distance-1 edge in the reverse direction — the standard "unknown
+  dependence" pair that keeps every execution order legal at the cost
+  of a memory recurrence.
+
+A dependence exists only when *all* constrained dimensions agree on one
+integer distance.  All resulting edges are
+:class:`~repro.graph.edges.DependenceKind.MEMORY`: they constrain the
+schedule but carry no register value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.frontend.affine import AffineForm
+from repro.graph.edges import DependenceKind, Edge
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """One array access made by the loop body."""
+
+    array: str
+    #: Per-dimension affine forms; ``None`` entries are unanalysable.
+    dims: tuple[AffineForm | None, ...]
+    is_write: bool
+    node: str
+    order: int
+
+
+def dependence_edges(refs: list[MemoryRef]) -> list[Edge]:
+    """All memory-ordering edges implied by *refs*.
+
+    References are assumed to be listed in program (lowering) order;
+    ``order`` breaks ties for same-iteration direction.
+    """
+    edges: list[Edge] = []
+    for i, first in enumerate(refs):
+        if first.is_write and _writes_fixed_address(first):
+            # A store to a loop-invariant address must stay ordered with
+            # its own next-iteration instance.
+            edges.append(
+                Edge(first.node, first.node, 1, DependenceKind.MEMORY)
+            )
+        for second in refs[i + 1:]:
+            if first.array != second.array:
+                continue
+            if not first.is_write and not second.is_write:
+                continue
+            if first.node == second.node:
+                continue
+            edges.extend(_pair_edges(first, second))
+    return edges
+
+
+def _writes_fixed_address(ref: MemoryRef) -> bool:
+    return all(
+        dim is not None and dim.coef == 0 for dim in ref.dims
+    )
+
+
+def _pair_edges(early: MemoryRef, late: MemoryRef) -> list[Edge]:
+    """Edges between one earlier and one later reference (program order)."""
+    if len(early.dims) != len(late.dims):
+        # Rank mismatch should not pass semantics; treat conservatively.
+        return _conservative_pair(early, late)
+
+    # Per-dimension analysis: collect the distance each constrained
+    # dimension demands; bail to conservative on unanalysable dims.
+    constrained: list[Fraction] = []
+    for early_dim, late_dim in zip(early.dims, late.dims):
+        if early_dim is None or late_dim is None:
+            return _conservative_pair(early, late)
+        shift = early_dim.minus_const(late_dim)
+        if shift is None:
+            # Different coefficients or symbolic parts: the access
+            # patterns interleave in a way the SIV test cannot bound.
+            return _conservative_pair(early, late)
+        if early_dim.coef == 0:
+            if shift != 0:
+                return []  # disjoint fixed planes: independent
+            continue  # same plane every iteration: unconstraining
+        constrained.append(shift / early_dim.coef)
+
+    if not constrained:
+        # Same fixed element every iteration.
+        return [
+            Edge(early.node, late.node, 0, DependenceKind.MEMORY),
+            Edge(late.node, early.node, 1, DependenceKind.MEMORY),
+        ]
+
+    distance = constrained[0]
+    if any(other != distance for other in constrained[1:]):
+        return []  # dimensions disagree: no common iteration pair
+    if distance.denominator != 1:
+        return []  # non-integer distance: accesses interleave disjointly
+
+    edges: list[Edge] = []
+    forward = int(distance)
+    if forward >= 0:
+        edges.append(
+            Edge(early.node, late.node, forward, DependenceKind.MEMORY)
+        )
+    backward = -forward
+    if backward >= 1:
+        edges.append(
+            Edge(late.node, early.node, backward, DependenceKind.MEMORY)
+        )
+    return edges
+
+
+def _conservative_pair(early: MemoryRef, late: MemoryRef) -> list[Edge]:
+    return [
+        Edge(early.node, late.node, 0, DependenceKind.MEMORY),
+        Edge(late.node, early.node, 1, DependenceKind.MEMORY),
+    ]

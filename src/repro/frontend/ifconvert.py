@@ -1,0 +1,82 @@
+"""IF-conversion: control dependences become data dependences.
+
+The paper schedules single-basic-block loop bodies only; loops with
+conditionals were "converted to single basic block loops using
+IF-conversion" (Section 4.2, citing Allen/Kennedy/Warren).  This pass
+flattens the statement tree into a straight-line sequence of
+:class:`GuardedAssign` — each assignment annotated with the predicate
+(condition conjunction) under which it executes:
+
+* a then-branch statement is guarded by the if's condition;
+* an else-branch statement by its negation;
+* nested ifs conjoin their guards (``and``).
+
+Lowering later turns each distinct guard into compare/logic operations and
+each guarded *scalar* assignment into a ``select`` between the new and the
+old value; guarded *stores* become stores control-dependent on their
+predicate.  Loads and arithmetic hoist out of their branch and execute
+speculatively, the classic if-conversion cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.nodes import (
+    ArrayRef,
+    Assign,
+    BoolOp,
+    Cond,
+    DoLoop,
+    IfStmt,
+    NotOp,
+    VarRef,
+)
+
+
+@dataclass(frozen=True)
+class GuardedAssign:
+    """An assignment plus the predicate under which it takes effect.
+
+    ``guard is None`` means the statement is unconditional.
+    """
+
+    target: "VarRef | ArrayRef"
+    value: object
+    guard: Cond | None
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` when the target is an array element."""
+        return isinstance(self.target, ArrayRef)
+
+
+def if_convert(loop: DoLoop) -> list[GuardedAssign]:
+    """Flatten *loop*'s body into guarded straight-line assignments."""
+    flat: list[GuardedAssign] = []
+    _convert(loop.body, None, flat)
+    return flat
+
+
+def _convert(stmts, guard: Cond | None, out: list[GuardedAssign]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            out.append(GuardedAssign(stmt.target, stmt.value, guard))
+        elif isinstance(stmt, IfStmt):
+            then_guard = _conjoin(guard, stmt.cond)
+            else_guard = _conjoin(guard, NotOp(stmt.cond))
+            _convert(stmt.then_body, then_guard, out)
+            _convert(stmt.else_body, else_guard, out)
+        else:  # pragma: no cover - parser emits only Assign/IfStmt
+            raise TypeError(f"unknown statement: {stmt!r}")
+
+
+def _conjoin(outer: Cond | None, inner: Cond) -> Cond:
+    if outer is None:
+        return inner
+    return BoolOp("and", outer, inner)
+
+
+def count_predicates(flat: list[GuardedAssign]) -> int:
+    """Number of distinct guards (useful for diagnostics and tests)."""
+    return len({repr(g.guard) for g in flat if g.guard is not None})

@@ -1,0 +1,321 @@
+"""A library of loop-language kernels.
+
+Classic innermost loops — Livermore kernels, BLAS level-1 idioms, and the
+control-flow/indirect-access shapes the Perfect Club population contains —
+written in the mini language.  They serve three purposes: realistic
+end-to-end tests of the front end, example inputs for the documentation,
+and an independent sanity population for the scheduler comparisons (the
+hand-built :mod:`repro.workloads.govindarajan` suite bypasses the front
+end entirely).
+
+Each entry is plain source text; compile with
+:func:`repro.frontend.compile_source`.
+"""
+
+from __future__ import annotations
+
+#: name → loop-language source.
+KERNEL_SOURCES: dict[str, str] = {}
+
+
+def _kernel(name: str, source: str) -> None:
+    KERNEL_SOURCES[name] = source
+
+
+_kernel(
+    "daxpy",
+    """
+    ! BLAS: y := y + a*x
+    real a
+    real x(1000), y(1000)
+    do i = 1, 1000
+      y(i) = y(i) + a * x(i)
+    end do
+    """,
+)
+
+_kernel(
+    "dot",
+    """
+    ! Reduction: s := s + x(i)*y(i)  (a recurrence on s)
+    real s
+    real x(1000), y(1000)
+    do i = 1, 1000
+      s = s + x(i) * y(i)
+    end do
+    """,
+)
+
+_kernel(
+    "liv1_hydro",
+    """
+    ! Livermore kernel 1: hydro fragment
+    real q, r, t
+    real x(1000), y(1000), z(1000)
+    do k = 1, 400
+      x(k) = q + y(k) * (r * z(k + 10) + t * z(k + 11))
+    end do
+    """,
+)
+
+_kernel(
+    "liv5_tridiag",
+    """
+    ! Livermore kernel 5: tri-diagonal elimination, below diagonal.
+    ! x(i) depends on x(i-1): a first-order linear recurrence.
+    real x(1000), y(1000), z(1000)
+    do i = 2, 998
+      x(i) = z(i) * (y(i) - x(i - 1))
+    end do
+    """,
+)
+
+_kernel(
+    "liv7_eos",
+    """
+    ! Livermore kernel 7: equation of state fragment (wide, no recurrence)
+    real q, r, t
+    real u(1000), x(1000), y(1000), z(1000)
+    do k = 1, 101
+      x(k) = u(k) + r * (z(k) + r * y(k)) + t * (u(k + 3) + r * (u(k + 2) + r * u(k + 1)) + t * (u(k + 6) + q * (u(k + 5) + q * u(k + 4))))
+    end do
+    """,
+)
+
+_kernel(
+    "liv11_partial_sum",
+    """
+    ! Livermore kernel 11: first sum (prefix-sum recurrence via scalar)
+    real s
+    real x(1000), y(1000)
+    do k = 1, 1000
+      s = s + y(k)
+      x(k) = s
+    end do
+    """,
+)
+
+_kernel(
+    "liv12_first_diff",
+    """
+    ! Livermore kernel 12: first difference
+    real x(1000), y(1000)
+    do k = 1, 999
+      x(k) = y(k + 1) - y(k)
+    end do
+    """,
+)
+
+_kernel(
+    "state_recurrence",
+    """
+    ! Second-order linear recurrence (two-deep loop-carried chain)
+    real a, b
+    real x(1000), f(1000)
+    do i = 3, 1000
+      x(i) = a * x(i - 1) + b * x(i - 2) + f(i)
+    end do
+    """,
+)
+
+_kernel(
+    "normalize",
+    """
+    ! Divide-heavy: vector normalisation by a running magnitude
+    real eps
+    real v(1000), w(1000), m(1000)
+    do i = 1, 1000
+      w(i) = v(i) / (sqrt(m(i)) + eps)
+    end do
+    """,
+)
+
+_kernel(
+    "predicated_clip",
+    """
+    ! Control flow: clip negative values (IF-converted to a select)
+    real lo
+    real x(1000), y(1000)
+    do i = 1, 1000
+      if (x(i) < lo) then
+        y(i) = lo
+      else
+        y(i) = x(i)
+      end if
+    end do
+    """,
+)
+
+_kernel(
+    "predicated_sum",
+    """
+    ! Guarded reduction: only positive terms accumulate
+    real s
+    real x(1000)
+    do i = 1, 1000
+      if (x(i) > 0) then
+        s = s + x(i)
+      end if
+    end do
+    """,
+)
+
+_kernel(
+    "nested_guards",
+    """
+    ! Nested conditionals: three-way band classification
+    real lo, hi, sl, sm, sh
+    real x(1000)
+    do i = 1, 1000
+      if (x(i) < lo) then
+        sl = sl + x(i)
+      else
+        if (x(i) > hi) then
+          sh = sh + x(i)
+        else
+          sm = sm + x(i)
+        end if
+      end if
+    end do
+    """,
+)
+
+_kernel(
+    "gather",
+    """
+    ! Indirect addressing (SPICE-style gather): unknown dependences
+    real a
+    real ind(1000), x(1000), y(1000)
+    do i = 1, 1000
+      y(i) = y(i) + a * x(ind(i))
+    end do
+    """,
+)
+
+_kernel(
+    "scatter",
+    """
+    ! Indirect store: conservative memory recurrence
+    real w(1000), ind(1000), v(1000)
+    do i = 1, 500
+      w(ind(i)) = w(ind(i)) + v(i)
+    end do
+    """,
+)
+
+_kernel(
+    "stencil3",
+    """
+    ! Three-point stencil, read-only neighbourhood
+    real c0, c1, c2
+    real u(1000), v(1000)
+    do i = 2, 999
+      v(i) = c0 * u(i - 1) + c1 * u(i) + c2 * u(i + 1)
+    end do
+    """,
+)
+
+_kernel(
+    "wave_update",
+    """
+    ! In-place wave update: loop-carried through memory, distance 1
+    real c
+    real u(1000)
+    do i = 2, 999
+      u(i) = u(i) + c * (u(i - 1) - u(i))
+    end do
+    """,
+)
+
+_kernel(
+    "horner",
+    """
+    ! Polynomial evaluation per element (long dependence chain, no
+    ! recurrence across iterations)
+    real c0, c1, c2, c3
+    real x(1000), p(1000)
+    do i = 1, 1000
+      p(i) = ((c3 * x(i) + c2) * x(i) + c1) * x(i) + c0
+    end do
+    """,
+)
+
+_kernel(
+    "matmul_inner",
+    """
+    ! Inner (k) loop of dense matrix multiply: a fixed-address
+    ! accumulate through memory (the scalar-replacement opportunity a
+    ! smarter front end would take; here it exercises the memory
+    ! recurrence path).
+    real r, q
+    real a(64, 64), b(64, 64), c(64, 64)
+    do k = 1, 64
+      c(r, q) = c(r, q) + a(r, k) * b(k, q)
+    end do
+    """,
+)
+
+_kernel(
+    "stencil5_2d",
+    """
+    ! Five-point 2-D stencil along one row (read-only neighbourhood)
+    real c0, c1
+    real u(100, 100), v(100, 100)
+    do i = 2, 99
+      v(i, 5) = c0 * u(i, 5) + c1 * (u(i - 1, 5) + u(i + 1, 5) + u(i, 4) + u(i, 6))
+    end do
+    """,
+)
+
+_kernel(
+    "row_sweep",
+    """
+    ! Gauss-Seidel-style in-place row sweep: recurrence along the row
+    real w
+    real a(100, 100)
+    do j = 2, 99
+      a(7, j) = w * (a(7, j - 1) + a(7, j + 1))
+    end do
+    """,
+)
+
+_kernel(
+    "red_black",
+    """
+    ! Red sweep of a red-black relaxation: stride 2 makes the i-1/i+1
+    ! neighbour reads independent of the writes (different colour).
+    real w
+    real u(1000)
+    do i = 3, 997, 2
+      u(i) = w * (u(i - 1) + u(i + 1))
+    end do
+    """,
+)
+
+_kernel(
+    "rms",
+    """
+    ! Root-mean-square style accumulation with sqrt output
+    real s
+    real x(1000), r(1000)
+    do i = 1, 1000
+      s = s + x(i) * x(i)
+      r(i) = sqrt(s)
+    end do
+    """,
+)
+
+
+def kernel_names() -> list[str]:
+    """All bundled kernel names, definition order."""
+    return list(KERNEL_SOURCES)
+
+
+def kernel_source(name: str) -> str:
+    """Source text of the named kernel."""
+    try:
+        return KERNEL_SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(KERNEL_SOURCES)}"
+        ) from None

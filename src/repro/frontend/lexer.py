@@ -1,0 +1,129 @@
+"""Lexer for the loop language.
+
+The language is line-oriented (statements end at a newline, like Fortran),
+so newlines are significant tokens.  Comments run from ``!`` to the end of
+the line.  Numbers may be integers or simple decimals (``1``, ``0.5``,
+``2.``); identifiers are ``[A-Za-z_][A-Za-z0-9_]*`` and are
+case-sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.frontend.source import Location, format_diagnostic
+from repro.frontend.tokens import KEYWORDS, OPERATORS, Token, TokenKind
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens; raises :class:`LexError` on bad input.
+
+    Consecutive newlines collapse into one NEWLINE token and a trailing
+    NEWLINE is guaranteed before EOF, which simplifies the parser's
+    end-of-statement handling.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    text = source
+
+    def location() -> Location:
+        return Location(line, column)
+
+    def push_newline() -> None:
+        if tokens and tokens[-1].kind is TokenKind.NEWLINE:
+            return
+        tokens.append(Token(TokenKind.NEWLINE, "\n", location()))
+
+    while index < len(text):
+        char = text[index]
+        if char == "\n":
+            push_newline()
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "!":
+            while index < len(text) and text[index] != "\n":
+                index += 1
+                column += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_column = column
+            while index < len(text) and (
+                text[index].isalnum() or text[index] == "_"
+            ):
+                index += 1
+                column += 1
+            word = text[start:index]
+            kind = (
+                TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            )
+            tokens.append(Token(kind, word, Location(line, start_column)))
+            continue
+        if char.isdigit() or (
+            char == "."
+            and index + 1 < len(text)
+            and text[index + 1].isdigit()
+        ):
+            start = index
+            start_column = column
+            seen_dot = False
+            while index < len(text) and (
+                text[index].isdigit() or (text[index] == "." and not seen_dot)
+            ):
+                if text[index] == ".":
+                    seen_dot = True
+                index += 1
+                column += 1
+            tokens.append(
+                Token(
+                    TokenKind.NUMBER,
+                    text[start:index],
+                    Location(line, start_column),
+                )
+            )
+            continue
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", location()))
+            index += 1
+            column += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", location()))
+            index += 1
+            column += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", location()))
+            index += 1
+            column += 1
+            continue
+        operator = _match_operator(text, index)
+        if operator is not None:
+            tokens.append(Token(TokenKind.OPERATOR, operator, location()))
+            index += len(operator)
+            column += len(operator)
+            continue
+        raise LexError(
+            format_diagnostic(
+                source, location(), f"unexpected character {char!r}"
+            )
+        )
+
+    push_newline()
+    tokens.append(Token(TokenKind.EOF, "", location()))
+    return tokens
+
+
+def _match_operator(text: str, index: int) -> str | None:
+    """The longest operator starting at *index*, or ``None``."""
+    for symbol in OPERATORS:
+        if text.startswith(symbol, index):
+            return symbol
+    return None

@@ -1,0 +1,453 @@
+"""Lowering: guarded straight-line statements → dependence graph.
+
+This is the code generator of the mini front end.  It walks the
+IF-converted body once, in program order, maintaining the current value of
+every variant scalar, and emits one DDG operation per machine-level
+action:
+
+* array reads become loads (with local CSE: a second read of the same
+  address in the same iteration reuses the first load until a store to
+  that array intervenes);
+* array writes become stores (no loop variant — ``produces_value=False``);
+* arithmetic becomes adder/multiplier/divider/sqrt operations per the
+  :class:`~repro.frontend.profile.LoweringProfile`;
+* conditions become compare/logic operations and guarded scalar
+  assignments become ``select`` operations (IF-conversion's data-flow
+  form); guarded stores get a control edge from their predicate;
+* expressions built only from constants and loop invariants are *hoisted*:
+  they cost one invariant register and no in-loop operation, like a real
+  preheader.
+
+Scalar data flow follows the paper's model: a read after an in-iteration
+write uses that value (distance-0 edge); a read **before** any write uses
+the previous iteration's final value (distance-1 edge from the final
+definition — this is what turns reductions like ``s = s + x(i)`` into
+recurrence circuits).  Array data flow is delegated to
+:mod:`repro.frontend.dependence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.frontend.affine import AffineForm, analyze_affine
+from repro.frontend.dependence import MemoryRef, dependence_edges
+from repro.frontend.ifconvert import GuardedAssign, if_convert
+from repro.frontend.nodes import (
+    ArrayRef,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Cond,
+    Expr,
+    NotOp,
+    Num,
+    Program,
+    UnaryOp,
+    VarRef,
+)
+from repro.frontend.profile import LoweringProfile, OpSpec
+from repro.frontend.semantics import SemanticInfo, analyze
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import Operation
+
+#: Value keys in this set never occupy a register (immediates).
+_FREE_KINDS = frozenset({"const"})
+
+
+@dataclass(frozen=True)
+class Value:
+    """The result of lowering an expression.
+
+    ``node`` names the DDG operation producing the value, or is ``None``
+    for values with no in-loop producer: literals (``key[0] == "const"``),
+    loop invariants and hoisted invariant expressions (``"inv"`` /
+    ``"hoist"``), and reads of a variant scalar before its first write in
+    the iteration (``"carried"`` — the producer is the *previous*
+    iteration's final definition, resolved at the end of lowering).
+    """
+
+    node: str | None
+    key: tuple
+
+    @property
+    def kind(self) -> str:
+        return self.key[0]
+
+
+@dataclass
+class LoweredLoop:
+    """The DDG plus the register-model metadata lowering discovered."""
+
+    graph: DependenceGraph
+    #: Distinct loop-invariant values consumed by the body (registers).
+    invariants: int
+    #: Trip count from literal loop bounds, else ``None``.
+    trip_count: int | None
+    info: SemanticInfo
+    refs: list[MemoryRef] = field(default_factory=list)
+
+
+def lower_program(
+    program: Program,
+    profile: LoweringProfile,
+    source: str = "",
+    name: str = "loop",
+) -> LoweredLoop:
+    """Lower *program* (already parsed) to a dependence graph."""
+    info = analyze(program, source)
+    flat = if_convert(program.loop)
+    if not flat:
+        raise SemanticError("loop body must contain at least one statement")
+    lowerer = _Lowerer(program, info, profile, name)
+    return lowerer.run(flat)
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        program: Program,
+        info: SemanticInfo,
+        profile: LoweringProfile,
+        name: str,
+    ) -> None:
+        self._profile = profile
+        self._graph = DependenceGraph(name)
+        self._info = info
+        self._invariant_names = frozenset(info.invariant_scalars)
+        self._counter = 0
+        #: Current in-iteration Value of each variant scalar.
+        self._env: dict[str, Value | None] = {
+            s: None for s in info.variant_scalars
+        }
+        #: (scalar, consumer node) pairs awaiting the final definition.
+        self._carried_uses: list[tuple[str, str]] = []
+        #: Structural-key → Value cache (local value numbering).
+        self._cse: dict[tuple, Value] = {}
+        #: (array, subscript key) → load Value; invalidated by stores.
+        self._load_cache: dict[tuple, Value] = {}
+        #: Invariant keys actually consumed by operations.
+        self._used_invariants: set[tuple] = set()
+        self._refs: list[MemoryRef] = []
+
+    # ------------------------------------------------------------------
+    def run(self, flat: list[GuardedAssign]) -> LoweredLoop:
+        for stmt in flat:
+            self._lower_statement(stmt)
+        self._resolve_carried_uses()
+        for edge in dependence_edges(self._refs):
+            self._graph.add_edge(edge)
+        if not len(self._graph):
+            raise SemanticError(
+                "loop body lowers to no operations: every statement is a "
+                "loop-invariant scalar assignment (nothing to schedule)"
+            )
+        self._graph.validate()
+        return LoweredLoop(
+            graph=self._graph,
+            invariants=len(self._used_invariants),
+            trip_count=self._info.trip_count,
+            info=self._info,
+            refs=self._refs,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _lower_statement(self, stmt: GuardedAssign) -> None:
+        value = self._lower_expr(stmt.value)
+        predicate = (
+            self._lower_cond(stmt.guard) if stmt.guard is not None else None
+        )
+        if isinstance(stmt.target, ArrayRef):
+            self._lower_store(stmt.target, value, predicate)
+        else:
+            self._lower_scalar_assign(stmt.target.name, value, predicate)
+
+    def _lower_scalar_assign(
+        self, name: str, value: Value, predicate: Value | None
+    ) -> None:
+        if predicate is None:
+            self._env[name] = value
+            return
+        # Guarded write: select(new, old, predicate).  The old value may be
+        # the previous iteration's final definition (carried).
+        old = self._env[name]
+        if old is None:
+            old = Value(None, ("carried", name))
+        operands = [value, old]
+        if predicate.node is not None or predicate.kind != "const":
+            operands.append(predicate)
+        select = self._emit("sel", self._profile.select, operands)
+        self._env[name] = select
+
+    def _lower_store(
+        self, target: ArrayRef, value: Value, predicate: Value | None
+    ) -> None:
+        dims, index_values, _ = self._analyze_subscripts(target.subscripts)
+        store = self._emit(
+            f"st_{target.name}",
+            self._profile.store,
+            [value, *index_values],
+            produces_value=False,
+        )
+        if predicate is not None and predicate.node is not None:
+            self._graph.add_edge(
+                Edge(predicate.node, store.node, 0, DependenceKind.CONTROL)
+            )
+        self._record_ref(target.name, dims, True, store.node)
+        self._invalidate_loads(target.name)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _lower_expr(self, expr: Expr) -> Value:
+        if isinstance(expr, Num):
+            return Value(None, ("const", str(expr.value)))
+        if isinstance(expr, VarRef):
+            return self._lower_varref(expr)
+        if isinstance(expr, ArrayRef):
+            return self._lower_load(expr)
+        if isinstance(expr, UnaryOp):
+            operand = self._lower_operand_list([expr.operand])
+            return self._combine("neg", self._profile.add, operand)
+        if isinstance(expr, BinOp):
+            operands = self._lower_operand_list([expr.lhs, expr.rhs])
+            prefix, spec = self._binop_spec(expr.op)
+            return self._combine(prefix, spec, operands, tag=expr.op)
+        if isinstance(expr, Call):
+            operands = self._lower_operand_list(list(expr.args))
+            if expr.func == "sqrt":
+                return self._combine("sqrt", self._profile.sqrt, operands)
+            return self._combine(expr.func, self._profile.add, operands)
+        raise TypeError(f"unknown expression node: {expr!r}")
+
+    def _lower_operand_list(self, exprs: list[Expr]) -> list[Value]:
+        return [self._lower_expr(e) for e in exprs]
+
+    def _binop_spec(self, op: str) -> tuple[str, OpSpec]:
+        profile = self._profile
+        if op == "+":
+            return "add", profile.add
+        if op == "-":
+            return "sub", profile.add
+        if op == "*":
+            return "mul", profile.mul
+        if op == "/":
+            return "div", profile.div
+        raise ValueError(f"unknown binary operator {op!r}")
+
+    def _lower_varref(self, expr: VarRef) -> Value:
+        name = expr.name
+        if name == self._info.loop_var:
+            # The induction variable lives in an integer register and is
+            # produced by free address arithmetic in this machine model.
+            return Value(None, ("const", "@loopvar"))
+        if name in self._invariant_names:
+            return Value(None, ("inv", name))
+        current = self._env.get(name)
+        if current is None:
+            return Value(None, ("carried", name))
+        return current
+
+    def _lower_load(self, expr: ArrayRef) -> Value:
+        dims, index_values, address_key = self._analyze_subscripts(
+            expr.subscripts
+        )
+        cache_key = (expr.name, address_key)
+        cached = self._load_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        load = self._emit(f"ld_{expr.name}", self._profile.load, index_values)
+        self._record_ref(expr.name, dims, False, load.node)
+        self._load_cache[cache_key] = load
+        return load
+
+    def _analyze_subscripts(
+        self, subscripts: tuple[Expr, ...]
+    ) -> tuple[tuple[AffineForm | None, ...], list[Value], tuple]:
+        """Affine form per dimension, address-computing Values, CSE key.
+
+        Affine subscripts (the common case) cost nothing: address
+        arithmetic is folded into the memory operation.  Non-affine
+        subscripts (indirect addressing) lower the index expression and
+        feed its value into the access.  The returned key identifies the
+        address structurally (affine form or index-value key per
+        dimension) for load CSE.
+        """
+        dims: list[AffineForm | None] = []
+        index_values: list[Value] = []
+        key_parts: list[object] = []
+        for subscript in subscripts:
+            affine = analyze_affine(
+                subscript, self._info.loop_var, self._invariant_names
+            )
+            if affine is not None:
+                affine = self._to_iteration_space(affine)
+                dims.append(affine)
+                key_parts.append(affine)
+            else:
+                dims.append(None)
+                value = self._lower_expr(subscript)
+                index_values.append(value)
+                key_parts.append(value.key)
+        return tuple(dims), index_values, tuple(key_parts)
+
+    def _to_iteration_space(self, affine: AffineForm) -> AffineForm:
+        """Rewrite a subscript from induction-variable to iteration space.
+
+        With ``do i = lower, upper, step`` the variable is
+        ``i = lower + step * j`` for iteration ``j``, so a subscript
+        ``c*i + k`` becomes ``(c*step)*j + (k + c*lower)``.  The
+        ``c*lower`` shift is identical for subscripts with equal ``c``
+        (the only ones the SIV test compares), so only the coefficient
+        scaling matters for dependence distances and it is applied here.
+        """
+        step = self._info.step
+        if step == 1:
+            return affine
+        return AffineForm(
+            affine.coef * step, affine.const, affine.sym_coefs
+        )
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _lower_cond(self, cond: Cond) -> Value:
+        if isinstance(cond, Compare):
+            operands = self._lower_operand_list([cond.lhs, cond.rhs])
+            return self._combine(
+                "cmp", self._profile.compare, operands, tag=cond.op
+            )
+        if isinstance(cond, BoolOp):
+            operands = [self._lower_cond(cond.lhs), self._lower_cond(cond.rhs)]
+            return self._combine(
+                cond.op, self._profile.logic, operands, tag=cond.op
+            )
+        if isinstance(cond, NotOp):
+            operand = self._lower_cond(cond.operand)
+            return self._combine("not", self._profile.logic, [operand])
+        raise TypeError(f"unknown condition node: {cond!r}")
+
+    # ------------------------------------------------------------------
+    # Node emission and hoisting
+    # ------------------------------------------------------------------
+    def _combine(
+        self,
+        prefix: str,
+        spec: OpSpec,
+        operands: list[Value],
+        tag: str = "",
+    ) -> Value:
+        """Emit an operation over *operands*, hoisting invariant results.
+
+        When no operand is produced in the loop (all constants or
+        invariants), the whole expression is loop-invariant: it is hoisted
+        to the (implicit) preheader and becomes one invariant register —
+        or folds away entirely when every operand is a literal.
+        """
+        key = (prefix, tag, *(v.key for v in operands))
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        loop_dependent = any(
+            v.node is not None or v.kind == "carried" for v in operands
+        )
+        if not loop_dependent:
+            if all(v.kind in _FREE_KINDS for v in operands):
+                value = Value(None, ("const", key))
+            else:
+                value = Value(None, ("hoist", key))
+            self._cse[key] = value
+            return value
+        value = self._emit(prefix, spec, operands)
+        self._cse[key] = value
+        return value
+
+    def _emit(
+        self,
+        prefix: str,
+        spec: OpSpec,
+        operands: list[Value],
+        produces_value: bool = True,
+    ) -> Value:
+        """Add one operation with register edges from its operands."""
+        self._counter += 1
+        name = f"{prefix}_{self._counter}"
+        self._graph.add_operation(
+            Operation(
+                name=name,
+                latency=spec.latency,
+                opclass=spec.opclass,
+                produces_value=produces_value,
+            )
+        )
+        for operand in operands:
+            if operand.node is not None:
+                self._graph.add_edge(
+                    Edge(operand.node, name, 0, DependenceKind.REGISTER)
+                )
+            elif operand.kind == "carried":
+                self._carried_uses.append((operand.key[1], name))
+            elif operand.kind in ("inv", "hoist"):
+                self._used_invariants.add(operand.key)
+        return Value(name, ("node", name))
+
+    def _record_ref(
+        self,
+        array: str,
+        dims: tuple[AffineForm | None, ...],
+        is_write: bool,
+        node: str,
+    ) -> None:
+        self._refs.append(
+            MemoryRef(array, dims, is_write, node, len(self._refs))
+        )
+
+    def _invalidate_loads(self, array: str) -> None:
+        self._load_cache = {
+            key: value
+            for key, value in self._load_cache.items()
+            if key[0] != array
+        }
+
+    def _resolve_carried_uses(self) -> None:
+        """Connect reads-before-write to the previous iteration's value.
+
+        A scalar's final definition may itself be a carried value (scalar
+        copies like ``t = s`` executed before ``s`` is redefined — the
+        idiom of second-order recurrences).  Each copy hop adds one
+        iteration of distance; a cycle of copies (``t = s; s = t``) means
+        the scalars permute their preheader values forever, i.e. the
+        consumer reads a loop invariant.
+        """
+        for scalar, consumer in self._carried_uses:
+            distance = 1
+            visited = {scalar}
+            final = self._env.get(scalar)
+            while final is not None and final.kind == "carried":
+                source = final.key[1]
+                if source in visited:
+                    self._used_invariants.add(
+                        ("copy-cycle", tuple(sorted(visited)))
+                    )
+                    final = None
+                    break
+                visited.add(source)
+                distance += 1
+                final = self._env.get(source)
+            if final is None:
+                continue
+            if final.node is not None:
+                self._graph.add_edge(
+                    Edge(
+                        final.node, consumer, distance, DependenceKind.REGISTER
+                    )
+                )
+            elif final.kind in ("inv", "hoist"):
+                # The scalar is re-assigned the same invariant value every
+                # iteration; the carried use needs that register.
+                self._used_invariants.add(final.key)

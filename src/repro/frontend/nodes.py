@@ -1,0 +1,291 @@
+"""Abstract syntax tree of the loop language.
+
+The language describes a single innermost loop over declared scalars and
+one-dimensional arrays — the shape of program the paper's ICTINEO front
+end fed to the scheduler::
+
+    real a
+    real x(1000), y(1000)
+    do i = 1, 1000
+      if (x(i) > 0) then
+        y(i) = y(i) + a * x(i)
+      else
+        y(i) = y(i) - x(i)
+      end if
+    end do
+
+Expression nodes are plain frozen dataclasses; passes walk them with
+``isinstance`` dispatch, which keeps each pass's logic in one readable
+function instead of a visitor-class hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from repro.frontend.source import SYNTHETIC, Location
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A numeric literal."""
+
+    value: Fraction
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return str(float(self.value))
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A scalar (or loop variable) reference."""
+
+    name: str
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """An array element reference ``name(sub1, sub2, ...)``.
+
+    One subscript per dimension; most kernels are 1-D but matrix codes
+    (the Perfect Club's dominant shape) use two or more.
+    """
+
+    name: str
+    subscripts: tuple["Expr", ...]
+    location: Location = SYNTHETIC
+
+    @property
+    def rank(self) -> int:
+        return len(self.subscripts)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """An arithmetic binary operation: ``+ - * /``."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus (``op`` is always ``"-"``)."""
+
+    op: str
+    operand: "Expr"
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class Call:
+    """An intrinsic call: ``sqrt``, ``abs``, ``min`` or ``max``."""
+
+    func: str
+    args: tuple["Expr", ...]
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A relational test ``lhs op rhs`` (``< <= > >= == /=``)."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """A logical connective over conditions (``and`` / ``or``)."""
+
+    op: str
+    lhs: "Cond"
+    rhs: "Cond"
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """Logical negation of a condition."""
+
+    operand: "Cond"
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+Expr = Union[Num, VarRef, ArrayRef, BinOp, UnaryOp, Call]
+Cond = Union[Compare, BoolOp, NotOp]
+
+#: Intrinsic functions the language understands, with their arities.
+INTRINSICS = {"sqrt": 1, "abs": 1, "min": 2, "max": 2}
+
+# ----------------------------------------------------------------------
+# Statements and program structure
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = value``; target is a scalar or array element."""
+
+    target: Union[VarRef, ArrayRef]
+    value: Expr
+    location: Location = SYNTHETIC
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if (cond) then ... [else ...] end if``."""
+
+    cond: Cond
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+    location: Location = SYNTHETIC
+
+
+Stmt = Union[Assign, IfStmt]
+
+
+@dataclass(frozen=True)
+class ScalarDecl:
+    """``real a, b`` — scalar declarations."""
+
+    names: tuple[str, ...]
+    location: Location = SYNTHETIC
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """``real x(100), a(10, 10)`` — array declarations with extents.
+
+    ``shapes[i]`` is the extent tuple of ``names[i]``; its length is the
+    array's rank.
+    """
+
+    names: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+    location: Location = SYNTHETIC
+
+
+@dataclass(frozen=True)
+class DoLoop:
+    """``do var = lower, upper [, step]`` with a straight-line-or-if body.
+
+    ``step`` defaults to 1 and must be a nonzero integer literal: the
+    dependence analysis rewrites subscripts into iteration space
+    (``i = lower + step * j``), which needs the stride at compile time.
+    """
+
+    var: str
+    lower: Expr
+    upper: Expr
+    body: tuple[Stmt, ...]
+    step: int = 1
+    location: Location = SYNTHETIC
+
+
+@dataclass(frozen=True)
+class Program:
+    """A compilation unit: declarations followed by one do-loop."""
+
+    scalars: tuple[ScalarDecl, ...]
+    arrays: tuple[ArrayDecl, ...]
+    loop: DoLoop
+
+    def scalar_names(self) -> tuple[str, ...]:
+        """All declared scalar names, declaration order."""
+        return tuple(
+            name for decl in self.scalars for name in decl.names
+        )
+
+    def array_names(self) -> tuple[str, ...]:
+        """All declared array names, declaration order."""
+        return tuple(name for decl in self.arrays for name in decl.names)
+
+    def array_shapes(self) -> dict[str, tuple[int, ...]]:
+        """Declared extent tuple of every array (rank = tuple length)."""
+        return {
+            name: shape
+            for decl in self.arrays
+            for name, shape in zip(decl.names, decl.shapes)
+        }
+
+
+def walk_expr(expr: Expr):
+    """Yield *expr* and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.lhs)
+        yield from walk_expr(expr.rhs)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, ArrayRef):
+        for subscript in expr.subscripts:
+            yield from walk_expr(subscript)
+
+
+def walk_cond_exprs(cond: Cond):
+    """Yield every arithmetic expression appearing inside *cond*."""
+    if isinstance(cond, Compare):
+        yield from walk_expr(cond.lhs)
+        yield from walk_expr(cond.rhs)
+    elif isinstance(cond, BoolOp):
+        yield from walk_cond_exprs(cond.lhs)
+        yield from walk_cond_exprs(cond.rhs)
+    elif isinstance(cond, NotOp):
+        yield from walk_cond_exprs(cond.operand)
+
+
+def walk_stmts(stmts) -> "list[Stmt]":
+    """Flatten a statement tree, pre-order (if-bodies included)."""
+    out: list[Stmt] = []
+    for stmt in stmts:
+        out.append(stmt)
+        if isinstance(stmt, IfStmt):
+            out.extend(walk_stmts(stmt.then_body))
+            out.extend(walk_stmts(stmt.else_body))
+    return out

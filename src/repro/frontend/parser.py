@@ -1,0 +1,398 @@
+"""Recursive-descent parser for the loop language.
+
+Grammar (newline-terminated statements, ``!`` comments)::
+
+    program   := decl* doloop
+    decl      := "real" declitem ("," declitem)*
+    declitem  := IDENT [ "(" NUMBER ")" ]        -- extent => array
+    doloop    := "do" IDENT "=" expr "," expr NL stmt* "end" ["do"]
+    stmt      := assign | ifstmt
+    assign    := lvalue "=" expr NL
+    lvalue    := IDENT [ "(" expr ")" ]
+    ifstmt    := "if" "(" cond ")" "then" NL stmt*
+                 [ "else" NL stmt* ] "end" ["if"] NL
+    cond      := andcond ( "or" andcond )*
+    andcond   := notcond ( "and" notcond )*
+    notcond   := "not" notcond | "(" cond ")" | compare
+    compare   := expr RELOP expr
+    expr      := term ( ("+"|"-") term )*
+    term      := factor ( ("*"|"/") factor )*
+    factor    := "-" factor | primary
+    primary   := NUMBER | IDENT [ "(" args ")" ] | "(" expr ")"
+
+An ``IDENT(...)`` primary is an intrinsic call when the name is one of
+:data:`~repro.frontend.nodes.INTRINSICS`, otherwise an array reference;
+the semantic pass later checks that array references name declared
+arrays.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.frontend.lexer import tokenize
+from repro.frontend.nodes import (
+    INTRINSICS,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Cond,
+    DoLoop,
+    Expr,
+    IfStmt,
+    NotOp,
+    Num,
+    Program,
+    ScalarDecl,
+    Stmt,
+    UnaryOp,
+    VarRef,
+)
+from repro.frontend.source import format_diagnostic
+from repro.frontend.tokens import Token, TokenKind
+
+#: Relational operators accepted in conditions (``/=`` is not-equal).
+RELOPS = frozenset({"<", "<=", ">", ">=", "==", "/="})
+
+
+def parse_program(source: str) -> Program:
+    """Parse *source* into a :class:`Program`."""
+    return _Parser(source).parse_program()
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Cursor primitives
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._current
+        return ParseError(
+            format_diagnostic(self._source, token.location, message)
+        )
+
+    def _expect_operator(self, symbol: str) -> Token:
+        if not self._current.is_operator(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_kind(self, kind: TokenKind) -> Token:
+        if self._current.kind is not kind:
+            raise self._error(f"expected {kind.value}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise self._error(f"expected {word!r}")
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._current.kind is TokenKind.NEWLINE:
+            self._advance()
+
+    def _end_statement(self) -> None:
+        if self._current.kind is TokenKind.EOF:
+            return
+        if self._current.kind is not TokenKind.NEWLINE:
+            raise self._error("expected end of statement")
+        self._skip_newlines()
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        scalars: list[ScalarDecl] = []
+        arrays: list[ArrayDecl] = []
+        self._skip_newlines()
+        while self._current.is_keyword("real"):
+            scalar_decl, array_decl = self._parse_decl()
+            if scalar_decl.names:
+                scalars.append(scalar_decl)
+            if array_decl.names:
+                arrays.append(array_decl)
+        if not self._current.is_keyword("do"):
+            raise self._error("expected a 'do' loop")
+        loop = self._parse_doloop()
+        self._skip_newlines()
+        if self._current.kind is not TokenKind.EOF:
+            raise self._error("unexpected text after the loop")
+        return Program(tuple(scalars), tuple(arrays), loop)
+
+    def _parse_decl(self) -> tuple[ScalarDecl, ArrayDecl]:
+        location = self._expect_keyword("real").location
+        scalar_names: list[str] = []
+        array_names: list[str] = []
+        array_shapes: list[tuple[int, ...]] = []
+        while True:
+            name = self._expect_kind(TokenKind.IDENT)
+            if self._current.kind is TokenKind.LPAREN:
+                self._advance()
+                extents = [self._parse_extent()]
+                while self._current.kind is TokenKind.COMMA:
+                    self._advance()
+                    extents.append(self._parse_extent())
+                self._expect_kind(TokenKind.RPAREN)
+                array_names.append(name.text)
+                array_shapes.append(tuple(extents))
+            else:
+                scalar_names.append(name.text)
+            if self._current.kind is not TokenKind.COMMA:
+                break
+            self._advance()
+        self._end_statement()
+        return (
+            ScalarDecl(tuple(scalar_names), location),
+            ArrayDecl(tuple(array_names), tuple(array_shapes), location),
+        )
+
+    def _parse_extent(self) -> int:
+        size = self._expect_kind(TokenKind.NUMBER)
+        extent = Fraction(size.text)
+        if extent.denominator != 1 or extent < 1:
+            raise self._error(
+                "array extent must be a positive integer", size
+            )
+        return int(extent)
+
+    def _parse_doloop(self) -> DoLoop:
+        location = self._expect_keyword("do").location
+        var = self._expect_kind(TokenKind.IDENT).text
+        self._expect_operator("=")
+        lower = self._parse_expr()
+        self._expect_kind(TokenKind.COMMA)
+        upper = self._parse_expr()
+        step = 1
+        if self._current.kind is TokenKind.COMMA:
+            self._advance()
+            step = self._parse_step()
+        self._end_statement()
+        body = self._parse_stmts()
+        self._expect_keyword("end")
+        if self._current.is_keyword("do"):
+            self._advance()
+        self._end_statement()
+        return DoLoop(var, lower, upper, tuple(body), step, location)
+
+    def _parse_step(self) -> int:
+        """A loop step: a nonzero integer literal, optionally negated."""
+        negate = False
+        if self._current.is_operator("-"):
+            self._advance()
+            negate = True
+        token = self._expect_kind(TokenKind.NUMBER)
+        value = Fraction(token.text)
+        if value.denominator != 1 or value == 0:
+            raise self._error(
+                "loop step must be a nonzero integer literal", token
+            )
+        step = int(value)
+        return -step if negate else step
+
+    def _parse_stmts(self) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        self._skip_newlines()
+        while not self._current.is_keyword("end") and not self._current.is_keyword("else"):
+            if self._current.kind is TokenKind.EOF:
+                raise self._error("unterminated block: expected 'end'")
+            stmts.append(self._parse_stmt())
+            self._skip_newlines()
+        return stmts
+
+    def _parse_stmt(self) -> Stmt:
+        if self._current.is_keyword("if"):
+            return self._parse_if()
+        return self._parse_assign()
+
+    def _parse_assign(self) -> Assign:
+        token = self._current
+        if token.kind is not TokenKind.IDENT:
+            raise self._error("expected a statement")
+        self._advance()
+        target: VarRef | ArrayRef
+        if self._current.kind is TokenKind.LPAREN:
+            self._advance()
+            subscripts = self._parse_subscripts()
+            target = ArrayRef(token.text, subscripts, token.location)
+        else:
+            target = VarRef(token.text, token.location)
+        self._expect_operator("=")
+        value = self._parse_expr()
+        self._end_statement()
+        return Assign(target, value, token.location)
+
+    def _parse_if(self) -> IfStmt:
+        location = self._expect_keyword("if").location
+        self._expect_kind(TokenKind.LPAREN)
+        cond = self._parse_cond()
+        self._expect_kind(TokenKind.RPAREN)
+        self._expect_keyword("then")
+        self._end_statement()
+        then_body = self._parse_stmts()
+        else_body: list[Stmt] = []
+        if self._current.is_keyword("else"):
+            self._advance()
+            self._end_statement()
+            else_body = self._parse_stmts()
+        self._expect_keyword("end")
+        if self._current.is_keyword("if"):
+            self._advance()
+        self._end_statement()
+        return IfStmt(cond, tuple(then_body), tuple(else_body), location)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _parse_cond(self) -> Cond:
+        cond = self._parse_and_cond()
+        while self._current.is_keyword("or"):
+            location = self._advance().location
+            rhs = self._parse_and_cond()
+            cond = BoolOp("or", cond, rhs, location)
+        return cond
+
+    def _parse_and_cond(self) -> Cond:
+        cond = self._parse_not_cond()
+        while self._current.is_keyword("and"):
+            location = self._advance().location
+            rhs = self._parse_not_cond()
+            cond = BoolOp("and", cond, rhs, location)
+        return cond
+
+    def _parse_not_cond(self) -> Cond:
+        if self._current.is_keyword("not"):
+            location = self._advance().location
+            return NotOp(self._parse_not_cond(), location)
+        if self._current.kind is TokenKind.LPAREN and self._is_paren_cond():
+            self._advance()
+            cond = self._parse_cond()
+            self._expect_kind(TokenKind.RPAREN)
+            return cond
+        return self._parse_compare()
+
+    def _is_paren_cond(self) -> bool:
+        """Disambiguate ``(cond)`` from a parenthesised arithmetic operand.
+
+        Scan forward from the current ``(`` to its matching ``)``; if a
+        relational operator or boolean keyword appears at depth >= 1 the
+        parenthesis opens a condition.
+        """
+        depth = 0
+        for token in self._tokens[self._index:]:
+            if token.kind is TokenKind.LPAREN:
+                depth += 1
+            elif token.kind is TokenKind.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth >= 1:
+                if token.kind is TokenKind.OPERATOR and token.text in RELOPS:
+                    return True
+                if token.kind is TokenKind.KEYWORD and token.text in (
+                    "and",
+                    "or",
+                    "not",
+                ):
+                    return True
+            if token.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+                return False
+        return False
+
+    def _parse_compare(self) -> Compare:
+        lhs = self._parse_expr()
+        token = self._current
+        if token.kind is not TokenKind.OPERATOR or token.text not in RELOPS:
+            raise self._error("expected a relational operator")
+        self._advance()
+        rhs = self._parse_expr()
+        return Compare(token.text, lhs, rhs, token.location)
+
+    # ------------------------------------------------------------------
+    # Arithmetic expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        expr = self._parse_term()
+        while self._current.is_operator("+") or self._current.is_operator("-"):
+            token = self._advance()
+            rhs = self._parse_term()
+            expr = BinOp(token.text, expr, rhs, token.location)
+        return expr
+
+    def _parse_term(self) -> Expr:
+        expr = self._parse_factor()
+        while self._current.is_operator("*") or self._current.is_operator("/"):
+            token = self._advance()
+            rhs = self._parse_factor()
+            expr = BinOp(token.text, expr, rhs, token.location)
+        return expr
+
+    def _parse_factor(self) -> Expr:
+        if self._current.is_operator("-"):
+            token = self._advance()
+            return UnaryOp("-", self._parse_factor(), token.location)
+        if self._current.is_operator("+"):
+            self._advance()
+            return self._parse_factor()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Num(Fraction(token.text), token.location)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_kind(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._current.kind is not TokenKind.LPAREN:
+                return VarRef(token.text, token.location)
+            self._advance()
+            if token.text in INTRINSICS:
+                args = [self._parse_expr()]
+                while self._current.kind is TokenKind.COMMA:
+                    self._advance()
+                    args.append(self._parse_expr())
+                self._expect_kind(TokenKind.RPAREN)
+                arity = INTRINSICS[token.text]
+                if len(args) != arity:
+                    raise self._error(
+                        f"{token.text} takes {arity} argument"
+                        f"{'s' if arity != 1 else ''}, got {len(args)}",
+                        token,
+                    )
+                return Call(token.text, tuple(args), token.location)
+            subscripts = self._parse_subscripts()
+            return ArrayRef(token.text, subscripts, token.location)
+        raise self._error("expected an expression")
+
+    def _parse_subscripts(self) -> tuple[Expr, ...]:
+        """Comma-separated subscript list; the ``(`` is already consumed."""
+        subscripts = [self._parse_expr()]
+        while self._current.kind is TokenKind.COMMA:
+            self._advance()
+            subscripts.append(self._parse_expr())
+        self._expect_kind(TokenKind.RPAREN)
+        return tuple(subscripts)

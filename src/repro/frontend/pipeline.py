@@ -1,0 +1,96 @@
+"""The front-end driver: source text → schedulable :class:`Loop`.
+
+This is the public entry point of :mod:`repro.frontend`::
+
+    from repro.frontend import compile_source
+
+    loop = compile_source('''
+        real a
+        real x(1000), y(1000)
+        do i = 1, 1000
+          y(i) = y(i) + a * x(i)
+        end do
+    ''', name="daxpy")
+
+    schedule = HRMSScheduler().schedule(loop.graph, machine)
+
+The pipeline stages — lex, parse, semantic analysis, IF-conversion,
+dependence analysis, lowering — are each importable on their own for
+testing and for tools that want intermediate results.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.lowering import LoweredLoop, lower_program
+from repro.frontend.nodes import Program
+from repro.frontend.parser import parse_program
+from repro.frontend.profile import (
+    LoweringProfile,
+    govindarajan_profile,
+    perfect_club_profile,
+)
+from repro.workloads.loops import Loop
+
+#: Trip count assumed when the loop bounds are not literal.
+DEFAULT_TRIPS = 100
+
+
+def compile_to_lowered(
+    source: str,
+    name: str = "loop",
+    profile: LoweringProfile | None = None,
+) -> LoweredLoop:
+    """Compile *source* and return the lowered form (graph + metadata)."""
+    profile = profile or perfect_club_profile()
+    program = parse_program(source)
+    return lower_program(program, profile, source=source, name=name)
+
+
+def compile_source(
+    source: str,
+    name: str = "loop",
+    profile: LoweringProfile | None = None,
+    trips: int | None = None,
+) -> Loop:
+    """Compile *source* into a :class:`~repro.workloads.loops.Loop`.
+
+    *trips* overrides the trip count extracted from literal loop bounds
+    (and is required knowledge for the dynamic experiments when the bounds
+    are symbolic — :data:`DEFAULT_TRIPS` is assumed otherwise).
+    """
+    lowered = compile_to_lowered(source, name=name, profile=profile)
+    iterations = trips or lowered.trip_count or DEFAULT_TRIPS
+    return Loop(
+        graph=lowered.graph,
+        iterations=iterations,
+        invariants=lowered.invariants,
+        source=f"frontend:{name}",
+    )
+
+
+def compile_program(
+    program: Program,
+    name: str = "loop",
+    profile: LoweringProfile | None = None,
+    trips: int | None = None,
+) -> Loop:
+    """Like :func:`compile_source` for an already-parsed :class:`Program`."""
+    profile = profile or perfect_club_profile()
+    lowered = lower_program(program, profile, name=name)
+    iterations = trips or lowered.trip_count or DEFAULT_TRIPS
+    return Loop(
+        graph=lowered.graph,
+        iterations=iterations,
+        invariants=lowered.invariants,
+        source=f"frontend:{name}",
+    )
+
+
+__all__ = [
+    "DEFAULT_TRIPS",
+    "compile_source",
+    "compile_to_lowered",
+    "compile_program",
+    "govindarajan_profile",
+    "perfect_club_profile",
+]

@@ -1,0 +1,85 @@
+"""Lowering profiles: how language operations map onto machine opclasses.
+
+A profile pairs each abstract operation kind the language can express with
+the functional-unit class and latency it takes on a target machine.  The
+two presets mirror the paper's two studies (Sections 4.1 and 4.2); custom
+machines can define their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ops import FADD, FDIV, FMUL, FSQRT, MEM
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Opclass and latency for one abstract operation kind."""
+
+    opclass: str
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(
+                f"latency must be >= 1, got {self.latency} "
+                f"for class {self.opclass!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LoweringProfile:
+    """Operation-kind → (opclass, latency) table used by the lowering pass.
+
+    ``compare``, ``logic`` and ``select`` are the predication operations
+    introduced by IF-conversion; the paper's FP-only machine models run
+    them on the adder class.
+    """
+
+    name: str
+    load: OpSpec
+    store: OpSpec
+    add: OpSpec
+    mul: OpSpec
+    div: OpSpec
+    sqrt: OpSpec
+    compare: OpSpec
+    logic: OpSpec
+    select: OpSpec
+
+
+def govindarajan_profile() -> LoweringProfile:
+    """Section 4.1's latencies: add/sub/store 1, mul/load 2, div 17.
+
+    The Table-1 machine has no square-root unit, so ``sqrt`` maps to the
+    divider.
+    """
+    return LoweringProfile(
+        name="govindarajan",
+        load=OpSpec(MEM, 2),
+        store=OpSpec(MEM, 1),
+        add=OpSpec(FADD, 1),
+        mul=OpSpec(FMUL, 2),
+        div=OpSpec(FDIV, 17),
+        sqrt=OpSpec(FDIV, 17),
+        compare=OpSpec(FADD, 1),
+        logic=OpSpec(FADD, 1),
+        select=OpSpec(FADD, 1),
+    )
+
+
+def perfect_club_profile() -> LoweringProfile:
+    """Section 4.2's latencies: store 1, load 2, add/mul 4, div 17, sqrt 30."""
+    return LoweringProfile(
+        name="perfect-club",
+        load=OpSpec(MEM, 2),
+        store=OpSpec(MEM, 1),
+        add=OpSpec(FADD, 4),
+        mul=OpSpec(FMUL, 4),
+        div=OpSpec(FDIV, 17),
+        sqrt=OpSpec(FSQRT, 30),
+        compare=OpSpec(FADD, 4),
+        logic=OpSpec(FADD, 1),
+        select=OpSpec(FADD, 1),
+    )

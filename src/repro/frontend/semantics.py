@@ -1,0 +1,208 @@
+"""Semantic analysis for the loop language.
+
+Checks the rules the grammar cannot express and classifies every scalar
+the way the paper's register model needs:
+
+* **loop variants** — scalars assigned somewhere in the body; their values
+  flow iteration to iteration (a read before the first in-iteration write
+  is a loop-carried use of the previous iteration's final value);
+* **loop invariants** — scalars read but never assigned; each occupies one
+  register for the whole execution (Section 2 of the paper) and is counted
+  by :class:`~repro.workloads.loops.Loop`.
+
+The pass also extracts the loop trip count when the bounds are literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+from repro.frontend.nodes import (
+    ArrayRef,
+    Assign,
+    Call,
+    DoLoop,
+    IfStmt,
+    Num,
+    Program,
+    VarRef,
+    walk_cond_exprs,
+    walk_expr,
+    walk_stmts,
+)
+from repro.frontend.source import Location, format_diagnostic
+
+
+@dataclass(frozen=True)
+class SemanticInfo:
+    """Facts the later passes need, computed once."""
+
+    #: Scalars assigned in the body, first-assignment order.
+    variant_scalars: tuple[str, ...]
+    #: Scalars read but never assigned, first-read order.
+    invariant_scalars: tuple[str, ...]
+    #: Declared array names.
+    arrays: tuple[str, ...]
+    #: Loop trip count when both bounds are integer literals, else ``None``.
+    trip_count: int | None
+    #: The loop induction variable.
+    loop_var: str
+    #: The loop stride (``do i = lo, hi, step``); nonzero.
+    step: int = 1
+
+
+def analyze(program: Program, source: str = "") -> SemanticInfo:
+    """Validate *program*; raises :class:`SemanticError` on violations."""
+    checker = _Checker(program, source)
+    return checker.run()
+
+
+class _Checker:
+    def __init__(self, program: Program, source: str) -> None:
+        self._program = program
+        self._source = source
+        self._scalars = set(program.scalar_names())
+        self._arrays = set(program.array_names())
+        self._ranks = {
+            name: len(shape)
+            for name, shape in program.array_shapes().items()
+        }
+
+    def _error(self, message: str, location: Location) -> SemanticError:
+        return SemanticError(
+            format_diagnostic(self._source, location, message)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SemanticInfo:
+        program = self._program
+        loop = program.loop
+        self._check_declarations_disjoint()
+        if loop.var in self._scalars or loop.var in self._arrays:
+            raise self._error(
+                f"loop variable {loop.var!r} shadows a declaration",
+                loop.location,
+            )
+        for bound in (loop.lower, loop.upper):
+            for expr in walk_expr(bound):
+                if isinstance(expr, ArrayRef):
+                    raise self._error(
+                        "loop bounds must not reference arrays",
+                        expr.location,
+                    )
+                if isinstance(expr, VarRef) and expr.name == loop.var:
+                    raise self._error(
+                        "loop bounds must not use the loop variable",
+                        expr.location,
+                    )
+
+        assigned: list[str] = []
+        reads: list[str] = []
+        self._visit_stmts(loop, walk_stmts(loop.body), assigned, reads)
+
+        variant = tuple(dict.fromkeys(assigned))
+        invariant = tuple(
+            name
+            for name in dict.fromkeys(reads)
+            if name not in variant and name != loop.var
+        )
+        return SemanticInfo(
+            variant_scalars=variant,
+            invariant_scalars=invariant,
+            arrays=tuple(self._program.array_names()),
+            trip_count=_trip_count(loop),
+            loop_var=loop.var,
+            step=loop.step,
+        )
+
+    def _check_declarations_disjoint(self) -> None:
+        seen: set[str] = set()
+        for decl in self._program.scalars + self._program.arrays:
+            for name in decl.names:
+                if name in seen:
+                    raise self._error(
+                        f"{name!r} declared more than once", decl.location
+                    )
+                seen.add(name)
+
+    # ------------------------------------------------------------------
+    def _visit_stmts(self, loop: DoLoop, stmts, assigned, reads) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                self._visit_assign(loop, stmt, assigned, reads)
+            elif isinstance(stmt, IfStmt):
+                for expr in walk_cond_exprs(stmt.cond):
+                    self._visit_expr_node(loop, expr, reads)
+
+    def _visit_assign(self, loop: DoLoop, stmt: Assign, assigned, reads):
+        target = stmt.target
+        if isinstance(target, VarRef):
+            if target.name == loop.var:
+                raise self._error(
+                    "the loop variable must not be assigned",
+                    target.location,
+                )
+            if target.name in self._arrays:
+                raise self._error(
+                    f"array {target.name!r} assigned without a subscript",
+                    target.location,
+                )
+            if target.name not in self._scalars:
+                raise self._error(
+                    f"undeclared scalar {target.name!r}", target.location
+                )
+            assigned.append(target.name)
+        else:
+            self._check_array_ref(target)
+            for subscript in target.subscripts:
+                for expr in walk_expr(subscript):
+                    self._visit_expr_node(loop, expr, reads)
+        for expr in walk_expr(stmt.value):
+            self._visit_expr_node(loop, expr, reads)
+
+    def _visit_expr_node(self, loop: DoLoop, expr, reads) -> None:
+        if isinstance(expr, VarRef):
+            name = expr.name
+            if name == loop.var:
+                return
+            if name in self._arrays:
+                raise self._error(
+                    f"array {name!r} used without a subscript",
+                    expr.location,
+                )
+            if name not in self._scalars:
+                raise self._error(
+                    f"undeclared scalar {name!r}", expr.location
+                )
+            reads.append(name)
+        elif isinstance(expr, ArrayRef):
+            self._check_array_ref(expr)
+        elif isinstance(expr, Call):
+            # Arity was checked by the parser; nothing further here.
+            pass
+
+    def _check_array_ref(self, ref) -> None:
+        if ref.name not in self._arrays:
+            raise self._error(
+                f"undeclared array {ref.name!r}", ref.location
+            )
+        declared = self._ranks[ref.name]
+        if ref.rank != declared:
+            raise self._error(
+                f"array {ref.name!r} has rank {declared}, "
+                f"referenced with {ref.rank} subscript"
+                f"{'s' if ref.rank != 1 else ''}",
+                ref.location,
+            )
+
+
+def _trip_count(loop: DoLoop) -> int | None:
+    """``floor((upper - lower) / step) + 1`` for integer-literal bounds."""
+    if not isinstance(loop.lower, Num) or not isinstance(loop.upper, Num):
+        return None
+    lower, upper = loop.lower.value, loop.upper.value
+    if lower.denominator != 1 or upper.denominator != 1:
+        return None
+    trips = (int(upper) - int(lower)) // loop.step + 1
+    return trips if trips >= 1 else None

@@ -1,0 +1,44 @@
+"""Source locations and diagnostic formatting for the loop language.
+
+Every token and AST node carries a :class:`Location` so that lexer, parser
+and semantic errors can point at the offending source line with a caret,
+the way a real compiler front end does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """A (line, column) position in a source string; both are 1-based."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: Location used for nodes synthesised by compiler passes (no source text).
+SYNTHETIC = Location(0, 0)
+
+
+def format_diagnostic(source: str, location: Location, message: str) -> str:
+    """Render *message* with the source line and a caret under the column.
+
+    Locations outside the source (e.g. :data:`SYNTHETIC`) degrade to the
+    bare message.
+    """
+    lines = source.splitlines()
+    if not 1 <= location.line <= len(lines):
+        return message
+    text = lines[location.line - 1]
+    caret_column = max(1, min(location.column, len(text) + 1))
+    caret = " " * (caret_column - 1) + "^"
+    return (
+        f"{message}\n"
+        f"  line {location.line}: {text}\n"
+        f"  {' ' * len(f'line {location.line}:')}{caret}"
+    )

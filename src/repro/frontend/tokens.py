@@ -1,0 +1,73 @@
+"""Token definitions for the loop language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.frontend.source import Location
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the loop language."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    NEWLINE = "newline"
+    EOF = "end of input"
+
+
+#: Reserved words; identifiers may not use them.
+KEYWORDS = frozenset(
+    {
+        "real",
+        "do",
+        "end",
+        "if",
+        "then",
+        "else",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer is greedy.
+OPERATORS = (
+    "<=",
+    ">=",
+    "==",
+    "/=",  # Fortran-style not-equal ('!' opens a comment)
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "=",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source location."""
+
+    kind: TokenKind
+    text: str
+    location: Location
+
+    def is_keyword(self, word: str) -> bool:
+        """``True`` when this token is the keyword *word*."""
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_operator(self, symbol: str) -> bool:
+        """``True`` when this token is the operator *symbol*."""
+        return self.kind is TokenKind.OPERATOR and self.text == symbol
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value} {self.text!r} at {self.location}"

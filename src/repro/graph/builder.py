@@ -1,0 +1,158 @@
+"""Fluent builder for dependence graphs.
+
+The workload modules construct dozens of hand-written loop kernels; the
+builder keeps those definitions short and readable::
+
+    g = (GraphBuilder("daxpy")
+         .load("x")
+         .load("y")
+         .op("mul", "fmul", latency=2, deps=["x"])
+         .op("add", "fadd", latency=1, deps=["mul", "y"])
+         .store("st", deps=["add"])
+         .build())
+
+Dependencies given as plain names become distance-0 register edges; a
+``(name, distance)`` tuple makes the edge loop-carried; and a
+``(name, distance, kind)`` triple selects memory/control kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import FADD, FDIV, FMUL, FSQRT, GENERIC, MEM, Operation
+
+DepSpec = Union[str, tuple]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`DependenceGraph`."""
+
+    def __init__(self, name: str = "loop") -> None:
+        self._graph = DependenceGraph(name)
+        self._default_latencies: dict[str, int] = {}
+        # Edges are deferred to build() so recurrences can reference
+        # operations defined later in program order.
+        self._pending_edges: list[Edge] = []
+
+    def defaults(self, **latencies: int) -> "GraphBuilder":
+        """Set per-opclass default latencies (e.g. ``fadd=1, fdiv=17``)."""
+        self._default_latencies.update(latencies)
+        return self
+
+    # ------------------------------------------------------------------
+    def op(
+        self,
+        name: str,
+        opclass: str = GENERIC,
+        latency: int | None = None,
+        deps: Sequence[DepSpec] = (),
+        produces_value: bool = True,
+    ) -> "GraphBuilder":
+        """Add an operation and the edges feeding it."""
+        if latency is None:
+            latency = self._default_latencies.get(opclass, 1)
+        self._graph.add_operation(
+            Operation(
+                name=name,
+                latency=latency,
+                opclass=opclass,
+                produces_value=produces_value,
+            )
+        )
+        for dep in deps:
+            src, distance, kind = _parse_dep(dep)
+            self._pending_edges.append(Edge(src, name, distance, kind))
+        return self
+
+    def load(
+        self,
+        name: str,
+        deps: Sequence[DepSpec] = (),
+        latency: int | None = None,
+    ) -> "GraphBuilder":
+        """Add a load (memory class, produces a value)."""
+        return self.op(name, MEM, latency=latency, deps=deps)
+
+    def store(
+        self,
+        name: str,
+        deps: Sequence[DepSpec] = (),
+        latency: int | None = None,
+    ) -> "GraphBuilder":
+        """Add a store (memory class, produces no value)."""
+        return self.op(
+            name, MEM, latency=latency, deps=deps, produces_value=False
+        )
+
+    def add(self, name: str, deps: Sequence[DepSpec] = ()) -> "GraphBuilder":
+        """Add an FP add/subtract."""
+        return self.op(name, FADD, deps=deps)
+
+    def mul(self, name: str, deps: Sequence[DepSpec] = ()) -> "GraphBuilder":
+        """Add an FP multiply."""
+        return self.op(name, FMUL, deps=deps)
+
+    def div(self, name: str, deps: Sequence[DepSpec] = ()) -> "GraphBuilder":
+        """Add an FP divide."""
+        return self.op(name, FDIV, deps=deps)
+
+    def sqrt(self, name: str, deps: Sequence[DepSpec] = ()) -> "GraphBuilder":
+        """Add an FP square root."""
+        return self.op(name, FSQRT, deps=deps)
+
+    def edge(
+        self,
+        src: str,
+        dst: str,
+        distance: int = 0,
+        kind: DependenceKind = DependenceKind.REGISTER,
+    ) -> "GraphBuilder":
+        """Add an edge (operations may be defined later)."""
+        self._pending_edges.append(Edge(src, dst, distance, kind))
+        return self
+
+    def chain(self, names: Iterable[str], distance: int = 0) -> "GraphBuilder":
+        """Add edges linking *names* in sequence."""
+        names = list(names)
+        for src, dst in zip(names, names[1:]):
+            self.edge(src, dst, distance)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> DependenceGraph:
+        """Finish and return the graph (validated by default)."""
+        for edge in self._pending_edges:
+            self._graph.add_edge(edge)
+        self._pending_edges.clear()
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+
+def _parse_dep(dep: DepSpec) -> tuple[str, int, DependenceKind]:
+    """Normalise a dependency spec to ``(src, distance, kind)``."""
+    if isinstance(dep, str):
+        return dep, 0, DependenceKind.REGISTER
+    if len(dep) == 2:
+        src, distance = dep
+        return src, distance, DependenceKind.REGISTER
+    if len(dep) == 3:
+        src, distance, kind = dep
+        if isinstance(kind, str):
+            kind = DependenceKind(kind)
+        return src, distance, kind
+    raise ValueError(f"malformed dependency spec: {dep!r}")
+
+
+__all__ = [
+    "GraphBuilder",
+    "FADD",
+    "FMUL",
+    "FDIV",
+    "FSQRT",
+    "MEM",
+    "GENERIC",
+]

@@ -1,0 +1,77 @@
+"""Operations (vertices) of a dependence graph.
+
+Each operation carries the attributes the paper's model needs:
+
+* ``latency`` — the nonzero positive number of cycles the operation takes to
+  produce its result (the paper's ``lambda_u``).
+* ``opclass`` — the functional-unit class that executes it (e.g. ``"fadd"``).
+  The machine model maps classes to unit counts; the special class
+  :data:`GENERIC` is used by machines whose units are general purpose.
+* ``produces_value`` — whether the operation defines a loop variant.  Stores
+  and branches do not; they consume registers but never occupy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Functional-unit class for machines with general-purpose units only.
+GENERIC = "generic"
+
+#: Conventional opclass names used by the bundled machine configurations.
+FADD = "fadd"
+FMUL = "fmul"
+FDIV = "fdiv"
+FSQRT = "fsqrt"
+MEM = "mem"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single operation of the loop body.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within its graph.  Program order is the order in
+        which operations were added to the graph, not the name.
+    latency:
+        Cycles until the result is available (``lambda_u >= 1``).
+    opclass:
+        Functional-unit class executing the operation.
+    produces_value:
+        ``False`` for stores/branches: the operation defines no loop variant
+        and therefore needs no register for a result (it still contributes
+        one *buffer* in the Govindarajan metric, handled by
+        :mod:`repro.schedule.buffers`).
+    """
+
+    name: str
+    latency: int = 1
+    opclass: str = GENERIC
+    produces_value: bool = True
+    attrs: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operation name must be non-empty")
+        if self.latency < 1:
+            raise ValueError(
+                f"operation {self.name!r}: latency must be >= 1, "
+                f"got {self.latency}"
+            )
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` when the operation defines no loop variant."""
+        return not self.produces_value
+
+    def renamed(self, name: str) -> "Operation":
+        """Return a copy of this operation under a different name."""
+        return Operation(
+            name=name,
+            latency=self.latency,
+            opclass=self.opclass,
+            produces_value=self.produces_value,
+            attrs=dict(self.attrs),
+        )

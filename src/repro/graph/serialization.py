@@ -1,0 +1,95 @@
+"""JSON (de)serialisation of dependence graphs.
+
+The format is intentionally boring — a dict with ``name``, ``operations``
+and ``edges`` lists — so that graphs can be checked into a repository,
+diffed, and loaded by other tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import Operation
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: DependenceGraph) -> dict[str, Any]:
+    """Serialise *graph* to a plain dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": graph.name,
+        "operations": [
+            {
+                "name": op.name,
+                "latency": op.latency,
+                "opclass": op.opclass,
+                "produces_value": op.produces_value,
+            }
+            for op in graph.operations()
+        ],
+        "edges": [
+            {
+                "src": edge.src,
+                "dst": edge.dst,
+                "distance": edge.distance,
+                "kind": edge.kind.value,
+            }
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> DependenceGraph:
+    """Rebuild a graph serialised by :func:`graph_to_dict`."""
+    version = data.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {version}")
+    graph = DependenceGraph(data.get("name", "loop"))
+    for op in data.get("operations", []):
+        graph.add_operation(
+            Operation(
+                name=op["name"],
+                latency=int(op.get("latency", 1)),
+                opclass=op.get("opclass", "generic"),
+                produces_value=bool(op.get("produces_value", True)),
+            )
+        )
+    for edge in data.get("edges", []):
+        graph.add_edge(
+            Edge(
+                src=edge["src"],
+                dst=edge["dst"],
+                distance=int(edge.get("distance", 0)),
+                kind=DependenceKind(edge.get("kind", "register")),
+            )
+        )
+    return graph
+
+
+def dump_graph(graph: DependenceGraph, path: str | Path) -> None:
+    """Write *graph* to *path* as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(graph_to_dict(graph), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_graph(path: str | Path) -> DependenceGraph:
+    """Load a graph written by :func:`dump_graph`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return graph_from_dict(data)
+
+
+def dumps_graph(graph: DependenceGraph) -> str:
+    """Serialise *graph* to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=2)
+
+
+def loads_graph(text: str) -> DependenceGraph:
+    """Parse a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,192 @@
+"""Topological orders, ASAP/ALAP/PALA sorts and reachability.
+
+These helpers operate on any object exposing the small graph protocol used
+throughout the library (``node_names``, ``predecessors``, ``successors``,
+``operation``) so they work both on :class:`~repro.graph.ddg.DependenceGraph`
+and on the mutable hypernode working graph used by the pre-ordering phase.
+
+Ties are always broken by *program order* (the order of ``node_names()``),
+which keeps every algorithm deterministic — a requirement for reproducible
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+from repro.errors import CyclicGraphError
+
+
+class GraphLike(Protocol):
+    """Minimal protocol the traversal helpers require."""
+
+    def node_names(self) -> list[str]: ...
+
+    def predecessors(self, name: str) -> list[str]: ...
+
+    def successors(self, name: str) -> list[str]: ...
+
+
+class LatencyGraphLike(GraphLike, Protocol):
+    """Graph protocol extended with operation latencies."""
+
+    def operation(self, name: str): ...
+
+
+def topological_order(graph: GraphLike) -> list[str]:
+    """Kahn's algorithm with program-order tie-breaking.
+
+    Raises :class:`CyclicGraphError` when the graph has a directed cycle.
+    """
+    names = graph.node_names()
+    position = {name: i for i, name in enumerate(names)}
+    indegree = {name: 0 for name in names}
+    for name in names:
+        for succ in graph.successors(name):
+            if succ in indegree and succ != name:
+                indegree[succ] += 1
+    # A sorted list scanned front-to-back keeps program order among ready
+    # nodes without needing a heap for the modest graph sizes involved.
+    ready = sorted(
+        (name for name, deg in indegree.items() if deg == 0),
+        key=position.__getitem__,
+    )
+    order: list[str] = []
+    import heapq
+
+    heap = [position[name] for name in ready]
+    heapq.heapify(heap)
+    names_by_position = {position[name]: name for name in names}
+    while heap:
+        name = names_by_position[heapq.heappop(heap)]
+        order.append(name)
+        for succ in graph.successors(name):
+            if succ == name or succ not in indegree:
+                continue
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(heap, position[succ])
+    if len(order) != len(names):
+        raise CyclicGraphError(
+            "graph has a directed cycle; topological order undefined"
+        )
+    return order
+
+
+def is_acyclic(graph: GraphLike) -> bool:
+    """``True`` when the graph has no directed cycle."""
+    try:
+        topological_order(graph)
+    except CyclicGraphError:
+        return False
+    return True
+
+
+def _latency(graph, name: str) -> int:
+    op = getattr(graph, "operation", None)
+    if op is None:
+        return 1
+    return graph.operation(name).latency
+
+
+def asap_levels(graph: LatencyGraphLike) -> dict[str, int]:
+    """Earliest start level of each node (longest path from the sources).
+
+    Edge weight is the producer's latency; sources sit at level 0.
+    """
+    levels: dict[str, int] = {}
+    for name in topological_order(graph):
+        level = 0
+        for pred in graph.predecessors(name):
+            if pred == name:
+                continue
+            level = max(level, levels[pred] + _latency(graph, pred))
+        levels[name] = level
+    return levels
+
+
+def alap_levels(graph: LatencyGraphLike) -> dict[str, int]:
+    """Latest start level of each node, anchored to the critical path.
+
+    Sinks sit at ``critical_path - latency``; every other node as late as
+    its successors permit.  Levels share the ASAP origin so
+    ``slack = alap - asap >= 0``.
+    """
+    order = topological_order(graph)
+    asap = asap_levels(graph)
+    horizon = max(
+        (asap[name] + _latency(graph, name) for name in order), default=0
+    )
+    levels: dict[str, int] = {}
+    for name in reversed(order):
+        level = horizon - _latency(graph, name)
+        for succ in graph.successors(name):
+            if succ == name:
+                continue
+            level = min(level, levels[succ] - _latency(graph, name))
+        levels[name] = level
+    return levels
+
+
+def asap_order(graph: LatencyGraphLike) -> list[str]:
+    """Topological order sorted by ASAP level (program order within a level).
+
+    This is the "Sort_ASAP" of Figure 5: successors of the hypernode are
+    ordered earliest-first so that, during scheduling, each node finds a
+    previously scheduled predecessor.
+    """
+    names = graph.node_names()
+    position = {name: i for i, name in enumerate(names)}
+    asap = asap_levels(graph)
+    return sorted(names, key=lambda n: (asap[n], position[n]))
+
+
+def pala_order(graph: LatencyGraphLike) -> list[str]:
+    """The paper's "Sort_PALA": an ALAP topological sort, list inverted.
+
+    Predecessor batches are emitted deepest-node-first, so the node adjacent
+    to the hypernode is scheduled first (as late as possible) and every
+    following node already has a successor in the partial schedule.
+    """
+    names = graph.node_names()
+    position = {name: i for i, name in enumerate(names)}
+    alap = alap_levels(graph)
+    in_alap_order = sorted(names, key=lambda n: (alap[n], position[n]))
+    return list(reversed(in_alap_order))
+
+
+def forward_reachable(graph: GraphLike, seeds: Iterable[str]) -> set[str]:
+    """Nodes reachable from *seeds* (seeds included)."""
+    return _reach(graph, seeds, graph.successors)
+
+
+def backward_reachable(graph: GraphLike, seeds: Iterable[str]) -> set[str]:
+    """Nodes from which some seed is reachable (seeds included)."""
+    return _reach(graph, seeds, graph.predecessors)
+
+
+def _reach(graph: GraphLike, seeds: Iterable[str], step) -> set[str]:
+    seen = set(seeds)
+    stack = list(seen)
+    while stack:
+        node = stack.pop()
+        for nxt in step(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def longest_path_length(graph: LatencyGraphLike) -> int:
+    """Length (in cycles) of the critical path through an acyclic graph."""
+    asap = asap_levels(graph)
+    return max(
+        (asap[name] + _latency(graph, name) for name in graph.node_names()),
+        default=0,
+    )
+
+
+def restrict_order(order: Sequence[str], keep: Iterable[str]) -> list[str]:
+    """Filter *order* down to the members of *keep*, preserving sequence."""
+    keep_set = set(keep)
+    return [name for name in order if name in keep_set]

@@ -1,0 +1,31 @@
+"""Machine model: functional-unit classes and the modulo reservation table.
+
+The paper evaluates three configurations, all provided in
+:mod:`repro.machine.configs`:
+
+* ``motivating_machine`` — 4 general-purpose pipelined units, latency 2
+  (Section 2's example).
+* ``govindarajan_machine`` — 1 FP adder, 1 FP multiplier, 1 FP divider and
+  1 load/store unit; latencies add/sub/store 1, mul/load 2, div 17
+  (Section 4.1, Table 1).
+* ``perfect_club_machine`` — 2 load/store, 2 adders, 2 multipliers and
+  2 div/sqrt units; the div/sqrt units are **not pipelined**; latencies
+  store 1, load 2, add/mul 4, div 17, sqrt 30 (Section 4.2).
+"""
+
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.machine.machine import MachineModel, UnitClass
+from repro.machine.mrt import ModuloReservationTable
+
+__all__ = [
+    "MachineModel",
+    "ModuloReservationTable",
+    "UnitClass",
+    "govindarajan_machine",
+    "motivating_machine",
+    "perfect_club_machine",
+]

@@ -1,0 +1,77 @@
+"""The paper's machine configurations and the latency tables they use.
+
+Two latency tables appear in the evaluation:
+
+* Section 4.1 (Table 1 comparison): add/sub/store 1 cycle, multiply/load 2
+  cycles, divide 17 cycles.
+* Section 4.2 (Perfect Club study): store 1, load 2, add 4, multiply 4,
+  divide 17, square root 30; the Div/Sqrt units are not pipelined.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ops import FADD, FDIV, FMUL, FSQRT, GENERIC, MEM
+from repro.machine.machine import MachineModel, UnitClass
+
+#: Latencies for the Table-1 (Govindarajan) comparison, Section 4.1.
+GOVINDARAJAN_LATENCIES = {
+    FADD: 1,
+    FMUL: 2,
+    FDIV: 17,
+    MEM: 2,  # loads; stores use latency 1 via the builder
+}
+
+#: Store latency in both studies.
+STORE_LATENCY = 1
+
+#: Latencies for the Perfect Club study, Section 4.2.
+PERFECT_CLUB_LATENCIES = {
+    FADD: 4,
+    FMUL: 4,
+    FDIV: 17,
+    FSQRT: 30,
+    MEM: 2,
+}
+
+
+def motivating_machine(units: int = 4) -> MachineModel:
+    """Section 2's machine: *units* general-purpose pipelined units."""
+    return MachineModel(
+        name=f"generic{units}",
+        units=[UnitClass(GENERIC, units, pipelined=True)],
+    )
+
+
+def govindarajan_machine() -> MachineModel:
+    """Section 4.1's machine: 1 FP add, 1 FP mul, 1 FP div, 1 load/store."""
+    return MachineModel(
+        name="govindarajan",
+        units=[
+            UnitClass(FADD, 1),
+            UnitClass(FMUL, 1),
+            UnitClass(FDIV, 1),
+            UnitClass(MEM, 1),
+        ],
+    )
+
+
+def perfect_club_machine() -> MachineModel:
+    """Section 4.2's machine: 2 of each class, Div/Sqrt unpipelined.
+
+    The paper gives divides and square roots a shared pair of unpipelined
+    units; we model them as one ``fdiv`` class and one ``fsqrt`` class is
+    folded into it by the workload generator mapping sqrt ops onto
+    ``fdiv``-class units with latency 30.  To keep graphs expressive we
+    declare both classes backed by the same count — two unpipelined units
+    each — which matches the paper's pressure because sqrt is rare.
+    """
+    return MachineModel(
+        name="perfect-club",
+        units=[
+            UnitClass(MEM, 2),
+            UnitClass(FADD, 2),
+            UnitClass(FMUL, 2),
+            UnitClass(FDIV, 2, pipelined=False),
+            UnitClass(FSQRT, 2, pipelined=False),
+        ],
+    )

@@ -1,0 +1,84 @@
+"""The machine model.
+
+A machine is a set of functional-unit classes.  Each class has a number of
+identical unit instances and is either fully pipelined (a new operation can
+start every cycle on each unit) or unpipelined (a unit is busy for the full
+latency of the operation it executes — the paper's Div/Sqrt units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError, UnknownResourceError
+from repro.graph.ops import GENERIC, Operation
+
+
+@dataclass(frozen=True)
+class UnitClass:
+    """A class of identical functional units."""
+
+    name: str
+    count: int
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise MachineError(
+                f"unit class {self.name!r}: count must be >= 1, "
+                f"got {self.count}"
+            )
+
+
+class MachineModel:
+    """An execution target described by its functional-unit classes.
+
+    A machine either declares the single :data:`~repro.graph.ops.GENERIC`
+    class (every operation runs on any unit) or one class per opclass used
+    by the graphs it schedules.
+    """
+
+    def __init__(self, name: str, units: list[UnitClass]) -> None:
+        if not units:
+            raise MachineError("a machine needs at least one unit class")
+        self.name = name
+        self._classes: dict[str, UnitClass] = {}
+        for unit in units:
+            if unit.name in self._classes:
+                raise MachineError(f"duplicate unit class {unit.name!r}")
+            self._classes[unit.name] = unit
+
+    # ------------------------------------------------------------------
+    @property
+    def is_generic(self) -> bool:
+        """``True`` when all operations share one general-purpose class."""
+        return set(self._classes) == {GENERIC}
+
+    def unit_classes(self) -> list[UnitClass]:
+        """All unit classes, declaration order."""
+        return list(self._classes.values())
+
+    def class_for(self, op: Operation) -> UnitClass:
+        """The unit class that executes *op*."""
+        if self.is_generic:
+            return self._classes[GENERIC]
+        try:
+            return self._classes[op.opclass]
+        except KeyError:
+            raise UnknownResourceError(op.opclass) from None
+
+    def reservation_cycles(self, op: Operation) -> int:
+        """How many consecutive cycles *op* holds a unit instance."""
+        unit = self.class_for(op)
+        return 1 if unit.pipelined else op.latency
+
+    def total_units(self) -> int:
+        """Total number of unit instances across all classes."""
+        return sum(unit.count for unit in self._classes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{u.name}x{u.count}{'' if u.pipelined else ' (unpipelined)'}"
+            for u in self._classes.values()
+        )
+        return f"MachineModel({self.name!r}: {parts})"

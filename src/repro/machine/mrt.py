@@ -1,0 +1,122 @@
+"""Modulo reservation table (MRT).
+
+The MRT enforces the *modulo constraint*: an operation placed at cycle ``t``
+occupies its functional unit at row ``t mod II`` (and, for unpipelined
+units, the following ``latency - 1`` rows as well) in **every** iteration.
+All schedulers in the library share this implementation, including the
+ejection-based ones, so slots track their occupant and can be vacated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.graph.ops import Operation
+from repro.machine.machine import MachineModel
+
+
+class ModuloReservationTable:
+    """Resource tracker for one candidate initiation interval."""
+
+    def __init__(self, machine: MachineModel, ii: int) -> None:
+        if ii < 1:
+            raise MachineError(f"II must be >= 1, got {ii}")
+        self.machine = machine
+        self.ii = ii
+        # table[class name][unit index][row] -> occupant op name or None
+        self._table: dict[str, list[list[str | None]]] = {
+            unit.name: [[None] * ii for _ in range(unit.count)]
+            for unit in machine.unit_classes()
+        }
+        # op name -> (class name, unit index, start row, span)
+        self._placements: dict[str, tuple[str, int, int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _span(self, op: Operation) -> int:
+        span = self.machine.reservation_cycles(op)
+        return span
+
+    def fits(self, op: Operation, cycle: int) -> bool:
+        """Can *op* issue at absolute *cycle* without a resource conflict?"""
+        return self._find_unit(op, cycle) is not None
+
+    def _find_unit(self, op: Operation, cycle: int) -> int | None:
+        unit_class = self.machine.class_for(op)
+        span = self._span(op)
+        if span > self.ii:
+            # An unpipelined unit cannot start a new op every II cycles if
+            # one execution lasts longer than II.
+            return None
+        row = cycle % self.ii
+        units = self._table[unit_class.name]
+        for index, unit_rows in enumerate(units):
+            if all(
+                unit_rows[(row + offset) % self.ii] is None
+                for offset in range(span)
+            ):
+                return index
+        return None
+
+    def place(self, op: Operation, cycle: int) -> bool:
+        """Reserve a unit for *op* at *cycle*; ``False`` if none is free."""
+        if op.name in self._placements:
+            raise MachineError(f"operation {op.name!r} is already placed")
+        index = self._find_unit(op, cycle)
+        if index is None:
+            return False
+        unit_class = self.machine.class_for(op)
+        span = self._span(op)
+        row = cycle % self.ii
+        unit_rows = self._table[unit_class.name][index]
+        for offset in range(span):
+            unit_rows[(row + offset) % self.ii] = op.name
+        self._placements[op.name] = (unit_class.name, index, row, span)
+        return True
+
+    def unplace(self, op: Operation) -> None:
+        """Release the reservation held by *op* (no-op when absent)."""
+        placement = self._placements.pop(op.name, None)
+        if placement is None:
+            return
+        class_name, index, row, span = placement
+        unit_rows = self._table[class_name][index]
+        for offset in range(span):
+            unit_rows[(row + offset) % self.ii] = None
+
+    def is_placed(self, op: Operation) -> bool:
+        return op.name in self._placements
+
+    def occupants(self, class_name: str, row: int) -> list[str]:
+        """Names occupying *class_name* units at *row* (for diagnostics)."""
+        return [
+            unit_rows[row % self.ii]
+            for unit_rows in self._table[class_name]
+            if unit_rows[row % self.ii] is not None
+        ]
+
+    def conflicting_ops(self, op: Operation, cycle: int) -> set[str]:
+        """Occupants that prevent *op* from issuing at *cycle*.
+
+        Used by ejection-based schedulers (Slack) to decide whom to evict.
+        Returns the union of occupants over the rows *op* would need; when
+        the table simply has no capacity the set may cover every unit.
+        """
+        unit_class = self.machine.class_for(op)
+        span = self._span(op)
+        row = cycle % self.ii
+        blockers: set[str] = set()
+        for unit_rows in self._table[unit_class.name]:
+            for offset in range(span):
+                occupant = unit_rows[(row + offset) % self.ii]
+                if occupant is not None:
+                    blockers.add(occupant)
+        return blockers
+
+    def utilisation(self) -> float:
+        """Fraction of slot-rows currently reserved (diagnostics)."""
+        total = 0
+        used = 0
+        for units in self._table.values():
+            for unit_rows in units:
+                total += len(unit_rows)
+                used += sum(1 for slot in unit_rows if slot is not None)
+        return used / total if total else 0.0

@@ -1,0 +1,33 @@
+"""Resource-constrained minimum initiation interval (ResMII).
+
+Each unit class contributes ``ceil(busy_cycles / unit_count)`` where an
+operation keeps a pipelined unit busy for one cycle and an unpipelined unit
+busy for its full latency.  Additionally, an unpipelined unit cannot accept
+a new operation every II cycles when a single execution outlasts the II, so
+ResMII is at least the longest unpipelined reservation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+
+
+def compute_resmii(graph: DependenceGraph, machine: MachineModel) -> int:
+    """Lower bound on II imposed by the machine's functional units."""
+    busy: dict[str, int] = {}
+    longest_unpipelined = 0
+    for op in graph.operations():
+        unit = machine.class_for(op)
+        span = machine.reservation_cycles(op)
+        busy[unit.name] = busy.get(unit.name, 0) + span
+        if not unit.pipelined:
+            longest_unpipelined = max(longest_unpipelined, span)
+    resmii = 1
+    for unit in machine.unit_classes():
+        cycles = busy.get(unit.name, 0)
+        if cycles:
+            resmii = max(resmii, math.ceil(cycles / unit.count))
+    return max(resmii, longest_unpipelined, 1)

@@ -1,0 +1,50 @@
+"""Schedule representation and the register-pressure metrics of Section 4.
+
+* :class:`~repro.schedule.schedule.Schedule` — an operation→cycle mapping
+  for one iteration, plus the II; normalised so the earliest issue is 0.
+* :mod:`~repro.schedule.lifetimes` — loop-variant lifetimes (producer issue
+  to last-consumer issue).
+* :mod:`~repro.schedule.maxlive` — MaxLive, the lower bound on variant
+  register requirements used throughout Section 4.2.
+* :mod:`~repro.schedule.buffers` — Govindarajan's buffer metric (Table 1).
+* :mod:`~repro.schedule.verify` — dependence/resource checker applied to
+  every schedule the test-suite produces.
+* :mod:`~repro.schedule.kernel` — kernel/prologue/epilogue construction.
+* :mod:`~repro.schedule.allocator` — modulo variable expansion plus an
+  end-fit register allocator (Rau et al. [21] style).
+* :mod:`~repro.schedule.strategies` — the full PLDI'92 ordering × fit
+  allocation matrix (ablation for the footnote-4 claim).
+* :mod:`~repro.schedule.wands` — wands-only allocation: each value's
+  instances in a block of adjacent registers (the strategy footnote 4
+  names).
+* :mod:`~repro.schedule.rotating` — rotating-register-file allocation,
+  the hardware renaming alternative of Section 2 [5].
+* :mod:`~repro.schedule.codegen` — the MVE-unrolled kernel with renamed
+  registers (what a back-end without rotating registers would emit).
+"""
+
+from repro.schedule.allocator import RegisterAllocation, allocate_registers
+from repro.schedule.buffers import buffer_requirements
+from repro.schedule.lifetimes import ValueLifetime, compute_lifetimes
+from repro.schedule.maxlive import max_live
+from repro.schedule.rotating import RotatingAllocation, allocate_rotating
+from repro.schedule.schedule import Schedule
+from repro.schedule.strategies import allocate_with_strategy, strategy_matrix
+from repro.schedule.wands import allocate_wands
+from repro.schedule.verify import verify_schedule
+
+__all__ = [
+    "RegisterAllocation",
+    "RotatingAllocation",
+    "Schedule",
+    "ValueLifetime",
+    "allocate_registers",
+    "allocate_rotating",
+    "allocate_wands",
+    "allocate_with_strategy",
+    "buffer_requirements",
+    "compute_lifetimes",
+    "max_live",
+    "strategy_matrix",
+    "verify_schedule",
+]

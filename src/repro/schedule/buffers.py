@@ -1,0 +1,35 @@
+"""Buffer requirements (Govindarajan, Altman & Gao [8]).
+
+Table 1 reports schedules in *buffers*: "a value requires as many buffers
+as the number of times the producer instruction is issued before the issue
+of the last consumer.  In addition, stores require one buffer."  For a
+lifetime ``[s, e)`` the producer issues at ``s, s+II, s+2·II, …``; the
+issues strictly before ``e`` number ``ceil((e − s) / II)``.  Ning & Gao
+[18] showed this is a tight upper bound on the register requirement, which
+is why the paper uses it for the method comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.schedule.lifetimes import compute_lifetimes
+from repro.schedule.schedule import Schedule
+
+
+def value_buffers(start: int, end: int, ii: int) -> int:
+    """Buffers required by one value with lifetime ``[start, end)``."""
+    if end <= start:
+        return 0
+    return math.ceil((end - start) / ii)
+
+
+def buffer_requirements(schedule: Schedule) -> int:
+    """Total buffers of the schedule: values plus one per store."""
+    total = 0
+    for lifetime in compute_lifetimes(schedule):
+        total += value_buffers(lifetime.start, lifetime.end, schedule.ii)
+    total += sum(
+        1 for op in schedule.graph.operations() if op.is_store
+    )
+    return total

@@ -1,0 +1,179 @@
+"""Code generation: the MVE-unrolled kernel with concrete registers.
+
+The final artefact a compiler back-end would emit for a software-pipelined
+loop without rotating register files: the kernel unrolled by the modulo-
+variable-expansion degree, with each value instance renamed to the
+register chosen by :mod:`repro.schedule.allocator`.
+
+Operation ``u`` of unrolled copy ``k`` issues at row
+``(start(u) + k * II) mod (K * II)`` of the unrolled kernel; it writes
+``assignment[(u, k)]`` and reads, for each register operand ``(p, δ)``,
+the register holding ``p``'s instance from ``δ`` copies earlier —
+``assignment[(p, (k - δ) mod K)]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.edges import DependenceKind
+from repro.schedule.allocator import RegisterAllocation, allocate_registers
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class EmittedOp:
+    """One instruction of the unrolled kernel."""
+
+    operation: str
+    copy: int
+    dest: str | None
+    sources: tuple[str, ...]
+
+    def render(self) -> str:
+        reads = ", ".join(self.sources) if self.sources else "-"
+        dest = self.dest or "-"
+        return f"{self.operation}#{self.copy}  ->{dest:>5s}  (reads {reads})"
+
+
+@dataclass
+class UnrolledKernel:
+    """The unrolled kernel: ``rows[r]`` issues at unrolled cycle ``r``."""
+
+    ii: int
+    unroll: int
+    register_count: int
+    rows: list[list[EmittedOp]]
+
+    def render(self) -> str:
+        lines = [
+            f"unrolled kernel: {self.unroll} copies x II={self.ii} "
+            f"({self.register_count} registers)"
+        ]
+        for index, row in enumerate(self.rows):
+            body = "; ".join(op.render() for op in row) or "(empty)"
+            lines.append(f"  [{index:3d}] {body}")
+        return "\n".join(lines)
+
+
+def generate_unrolled_kernel(
+    schedule: Schedule,
+    allocation: RegisterAllocation | None = None,
+) -> UnrolledKernel:
+    """Emit the register-renamed unrolled kernel for *schedule*."""
+    if allocation is None:
+        allocation = allocate_registers(schedule)
+    graph = schedule.graph
+    ii = schedule.ii
+    unroll = allocation.unroll
+    span = unroll * ii
+    rows: list[list[EmittedOp]] = [[] for _ in range(span)]
+
+    def register_of(value: str, copy: int) -> str | None:
+        index = allocation.assignment.get((value, copy % unroll))
+        return None if index is None else f"r{index}"
+
+    for op in graph.operations():
+        for copy in range(unroll):
+            row = (schedule.issue_cycle(op.name) + copy * ii) % span
+            dest = (
+                register_of(op.name, copy) if op.produces_value else None
+            )
+            sources = []
+            for edge in graph.in_edges(op.name):
+                if edge.kind is not DependenceKind.REGISTER:
+                    continue
+                source = register_of(edge.src, copy - edge.distance)
+                if source is not None:
+                    sources.append(source)
+            rows[row].append(
+                EmittedOp(
+                    operation=op.name,
+                    copy=copy,
+                    dest=dest,
+                    sources=tuple(sources),
+                )
+            )
+
+    return UnrolledKernel(
+        ii=ii,
+        unroll=unroll,
+        register_count=allocation.register_count,
+        rows=rows,
+    )
+
+
+@dataclass
+class RotatingKernel:
+    """The single-copy kernel with rotating-register operand names.
+
+    With a rotating file the kernel is **not** unrolled: each iteration's
+    instance of value ``v`` lands in physical register
+    ``(slot_v + iteration) mod R``, so the architectural operand names are
+    iteration-relative.  An operation writes ``rr[slot_v]``; a consumer of
+    the instance from ``δ`` iterations earlier reads
+    ``rr[(slot_p − δ) mod R]`` — the hardware adds the current iteration
+    offset (the Cydra 5's rotating register base).
+    """
+
+    ii: int
+    register_count: int
+    rows: list[list[EmittedOp]]
+
+    def render(self) -> str:
+        lines = [
+            f"rotating kernel: II={self.ii} "
+            f"({self.register_count} rotating registers, no unrolling)"
+        ]
+        for index, row in enumerate(self.rows):
+            body = "; ".join(op.render() for op in row) or "(empty)"
+            lines.append(f"  [{index:3d}] {body}")
+        return "\n".join(lines)
+
+
+def generate_rotating_kernel(
+    schedule: Schedule,
+    allocation: "RotatingAllocation | None" = None,
+) -> RotatingKernel:
+    """Emit the rotating-register kernel for *schedule*.
+
+    The paper's Section 2 names the rotating file as the renaming
+    mechanism that avoids kernel replication [5]; this is the code a
+    back-end for such a machine would emit.
+    """
+    from repro.schedule.rotating import RotatingAllocation, allocate_rotating
+
+    if allocation is None:
+        allocation = allocate_rotating(schedule)
+    graph = schedule.graph
+    ii = schedule.ii
+    registers = max(allocation.register_count, 1)
+    rows: list[list[EmittedOp]] = [[] for _ in range(ii)]
+
+    for op in graph.operations():
+        row = schedule.issue_cycle(op.name) % ii
+        dest = None
+        if op.produces_value and op.name in allocation.slots:
+            dest = f"rr{allocation.slots[op.name]}"
+        sources = []
+        for edge in graph.in_edges(op.name):
+            if edge.kind is not DependenceKind.REGISTER:
+                continue
+            slot = allocation.slots.get(edge.src)
+            if slot is None:
+                continue
+            sources.append(f"rr{(slot - edge.distance) % registers}")
+        rows[row].append(
+            EmittedOp(
+                operation=op.name,
+                copy=0,
+                dest=dest,
+                sources=tuple(sources),
+            )
+        )
+
+    return RotatingKernel(
+        ii=ii,
+        register_count=allocation.register_count,
+        rows=rows,
+    )

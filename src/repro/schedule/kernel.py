@@ -1,0 +1,108 @@
+"""Kernel / prologue / epilogue construction.
+
+A software-pipelined loop executes ``SC - 1`` prologue stages that fill the
+pipeline, a steady-state kernel of II cycles iterated ``N - SC + 1`` times,
+and ``SC - 1`` epilogue stages that drain it (Section 2).  This module
+materialises those tables from a :class:`~repro.schedule.schedule.Schedule`
+— the representation a code generator would lower to VLIW bundles — and is
+also what the kernel simulator executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class KernelSlot:
+    """One operation instance within a pipelined code table."""
+
+    operation: str
+    #: Which iteration (relative to the row's newest iteration) issues it.
+    stage: int
+
+
+@dataclass
+class PipelinedLoop:
+    """The three code regions of a software-pipelined loop."""
+
+    ii: int
+    stage_count: int
+    #: ``prologue[c]`` = slots issued at fill cycle ``c``.
+    prologue: list[list[KernelSlot]]
+    #: ``kernel[r]`` = slots issued every II cycles at row ``r``.
+    kernel: list[list[KernelSlot]]
+    #: ``epilogue[c]`` = slots issued at drain cycle ``c``.
+    epilogue: list[list[KernelSlot]]
+
+    def total_cycles(self, iterations: int) -> int:
+        """Execution time including fill and drain (iterations >= SC)."""
+        if iterations < self.stage_count:
+            # Short loops never reach steady state; fall back to the
+            # unpipelined bound: one iteration length plus II per extra.
+            return len(self.prologue) + self.ii * max(iterations, 0)
+        steady = iterations - (self.stage_count - 1)
+        return len(self.prologue) + steady * self.ii + len(self.epilogue)
+
+
+def build_pipelined_loop(schedule: Schedule) -> PipelinedLoop:
+    """Expand *schedule* into explicit prologue/kernel/epilogue tables."""
+    ii = schedule.ii
+    sc = schedule.stage_count
+    kernel: list[list[KernelSlot]] = [[] for _ in range(ii)]
+    for name, stage in (
+        (op.name, schedule.stage_of(op.name))
+        for op in schedule.graph.operations()
+    ):
+        kernel[schedule.row_of(name)].append(KernelSlot(name, stage))
+
+    # Prologue: absolute cycles [0, (SC-1)*II).  Operation u of iteration i
+    # issues at start(u) + i*II, so prologue cycle c carries every op whose
+    # row matches c and whose stage has already begun (stage <= c // II).
+    prologue: list[list[KernelSlot]] = []
+    for cycle in range((sc - 1) * ii):
+        slots = [
+            KernelSlot(op.name, schedule.stage_of(op.name))
+            for op in schedule.graph.operations()
+            if schedule.row_of(op.name) == cycle % ii
+            and schedule.stage_of(op.name) <= cycle // ii
+        ]
+        prologue.append(slots)
+
+    # Epilogue: after N kernel-started iterations the drain covers absolute
+    # cycles [N*II, (N+SC-1)*II).  Relative cycle c carries ops whose row
+    # matches and whose stage lies strictly beyond c // II — the mirror
+    # image of the prologue condition.
+    epilogue: list[list[KernelSlot]] = []
+    for cycle in range((sc - 1) * ii):
+        slots = [
+            KernelSlot(op.name, schedule.stage_of(op.name))
+            for op in schedule.graph.operations()
+            if schedule.row_of(op.name) == cycle % ii
+            and schedule.stage_of(op.name) > cycle // ii
+        ]
+        epilogue.append(slots)
+
+    return PipelinedLoop(
+        ii=ii,
+        stage_count=sc,
+        prologue=prologue,
+        kernel=kernel,
+        epilogue=epilogue,
+    )
+
+
+def render_kernel(schedule: Schedule) -> str:
+    """Human-readable kernel table (used by examples and docs)."""
+    lines = [
+        f"kernel for {schedule.graph.name!r}: II={schedule.ii}, "
+        f"SC={schedule.stage_count}"
+    ]
+    for row, slots in enumerate(schedule.kernel_rows()):
+        rendered = ", ".join(
+            f"{name}[s{stage}]" for name, stage in slots
+        ) or "(empty)"
+        lines.append(f"  row {row}: {rendered}")
+    return "\n".join(lines)

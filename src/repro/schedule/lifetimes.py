@@ -1,0 +1,68 @@
+"""Loop-variant lifetimes.
+
+Following Section 4.2: a loop variant is alive from the issue of its
+producer to the issue of its last consumer.  We represent the lifetime as
+the half-open interval ``[def_cycle, last_use_cycle)`` — a value whose last
+consumer issues at the cycle the next instance is defined occupies the
+register up to, but not beyond, that boundary.  Operations without register
+consumers (results that only feed stores in other iterations via memory, or
+dead values emitted by generators) get zero-length lifetimes.
+
+Lifetimes are per-iteration; instance ``i`` of a value spans
+``[def + i*II, last_use + i*II)`` and instances of consecutive iterations
+overlap whenever the lifetime exceeds the II — that overlap is what
+:mod:`repro.schedule.maxlive` counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    """The lifetime of one loop variant (iteration 0's instance)."""
+
+    producer: str
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"lifetime of {self.producer!r}: end {self.end} before "
+                f"start {self.start}"
+            )
+
+
+def compute_lifetimes(schedule: Schedule) -> list[ValueLifetime]:
+    """Lifetime of every value-producing operation, program order."""
+    graph = schedule.graph
+    ii = schedule.ii
+    lifetimes: list[ValueLifetime] = []
+    for op in graph.operations():
+        if not op.produces_value:
+            continue
+        start = schedule.issue_cycle(op.name)
+        end = start
+        for consumer, distance in graph.value_consumers(op.name):
+            if consumer == op.name:
+                # A self-dependence consumes the previous iteration's
+                # instance: the use happens distance*II later.
+                use = start + distance * ii
+            else:
+                use = schedule.issue_cycle(consumer) + distance * ii
+            end = max(end, use)
+        lifetimes.append(ValueLifetime(op.name, start, end))
+    return lifetimes
+
+
+def total_lifetime(schedule: Schedule) -> int:
+    """Sum of variant lifetime lengths (a scheduler-quality diagnostic)."""
+    return sum(lt.length for lt in compute_lifetimes(schedule))

@@ -1,0 +1,48 @@
+"""MaxLive — the lower bound on variant register requirements.
+
+Section 4.2: "a lower bound on the register pressure of the loops
+(MaxLive) can be found by computing the maximum number of values that are
+alive at any cycle of the schedule" in steady state.  For each kernel row
+``r`` we count, over all values, how many overlapped iteration instances of
+that value are alive at ``r``; MaxLive is the maximum over rows.
+
+For a lifetime ``[s, e)`` and a row ``r``, the alive instances at steady
+state are the integers ``t`` with ``t ≡ r (mod II)`` and ``s <= t < e`` —
+a closed-form count, no simulation needed (the kernel simulator in
+:mod:`repro.sim` cross-checks this).
+"""
+
+from __future__ import annotations
+
+from repro.schedule.lifetimes import ValueLifetime, compute_lifetimes
+from repro.schedule.schedule import Schedule
+
+
+def instances_alive_at_row(lifetime: ValueLifetime, row: int, ii: int) -> int:
+    """How many overlapped instances of *lifetime* are alive at kernel *row*."""
+    span = lifetime.length
+    if span <= 0:
+        return 0
+    # Number of t in [start, end) with t ≡ row (mod ii).
+    first = lifetime.start + (row - lifetime.start) % ii
+    if first >= lifetime.end:
+        return 0
+    return (lifetime.end - 1 - first) // ii + 1
+
+
+def live_values_per_row(schedule: Schedule) -> list[int]:
+    """Simultaneously-live variant count for every kernel row."""
+    lifetimes = compute_lifetimes(schedule)
+    return [
+        sum(
+            instances_alive_at_row(lifetime, row, schedule.ii)
+            for lifetime in lifetimes
+        )
+        for row in range(schedule.ii)
+    ]
+
+
+def max_live(schedule: Schedule) -> int:
+    """MaxLive of the schedule (variants only; invariants are additive)."""
+    per_row = live_values_per_row(schedule)
+    return max(per_row, default=0)

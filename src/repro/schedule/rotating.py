@@ -1,0 +1,169 @@
+"""Rotating-register-file allocation (Cydra 5 style).
+
+Section 2 of the paper offers two fixes for values whose lifetime exceeds
+the II: modulo variable expansion (kernel unrolling — see
+:mod:`repro.schedule.allocator`) or a **rotating register file** that
+renames loop variants in hardware "without replicating code" [5].
+
+Model: the file holds ``R`` registers; the architectural register number
+advances by one every II cycles (every kernel iteration).  A value defined
+at cycle ``t_v`` with lifetime ``L_v`` is assigned a *slot* ``s_v``; its
+iteration-``i`` instance physically occupies register ``(s_v + i) mod R``
+from ``t_v + i*II`` until ``t_v + L_v + i*II``.
+
+Two values (or two instances of one value) collide exactly when some
+integer ``m = i - j`` satisfies both
+
+* the register congruence ``m ≡ s_w - s_v (mod R)``, and
+* the time overlap ``t_w - t_v - L_v < m * II < t_w - t_v + L_w``.
+
+The allocator assigns slots greedily in definition order, growing ``R``
+from the MaxLive lower bound until every value fits — the same incremental
+search a compiler for the Cydra 5 performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.schedule.lifetimes import ValueLifetime, compute_lifetimes
+from repro.schedule.maxlive import max_live
+from repro.schedule.schedule import Schedule
+
+#: Safety bound on the incremental search (far above any real loop).
+MAX_ROTATING_REGISTERS = 4096
+
+
+@dataclass
+class RotatingAllocation:
+    """Slot assignment in a rotating register file."""
+
+    register_count: int
+    maxlive: int
+    #: value (producer name) → rotating slot.
+    slots: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def overhead(self) -> int:
+        """Registers beyond the MaxLive lower bound."""
+        return self.register_count - self.maxlive
+
+
+def _collides(
+    first: ValueLifetime,
+    second: ValueLifetime,
+    slot_first: int,
+    slot_second: int,
+    ii: int,
+    registers: int,
+    same_value: bool = False,
+) -> bool:
+    """Do the two values ever occupy the same physical register?
+
+    With *same_value* the ``m = 0`` solution (an instance against itself)
+    is not a collision; nonzero ``m`` catches a lifetime longer than
+    ``R * II`` wrapping onto its own later instances.
+    """
+    if first.length == 0 or second.length == 0:
+        return False
+    shift = second.start - first.start
+    residue = (slot_second - slot_first) % registers
+    # m ranges over integers with shift - L1 < m*II < shift + L2.
+    low = shift - first.length
+    high = shift + second.length
+    m = low // ii + 1
+    while m * ii < high:
+        if m % registers == residue and not (same_value and m == 0):
+            return True
+        m += 1
+    return False
+
+
+def allocate_rotating(schedule: Schedule) -> RotatingAllocation:
+    """Assign every loop variant a slot in a minimal rotating file."""
+    lifetimes = [
+        lt for lt in compute_lifetimes(schedule) if lt.length > 0
+    ]
+    lower_bound = max_live(schedule)
+    if not lifetimes:
+        return RotatingAllocation(register_count=0, maxlive=lower_bound)
+
+    ii = schedule.ii
+    ordered = sorted(lifetimes, key=lambda lt: (lt.start, -lt.length))
+    registers = max(1, lower_bound)
+    while registers <= MAX_ROTATING_REGISTERS:
+        slots = _try_allocate(ordered, ii, registers)
+        if slots is not None:
+            return RotatingAllocation(
+                register_count=registers,
+                maxlive=lower_bound,
+                slots=slots,
+            )
+        registers += 1
+    raise AllocationError(
+        f"rotating allocation exceeded {MAX_ROTATING_REGISTERS} registers"
+    )
+
+
+def _try_allocate(
+    ordered: list[ValueLifetime], ii: int, registers: int
+) -> dict[str, int] | None:
+    """Greedy slot assignment at a fixed file size; None on failure."""
+    slots: dict[str, int] = {}
+    placed: list[tuple[ValueLifetime, int]] = []
+    for lifetime in ordered:
+        chosen: int | None = None
+        for slot in range(registers):
+            feasible = all(
+                not _collides(other, lifetime, other_slot, slot, ii, registers)
+                for other, other_slot in placed
+            ) and not _collides(
+                lifetime, lifetime, slot, slot, ii, registers,
+                same_value=True,
+            )
+            if feasible:
+                chosen = slot
+                break
+        if chosen is None:
+            return None
+        slots[lifetime.producer] = chosen
+        placed.append((lifetime, chosen))
+    return slots
+
+
+def verify_rotating(
+    schedule: Schedule,
+    allocation: RotatingAllocation,
+    horizon_iterations: int = 8,
+) -> None:
+    """Brute-force simulation check of a rotating allocation.
+
+    Walks *horizon_iterations* worth of instances and asserts no two live
+    instances share a physical register at any cycle.
+    """
+    lifetimes = [
+        lt for lt in compute_lifetimes(schedule) if lt.length > 0
+    ]
+    if not lifetimes:
+        return
+    ii = schedule.ii
+    registers = allocation.register_count
+    occupancy: dict[tuple[int, int], tuple[str, int]] = {}
+    for lifetime in lifetimes:
+        slot = allocation.slots[lifetime.producer]
+        for iteration in range(horizon_iterations):
+            phys = (slot + iteration) % registers
+            begin = lifetime.start + iteration * ii
+            for cycle in range(begin, begin + lifetime.length):
+                key = (cycle, phys)
+                holder = occupancy.get(key)
+                if holder is not None and holder != (
+                    lifetime.producer,
+                    iteration,
+                ):
+                    raise AllocationError(
+                        f"cycle {cycle}: register {phys} held by both "
+                        f"{holder} and {(lifetime.producer, iteration)}"
+                    )
+                occupancy[key] = (lifetime.producer, iteration)

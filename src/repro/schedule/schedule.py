@@ -1,0 +1,122 @@
+"""The schedule object produced by every scheduler in the library.
+
+A modulo schedule is fully described by the initiation interval ``II`` and
+one issue cycle per operation for a *single* iteration; iteration ``i``
+issues operation ``u`` at ``start[u] + i * II``.  Schedules are normalised
+at construction so the earliest issue cycle is zero, which makes stage
+numbering and kernel rows canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+
+
+@dataclass
+class ScheduleStats:
+    """Bookkeeping the experiment harness reports."""
+
+    scheduler: str = ""
+    mii: int = 0
+    resmii: int = 0
+    recmii: int = 0
+    attempts: int = 0
+    ordering_seconds: float = 0.0
+    scheduling_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+class Schedule:
+    """A modulo schedule for one loop.
+
+    Parameters
+    ----------
+    graph / machine:
+        What was scheduled and on what.
+    ii:
+        The achieved initiation interval.
+    start:
+        Issue cycle per operation (any integer offsets; normalised here).
+    stats:
+        Optional bookkeeping propagated to experiment reports.
+    """
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        start: dict[str, int],
+        stats: ScheduleStats | None = None,
+    ) -> None:
+        if ii < 1:
+            raise SchedulingError(f"II must be >= 1, got {ii}")
+        missing = set(graph.node_names()) - set(start)
+        if missing:
+            raise SchedulingError(
+                f"schedule is missing operations: {sorted(missing)}"
+            )
+        self.graph = graph
+        self.machine = machine
+        self.ii = ii
+        base = min(start.values(), default=0)
+        self.start = {name: cycle - base for name, cycle in start.items()}
+        self.stats = stats or ScheduleStats()
+
+    # ------------------------------------------------------------------
+    def issue_cycle(self, name: str) -> int:
+        """Normalised issue cycle of *name* (iteration 0)."""
+        return self.start[name]
+
+    @property
+    def length(self) -> int:
+        """Cycles from the first issue to the last result (one iteration)."""
+        return max(
+            self.start[name] + self.graph.operation(name).latency
+            for name in self.start
+        )
+
+    @property
+    def stage_count(self) -> int:
+        """Number of II-cycle stages one iteration spans (the paper's SC)."""
+        last_issue = max(self.start.values())
+        return last_issue // self.ii + 1
+
+    def stage_of(self, name: str) -> int:
+        """Stage index of *name* within its iteration."""
+        return self.start[name] // self.ii
+
+    def row_of(self, name: str) -> int:
+        """Kernel row (cycle modulo II) of *name*."""
+        return self.start[name] % self.ii
+
+    def kernel_rows(self) -> list[list[tuple[str, int]]]:
+        """Kernel: for each row, the ``(operation, stage)`` pairs issued.
+
+        In the steady state, row ``r`` of the kernel simultaneously issues
+        operation ``u`` of the iteration started ``stage_of(u)`` stages ago.
+        """
+        rows: list[list[tuple[str, int]]] = [[] for _ in range(self.ii)]
+        for name in self.graph.node_names():
+            rows[self.row_of(name)].append((name, self.stage_of(name)))
+        return rows
+
+    def execution_cycles(self, iterations: int) -> int:
+        """Estimated execution time, II × iterations (Section 4.2's model)."""
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        return self.ii * iterations
+
+    def as_dict(self) -> dict[str, int]:
+        """Copy of the operation→cycle mapping."""
+        return dict(self.start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.graph.name!r}, II={self.ii}, "
+            f"SC={self.stage_count}, by {self.stats.scheduler or '?'})"
+        )

@@ -1,0 +1,134 @@
+"""Schedule verifier.
+
+Every schedule produced anywhere in the library can be checked against the
+two constraint families of modulo scheduling:
+
+* **Dependences** — for every edge ``(u, v, delta)``:
+  ``start[v] + delta * II >= start[u] + latency(u)``.
+* **Resources** — the per-class reservations must be packable onto the
+  class's unit instances.  For pipelined classes (one-cycle reservations)
+  this is exactly "no kernel row exceeds the unit count".  For unpipelined
+  classes the reservations are multi-row *circular arcs*, and packability
+  is circular-arc colouring: first-fit replay (what the schedulers' MRT
+  does) is order-dependent and can reject a packable set, so the verifier
+  uses an exact backtracking assignment — a schedule is rejected only if
+  **no** unit assignment exists.
+
+The test-suite runs this on every schedule; experiment harnesses run it on
+samples.  A violation raises :class:`ScheduleVerificationError` with a
+message naming the offending edge or class.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleVerificationError
+from repro.schedule.schedule import Schedule
+
+
+def verify_schedule(schedule: Schedule) -> None:
+    """Raise :class:`ScheduleVerificationError` on any violated constraint."""
+    graph = schedule.graph
+    ii = schedule.ii
+
+    for edge in graph.edges():
+        t_src = schedule.issue_cycle(edge.src)
+        t_dst = schedule.issue_cycle(edge.dst)
+        latency = graph.operation(edge.src).latency
+        if t_dst + edge.distance * ii < t_src + latency:
+            raise ScheduleVerificationError(
+                f"{graph.name}: dependence {edge} violated — "
+                f"{edge.src}@{t_src} (latency {latency}) feeds "
+                f"{edge.dst}@{t_dst} with slack "
+                f"{t_dst + edge.distance * ii - t_src - latency}"
+            )
+
+    machine = schedule.machine
+    by_class: dict[str, list[tuple[int, int, str]]] = {}
+    for op in graph.operations():
+        unit = machine.class_for(op)
+        span = machine.reservation_cycles(op)
+        if span > ii:
+            raise ScheduleVerificationError(
+                f"{graph.name}: {op.name!r} reserves a {unit.name!r} unit "
+                f"for {span} cycles, longer than II={ii}"
+            )
+        row = schedule.issue_cycle(op.name) % ii
+        by_class.setdefault(unit.name, []).append((row, span, op.name))
+
+    for unit in machine.unit_classes():
+        arcs = by_class.get(unit.name, [])
+        if not arcs:
+            continue
+        if not _packable(arcs, unit.count, ii):
+            raise ScheduleVerificationError(
+                f"{graph.name}: resource conflict — class {unit.name!r} "
+                f"reservations cannot be packed onto {unit.count} unit(s) "
+                f"at II={ii} (ops {[name for _, _, name in arcs]})"
+            )
+
+
+def _packable(arcs: list[tuple[int, int, str]], count: int, ii: int) -> bool:
+    """Can the (row, span) circular arcs be packed onto *count* units?
+
+    Pipelined classes (all spans 1) reduce to per-row counting.  For
+    multi-row arcs an exact backtracking search assigns each arc a unit;
+    arcs are ordered by decreasing span so the awkward ones place first,
+    and unit symmetry is broken by never opening more than one fresh
+    unit.  Class populations are small (a handful of divides/sqrt ops),
+    so the search is effectively instant.
+    """
+    if all(span == 1 for _, span, _ in arcs):
+        occupancy = [0] * ii
+        for row, _, _ in arcs:
+            occupancy[row] += 1
+            if occupancy[row] > count:
+                return False
+        return True
+
+    # Quick necessary condition before searching.
+    occupancy = [0] * ii
+    for row, span, _ in arcs:
+        for offset in range(span):
+            occupancy[(row + offset) % ii] += 1
+    if max(occupancy) > count:
+        return False
+
+    ordered = sorted(arcs, key=lambda a: (-a[1], a[0]))
+    units: list[list[bool]] = [[False] * ii for _ in range(count)]
+
+    def fits(unit: list[bool], row: int, span: int) -> bool:
+        return all(not unit[(row + offset) % ii] for offset in range(span))
+
+    def mark(unit: list[bool], row: int, span: int, value: bool) -> None:
+        for offset in range(span):
+            unit[(row + offset) % ii] = value
+
+    def search(index: int) -> bool:
+        if index == len(ordered):
+            return True
+        row, span, _ = ordered[index]
+        opened_fresh = False
+        for unit in units:
+            is_fresh = not any(unit)
+            if is_fresh and opened_fresh:
+                continue  # identical to the fresh unit already tried
+            if is_fresh:
+                opened_fresh = True
+            if not fits(unit, row, span):
+                continue
+            mark(unit, row, span, True)
+            if search(index + 1):
+                return True
+            mark(unit, row, span, False)
+        return False
+
+    return search(0)
+
+
+def is_valid(schedule: Schedule) -> bool:
+    """Boolean convenience wrapper around :func:`verify_schedule`."""
+    try:
+        verify_schedule(schedule)
+    except ScheduleVerificationError:
+        return False
+    return True

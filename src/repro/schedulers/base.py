@@ -1,0 +1,174 @@
+"""Shared scheduler driver and placement arithmetic.
+
+The II search loop is identical for every heuristic scheduler: compute the
+MII, prepare whatever per-loop state the method needs (HRMS's ordering, for
+example, is computed **once** and reused across II attempts — one of the
+paper's selling points), then try II = MII, MII+1, … until an attempt
+places every operation.
+
+The EarlyStart/LateStart formulas of Section 3.3 are shared here too::
+
+    EarlyStart(u) = max over scheduled preds v:  t_v + lambda_v - delta * II
+    LateStart(u)  = min over scheduled succs v:  t_v - lambda_u + delta * II
+
+(maximised/minimised per *edge*, so parallel edges and recurrence closers
+are handled uniformly; self-dependences are skipped — they are satisfied by
+``II >= RecMII``).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any, Iterable
+
+from repro.errors import IterationLimitError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+from repro.machine.mrt import ModuloReservationTable
+from repro.mii.analysis import MIIResult, compute_mii
+from repro.schedule.schedule import Schedule, ScheduleStats
+
+
+def early_start(
+    graph: DependenceGraph,
+    start: dict[str, int],
+    name: str,
+    ii: int,
+) -> int | None:
+    """Earliest issue cycle allowed by already-scheduled predecessors."""
+    bound: int | None = None
+    for edge in graph.in_edges(name):
+        if edge.src == name or edge.src not in start:
+            continue
+        candidate = (
+            start[edge.src]
+            + graph.operation(edge.src).latency
+            - edge.distance * ii
+        )
+        bound = candidate if bound is None else max(bound, candidate)
+    return bound
+
+
+def late_start(
+    graph: DependenceGraph,
+    start: dict[str, int],
+    name: str,
+    ii: int,
+) -> int | None:
+    """Latest issue cycle allowed by already-scheduled successors."""
+    latency = graph.operation(name).latency
+    bound: int | None = None
+    for edge in graph.out_edges(name):
+        if edge.dst == name or edge.dst not in start:
+            continue
+        candidate = start[edge.dst] - latency + edge.distance * ii
+        bound = candidate if bound is None else min(bound, candidate)
+    return bound
+
+
+def scan_place(
+    mrt: ModuloReservationTable,
+    op,
+    candidates: Iterable[int],
+) -> int | None:
+    """Place *op* at the first candidate cycle with a free unit."""
+    for cycle in candidates:
+        if mrt.place(op, cycle):
+            return cycle
+    return None
+
+
+def upward_window(es: int, ii: int, ls: int | None = None) -> range:
+    """Cycles ES .. ES+II-1, optionally clipped at a late bound."""
+    top = es + ii - 1
+    if ls is not None:
+        top = min(top, ls)
+    return range(es, top + 1)
+
+
+def downward_window(ls: int, ii: int, es: int | None = None) -> range:
+    """Cycles LS .. LS-II+1, optionally clipped at an early bound."""
+    bottom = ls - ii + 1
+    if es is not None:
+        bottom = max(bottom, es)
+    return range(ls, bottom - 1, -1)
+
+
+class ModuloScheduler(abc.ABC):
+    """Template for heuristic modulo schedulers.
+
+    Subclasses implement :meth:`prepare` (per-loop, II-independent state)
+    and :meth:`attempt` (one try at a fixed II, returning the start map or
+    ``None``).
+    """
+
+    #: Human-readable method name used in reports.
+    name: str = "abstract"
+
+    def __init__(self, max_ii: int | None = None) -> None:
+        self._max_ii = max_ii
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult | None = None,
+    ) -> Schedule:
+        """Produce a schedule, searching II upward from the MII."""
+        wall_start = time.perf_counter()
+        if analysis is None:
+            analysis = compute_mii(graph, machine)
+
+        prep_start = time.perf_counter()
+        context = self.prepare(graph, machine, analysis)
+        prep_seconds = time.perf_counter() - prep_start
+
+        ii_limit = self._ii_limit(graph, analysis)
+        attempts = 0
+        sched_start = time.perf_counter()
+        for ii in range(analysis.mii, ii_limit + 1):
+            attempts += 1
+            start = self.attempt(graph, machine, ii, context)
+            if start is not None:
+                now = time.perf_counter()
+                stats = ScheduleStats(
+                    scheduler=self.name,
+                    mii=analysis.mii,
+                    resmii=analysis.resmii,
+                    recmii=analysis.recmii,
+                    attempts=attempts,
+                    ordering_seconds=prep_seconds,
+                    scheduling_seconds=now - sched_start,
+                    total_seconds=now - wall_start,
+                )
+                return Schedule(graph, machine, ii, start, stats)
+        raise IterationLimitError(ii_limit)
+
+    def _ii_limit(self, graph: DependenceGraph, analysis: MIIResult) -> int:
+        if self._max_ii is not None:
+            return self._max_ii
+        # A fully sequential iteration always fits once II covers the whole
+        # span of one iteration plus slack for modulo wrap effects.
+        return analysis.mii + graph.total_latency() + len(graph) + 8
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult,
+    ) -> Any:
+        """Build II-independent state (orderings, distance matrices, …)."""
+
+    @abc.abstractmethod
+    def attempt(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        context: Any,
+    ) -> dict[str, int] | None:
+        """Try to schedule at a fixed *ii*; ``None`` signals failure."""

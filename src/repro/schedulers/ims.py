@@ -1,0 +1,188 @@
+"""Rau's Iterative Modulo Scheduling (IMS) [19].
+
+The paper cites IMS as the state-of-the-art iterative scheduler; it is the
+natural fourth baseline next to Top-Down, Slack and FRLC.  The algorithm
+(MICRO-27, 1994):
+
+1. operations are prioritised by **height** — the longest dependence path
+   (at the candidate II) from the operation to any other, so operations on
+   critical chains schedule first;
+2. the highest-priority unscheduled operation computes its EarlyStart from
+   its already-scheduled *immediate predecessors* and scans the II-wide
+   window ``[ES, ES + II - 1]`` for a free slot;
+3. when no slot exists the operation is **force-placed** at max(ES, one
+   past its previous placement) and every operation it conflicts with —
+   by resources or by a violated dependence — is evicted and rescheduled
+   later (this is the "iterative" part);
+4. a budget linear in the loop size bounds total placements; exhausting
+   it abandons the attempt and the driver retries at II + 1.
+
+Unlike HRMS and Slack, IMS schedules strictly top-down (windows always
+scan upward), so it is register-insensitive; its role in the comparison is
+quality-of-II at heuristic cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+from repro.machine.mrt import ModuloReservationTable
+from repro.mii.analysis import MIIResult
+from repro.schedulers.base import ModuloScheduler, early_start
+from repro.schedulers.mindist import NO_PATH, mindist_matrix
+
+
+class IMSScheduler(ModuloScheduler):
+    """Iterative modulo scheduling with height priority and ejection."""
+
+    name = "ims"
+
+    def __init__(
+        self, max_ii: int | None = None, budget_factor: int = 6
+    ) -> None:
+        super().__init__(max_ii=max_ii)
+        self._budget_factor = budget_factor
+
+    def prepare(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult,
+    ) -> dict[str, int]:
+        """Program-order tiebreak positions (II-independent)."""
+        return {name: i for i, name in enumerate(graph.node_names())}
+
+    # ------------------------------------------------------------------
+    def attempt(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        context: Any,
+    ) -> dict[str, int] | None:
+        position: dict[str, int] = context
+        result = mindist_matrix(graph, ii)
+        if result is None:
+            return None
+        dist, names = result
+        heights = self._heights(graph, dist, names)
+        order = {name: i for i, name in enumerate(names)}
+
+        mrt = ModuloReservationTable(machine, ii)
+        start: dict[str, int] = {}
+        unscheduled = set(names)
+        last_forced: dict[str, int] = {}
+        budget = self._budget_factor * len(names) + 32
+
+        while unscheduled:
+            pick = max(
+                unscheduled,
+                key=lambda n: (heights[order[n]], -position[n]),
+            )
+            op = graph.operation(pick)
+            es = early_start(graph, start, pick, ii)
+            es = 0 if es is None else es
+
+            placed_at = None
+            for cycle in range(es, es + ii):
+                if mrt.place(op, cycle):
+                    placed_at = cycle
+                    break
+            if placed_at is None:
+                placed_at = self._force_place(
+                    graph, mrt, start, unscheduled, pick, es, last_forced, ii
+                )
+                if placed_at is None:
+                    return None
+            start[pick] = placed_at
+            unscheduled.discard(pick)
+            # A slot legal w.r.t. predecessors may still violate an edge
+            # to an already-scheduled successor (EarlyStart ignores them);
+            # Rau's algorithm displaces such neighbours on every placement.
+            self._evict_violations(
+                graph, mrt, start, unscheduled, pick, placed_at, ii
+            )
+            budget -= 1
+            if budget <= 0 and unscheduled:
+                return None
+        return start
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _heights(
+        graph: DependenceGraph, dist: np.ndarray, names: list[str]
+    ) -> np.ndarray:
+        """Longest II-adjusted path from each operation to any other."""
+        reachable = dist > NO_PATH // 2
+        heights = np.where(reachable, dist, np.int64(0)).max(axis=1)
+        latencies = np.array(
+            [graph.operation(name).latency for name in names],
+            dtype=np.int64,
+        )
+        return heights + latencies
+
+    def _force_place(
+        self,
+        graph: DependenceGraph,
+        mrt: ModuloReservationTable,
+        start: dict[str, int],
+        unscheduled: set[str],
+        name: str,
+        es: int,
+        last_forced: dict[str, int],
+        ii: int,
+    ) -> int | None:
+        """Rau's displacement: place at ES (monotone on repeats), evict."""
+        cycle = es
+        if name in last_forced and last_forced[name] >= cycle:
+            cycle = last_forced[name] + 1
+        last_forced[name] = cycle
+        op = graph.operation(name)
+
+        for victim in mrt.conflicting_ops(op, cycle):
+            mrt.unplace(graph.operation(victim))
+            start.pop(victim, None)
+            unscheduled.add(victim)
+        if not mrt.place(op, cycle):
+            return None
+        return cycle
+
+    def _evict_violations(
+        self,
+        graph: DependenceGraph,
+        mrt: ModuloReservationTable,
+        start: dict[str, int],
+        unscheduled: set[str],
+        name: str,
+        cycle: int,
+        ii: int,
+    ) -> None:
+        """Displace neighbours whose dependence edges *cycle* violates."""
+        op = graph.operation(name)
+        for edge in graph.out_edges(name):
+            if edge.dst == name or edge.dst not in start:
+                continue
+            if start[edge.dst] + edge.distance * ii < cycle + op.latency:
+                self._evict(graph, mrt, start, unscheduled, edge.dst)
+        for edge in graph.in_edges(name):
+            if edge.src == name or edge.src not in start:
+                continue
+            producer = graph.operation(edge.src)
+            if cycle + edge.distance * ii < start[edge.src] + producer.latency:
+                self._evict(graph, mrt, start, unscheduled, edge.src)
+
+    @staticmethod
+    def _evict(
+        graph: DependenceGraph,
+        mrt: ModuloReservationTable,
+        start: dict[str, int],
+        unscheduled: set[str],
+        victim: str,
+    ) -> None:
+        mrt.unplace(graph.operation(victim))
+        start.pop(victim, None)
+        unscheduled.add(victim)

@@ -1,0 +1,57 @@
+"""Name → scheduler factory registry used by experiments and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.schedulers.base import ModuloScheduler
+from repro.schedulers.bottomup import BottomUpScheduler
+from repro.schedulers.frlc import FRLCScheduler
+from repro.schedulers.ims import IMSScheduler
+from repro.schedulers.optreg import OptRegScheduler
+from repro.schedulers.slack import SlackScheduler
+from repro.schedulers.sms import SwingScheduler
+from repro.schedulers.spilp import SPILPScheduler
+from repro.schedulers.topdown import TopDownScheduler
+
+
+def _factories() -> dict[str, Callable[..., ModuloScheduler]]:
+    # HRMS lives in repro.core, which itself imports the scheduler base
+    # module; resolving it lazily keeps the import graph acyclic.
+    from repro.core.scheduler import HRMSScheduler
+
+    return {
+        HRMSScheduler.name: HRMSScheduler,
+        TopDownScheduler.name: TopDownScheduler,
+        BottomUpScheduler.name: BottomUpScheduler,
+        SlackScheduler.name: SlackScheduler,
+        SwingScheduler.name: SwingScheduler,
+        IMSScheduler.name: IMSScheduler,
+        FRLCScheduler.name: FRLCScheduler,
+        SPILPScheduler.name: SPILPScheduler,
+        OptRegScheduler.name: OptRegScheduler,
+    }
+
+
+#: Exact (MILP-backed) methods: orders of magnitude slower than the
+#: heuristics; callers iterating the registry may want to cap their
+#: time limits or skip them on large loops.
+EXACT_SCHEDULERS = ("spilp", "optreg")
+
+
+def available_schedulers() -> list[str]:
+    """Registered scheduler names, stable order."""
+    return list(_factories())
+
+
+def make_scheduler(name: str, **kwargs) -> ModuloScheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        factory = _factories()[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scheduler {name!r}; available: "
+            f"{', '.join(available_schedulers())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,171 @@
+"""Swing Modulo Scheduling (SMS) — HRMS's published successor.
+
+Llosa, González, Ayguadé & Valero refined HRMS into *Swing Modulo
+Scheduling* (PACT'96), the register-sensitive software pipeliner later
+adopted by GCC and LLVM.  It keeps HRMS's bidirectional placement but
+replaces hypernode reduction with a lighter **mobility-driven ordering**:
+
+1. Compute each operation's earliest/latest start at the MII
+   (cyclic ASAP/ALAP via the MinDist machinery) and its *mobility*
+   (slack = ALAP − ASAP; critical-path and recurrence nodes have zero).
+2. Grow the order outward from the most critical node: at every step,
+   among the unordered neighbours of the ordered set (falling back to all
+   unordered nodes when a component is exhausted), pick the one with the
+   least mobility — ties broken towards greater depth, then program
+   order.  Growing neighbour-first "swings" the traversal back and forth
+   across the graph, guaranteeing a scheduled reference operation exactly
+   like HRMS's invariant.
+3. Place each operation with the same EarlyStart/LateStart windows as
+   HRMS (transitive bounds, II-long scans, II+1 on failure).
+
+Included both as a usable scheduler (registry name ``"sms"``) and as the
+repository's "future work" ablation: the SMS-vs-HRMS comparison shows
+how much of HRMS's benefit survives the cheaper ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+from repro.machine.mrt import ModuloReservationTable
+from repro.mii.analysis import MIIResult
+from repro.schedulers.base import (
+    ModuloScheduler,
+    downward_window,
+    scan_place,
+    upward_window,
+)
+from repro.schedulers.mindist import NO_PATH, mindist_matrix
+
+
+class SwingScheduler(ModuloScheduler):
+    """Swing Modulo Scheduling (mobility-ordered bidirectional placement)."""
+
+    name = "sms"
+
+    def prepare(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult,
+    ) -> list[str]:
+        return swing_order(graph, analysis.mii)
+
+    def attempt(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        context: Any,
+    ) -> dict[str, int] | None:
+        result = self._attempt_directional(graph, machine, ii, context,
+                                           both_down=False)
+        if result is not None:
+            return result
+        # Same rescue as HRMS: an ES-anchored II-length window can miss
+        # the feasible region of a two-sided node when LS - ES > II.
+        return self._attempt_directional(graph, machine, ii, context,
+                                         both_down=True)
+
+    def _attempt_directional(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        ii: int,
+        context: Any,
+        both_down: bool,
+    ) -> dict[str, int] | None:
+        order: list[str] = context
+        solved = mindist_matrix(graph, ii)
+        if solved is None:
+            return None
+        dist, names = solved
+        index = {name: i for i, name in enumerate(names)}
+        mrt = ModuloReservationTable(machine, ii)
+        start: dict[str, int] = {}
+        for name in order:
+            op = graph.operation(name)
+            es = _bound(dist, index, start, name, early=True)
+            ls = _bound(dist, index, start, name, early=False)
+            if es is not None and ls is None:
+                window = upward_window(es, ii)
+            elif ls is not None and es is None:
+                window = downward_window(ls, ii)
+            elif es is not None and ls is not None:
+                if es > ls:
+                    return None
+                if both_down:
+                    window = downward_window(ls, ii, es)
+                else:
+                    window = upward_window(es, ii, ls)
+            else:
+                window = upward_window(0, ii)
+            cycle = scan_place(mrt, op, window)
+            if cycle is None:
+                return None
+            start[name] = cycle
+        return start
+
+
+def swing_order(graph: DependenceGraph, mii: int) -> list[str]:
+    """The SMS node order: least mobility first, grown over neighbours."""
+    solved = mindist_matrix(graph, max(mii, 1))
+    if solved is None:  # cannot happen for mii >= RecMII
+        raise ValueError("infeasible MII for swing ordering")
+    dist, names = solved
+    index = {name: i for i, name in enumerate(names)}
+    position = {name: i for i, name in enumerate(graph.node_names())}
+
+    latencies = np.array(
+        [graph.operation(name).latency for name in names], dtype=np.int64
+    )
+    asap = np.maximum(dist.max(axis=0), 0)
+    horizon = int((asap + latencies).max())
+    alap = horizon - (dist + latencies[None, :]).max(axis=1)
+    alap = np.maximum(alap, asap)
+    mobility = alap - asap
+    depth = asap  # shallow critical nodes first: start at a chain's head
+
+    def key(name: str) -> tuple:
+        i = index[name]
+        return (int(mobility[i]), int(depth[i]), position[name])
+
+    ordered: list[str] = []
+    remaining = set(names)
+    frontier: set[str] = set()
+    while remaining:
+        pool = frontier or remaining
+        pick = min(pool, key=key)
+        ordered.append(pick)
+        remaining.discard(pick)
+        frontier.discard(pick)
+        for other in graph.neighbors(pick):
+            if other in remaining:
+                frontier.add(other)
+    return ordered
+
+
+def _bound(
+    dist,
+    index: dict[str, int],
+    start: dict[str, int],
+    name: str,
+    early: bool,
+) -> int | None:
+    i = index[name]
+    bound: int | None = None
+    for other, cycle in start.items():
+        j = index[other]
+        weight = dist[j, i] if early else dist[i, j]
+        if weight <= NO_PATH // 2:
+            continue
+        candidate = cycle + int(weight) if early else cycle - int(weight)
+        if bound is None:
+            bound = candidate
+        else:
+            bound = max(bound, candidate) if early else min(bound, candidate)
+    return bound

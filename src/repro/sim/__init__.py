@@ -1,0 +1,12 @@
+"""Kernel simulator: executes a modulo schedule cycle by cycle.
+
+Used to cross-validate the analytical machinery: the simulator replays N
+overlapped iterations, checks that every consumer reads a value its
+producer has finished computing, and measures the peak number of
+simultaneously-live values in steady state — which must equal the
+closed-form MaxLive of :mod:`repro.schedule.maxlive`.
+"""
+
+from repro.sim.simulator import SimulationReport, simulate
+
+__all__ = ["SimulationReport", "simulate"]

@@ -1,0 +1,10 @@
+"""Spill-code insertion for register-constrained machines (Figure 14).
+
+When a scheduled loop needs more registers than the machine provides, the
+paper adds spill code (after [15]) and re-schedules.  The public entry
+point is :func:`repro.spill.spiller.schedule_with_register_budget`.
+"""
+
+from repro.spill.spiller import SpillOutcome, schedule_with_register_budget
+
+__all__ = ["SpillOutcome", "schedule_with_register_budget"]

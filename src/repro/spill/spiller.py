@@ -1,0 +1,245 @@
+"""Spill insertion + rescheduling loop.
+
+Figure 14 evaluates machines with 32 and 64 registers: "when a loop
+requires more than the available number of registers, spill code has been
+added [15] and the loop has been re-scheduled".  The algorithm here:
+
+1. Schedule the loop; if ``MaxLive + invariants`` fits the budget, done.
+2. Otherwise pick a spill victim and re-schedule:
+
+   * preferred — the *variant* with the longest lifetime (it holds a
+     register across the most kernel rows).  The value is split through
+     memory: a store after the producer, one reload in front of each
+     consumer, connected by a memory dependence carrying the original
+     iteration distance.  Spill code itself is never re-spilled.
+   * when no variant lifetime is long enough to pay for the reload —
+     a loop *invariant* is spilled instead: it gives its register back
+     and is re-loaded inside the body (modelled as an additional load
+     occupying memory-unit bandwidth).
+
+3. Repeat until the pressure fits, no candidate remains, or spilling has
+   stopped reducing the pressure (stop-loss — spill code costs II, so
+   piling it onto a hopeless loop only makes Figure 14's cycle counts
+   worse for everyone).
+
+Spilling lengthens the critical path and adds load/store traffic, so the
+II (and hence execution time) can grow — exactly the performance effect
+Figure 14 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import MEM, Operation
+from repro.schedule.lifetimes import compute_lifetimes
+from repro.schedule.maxlive import max_live
+from repro.schedule.schedule import Schedule
+from repro.schedulers.base import ModuloScheduler
+
+#: Latency of the loads/stores inserted by the spiller.
+SPILL_STORE_LATENCY = 1
+SPILL_LOAD_LATENCY = 2
+
+#: A spilled variant must outlive this threshold for the reload traffic
+#: to pay off at all (store + load + slack).
+MIN_VICTIM_LIFETIME = SPILL_STORE_LATENCY + SPILL_LOAD_LATENCY + 2
+
+#: Give up after this many consecutive spills without pressure progress.
+STALL_LIMIT = 3
+
+
+@dataclass
+class SpillOutcome:
+    """Result of scheduling under a register budget."""
+
+    schedule: Schedule
+    graph: DependenceGraph
+    spilled_values: list[str]
+    spilled_invariants: int
+    register_pressure: int
+    budget: int | None
+    fits: bool
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.spilled_values) + self.spilled_invariants
+
+
+def schedule_with_register_budget(
+    graph: DependenceGraph,
+    machine,
+    scheduler: ModuloScheduler,
+    budget: int | None,
+    invariants: int = 0,
+) -> SpillOutcome:
+    """Schedule *graph*, spilling until variants+invariants fit *budget*.
+
+    ``budget=None`` means unlimited registers (the "inf" column of
+    Figure 14): the loop is scheduled once, nothing is spilled.
+    """
+    working = graph
+    spilled: list[str] = []
+    already: set[str] = set()
+    invariants_left = invariants
+    invariant_spills = 0
+    stall = 0
+    best: tuple[int, Schedule, DependenceGraph] | None = None
+
+    while True:
+        schedule = scheduler.schedule(working, machine)
+        pressure = max_live(schedule) + invariants_left
+        if best is None or pressure < best[0]:
+            best = (pressure, schedule, working)
+            stall = 0
+        else:
+            stall += 1
+        if budget is None or pressure <= budget:
+            return SpillOutcome(
+                schedule=schedule,
+                graph=working,
+                spilled_values=spilled,
+                spilled_invariants=invariant_spills,
+                register_pressure=pressure,
+                budget=budget,
+                fits=True,
+            )
+        if stall >= STALL_LIMIT:
+            break
+
+        victim = _pick_victim(schedule, already)
+        if victim is not None:
+            working = _spill_value(working, victim)
+            spilled.append(victim)
+            already.add(victim)
+            continue
+        if invariants_left > 0:
+            working = _spill_invariant(working, invariant_spills)
+            invariants_left -= 1
+            invariant_spills += 1
+            continue
+        break  # nothing left to spill
+
+    pressure, schedule, working = best
+    return SpillOutcome(
+        schedule=schedule,
+        graph=working,
+        spilled_values=spilled,
+        spilled_invariants=invariant_spills,
+        register_pressure=pressure,
+        budget=budget,
+        fits=budget is None or pressure <= budget,
+    )
+
+
+def _pick_victim(schedule: Schedule, already: set[str]) -> str | None:
+    """Longest-lifetime spillable variant.
+
+    Preference order: lifetimes longer than the II (guaranteed to remove
+    cross-iteration overlap), then any lifetime long enough to pay for
+    the reload.  Spill code is never re-spilled.
+    """
+    graph = schedule.graph
+    tiers: list[tuple[int, str] | None] = [None, None]
+    for lifetime in compute_lifetimes(schedule):
+        name = lifetime.producer
+        if name in already:
+            continue
+        op = graph.operation(name)
+        if op.attrs.get("spill"):
+            continue
+        if not graph.value_consumers(name):
+            continue
+        key = (lifetime.length, name)
+        if lifetime.length > schedule.ii:
+            if tiers[0] is None or key > tiers[0]:
+                tiers[0] = key
+        elif lifetime.length > MIN_VICTIM_LIFETIME:
+            if tiers[1] is None or key > tiers[1]:
+                tiers[1] = key
+    for tier in tiers:
+        if tier is not None:
+            return tier[1]
+    return None
+
+
+def _spill_value(graph: DependenceGraph, producer: str) -> DependenceGraph:
+    """Rewrite *graph*, pushing *producer*'s value through memory."""
+    rewritten = DependenceGraph(graph.name)
+    store_name = f"{producer}.spst"
+    consumers = [
+        edge
+        for edge in graph.out_edges(producer)
+        if edge.kind is DependenceKind.REGISTER and edge.dst != producer
+    ]
+
+    for op in graph.operations():
+        rewritten.add_operation(op)
+        if op.name == producer:
+            rewritten.add_operation(
+                Operation(
+                    name=store_name,
+                    latency=SPILL_STORE_LATENCY,
+                    opclass=MEM,
+                    produces_value=False,
+                    attrs={"spill": True},
+                )
+            )
+    load_names: dict[str, str] = {}
+    for edge in consumers:
+        load_name = f"{producer}.spld.{edge.dst}.d{edge.distance}"
+        if load_name not in rewritten:
+            rewritten.add_operation(
+                Operation(
+                    name=load_name,
+                    latency=SPILL_LOAD_LATENCY,
+                    opclass=MEM,
+                    produces_value=True,
+                    attrs={"spill": True},
+                )
+            )
+        load_names[f"{edge.dst}:{edge.distance}"] = load_name
+
+    dropped = {edge.key for edge in consumers}
+    for edge in graph.edges():
+        if edge.key not in dropped:
+            rewritten.add_edge(edge)
+
+    # producer -> spill store (register value consumed by the store).
+    rewritten.add_edge(Edge(producer, store_name, 0, DependenceKind.REGISTER))
+    for edge in consumers:
+        load_name = load_names[f"{edge.dst}:{edge.distance}"]
+        # Memory dependence carries the original iteration distance: the
+        # reload in iteration i reads what iteration i - distance stored.
+        rewritten.add_edge(
+            Edge(store_name, load_name, edge.distance, DependenceKind.MEMORY)
+        )
+        rewritten.add_edge(
+            Edge(load_name, edge.dst, 0, DependenceKind.REGISTER)
+        )
+    rewritten.validate()
+    return rewritten
+
+
+def _spill_invariant(graph: DependenceGraph, index: int) -> DependenceGraph:
+    """Give one loop invariant its register back.
+
+    The invariant is re-loaded inside the body instead of staying
+    resident; its uses are register-adjacent to the reload, so the cost
+    is modelled as one additional load's worth of memory-unit bandwidth
+    per iteration (the conservative part — the brief reload lifetime —
+    is identical for every scheduler being compared).
+    """
+    rewritten = graph.copy()
+    rewritten.add_operation(
+        Operation(
+            name=f"inv.spld.{index}",
+            latency=SPILL_LOAD_LATENCY,
+            opclass=MEM,
+            produces_value=True,
+            attrs={"spill": True},
+        )
+    )
+    return rewritten

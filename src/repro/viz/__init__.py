@@ -1,0 +1,22 @@
+"""Text and Graphviz visualisations of graphs and schedules.
+
+The paper's figures are re-renderable as plain text:
+
+* :func:`~repro.viz.dot.graph_to_dot` — the dependence graph in Graphviz
+  DOT (Figure 1 / 7 / 10 style; loop-carried edges dashed and labelled
+  with their distance);
+* :func:`~repro.viz.charts.lifetime_chart` — one iteration's schedule
+  with a column per value and a bar over its lifetime (Figure 2b/3b/4b);
+* :func:`~repro.viz.charts.register_rows` — live-value count per kernel
+  row (Figure 2d/3d/4d).
+"""
+
+from repro.viz.charts import lifetime_chart, register_rows, schedule_table
+from repro.viz.dot import graph_to_dot
+
+__all__ = [
+    "graph_to_dot",
+    "lifetime_chart",
+    "register_rows",
+    "schedule_table",
+]

@@ -1,0 +1,84 @@
+"""Text charts in the style of the paper's Figures 2–4.
+
+Each of the paper's motivating figures shows, for one scheduler:
+
+a) the schedule of one iteration,
+b) the lifetimes of the loop variants (a bar per value over the cycles
+   it is alive),
+d) the number of alive registers per kernel row.
+
+These renderers reproduce all three as monospace text, e.g.::
+
+    >>> print(lifetime_chart(schedule))
+    cycle | V:A  V:B  V:E ...
+        0 |  #
+        1 |  |
+        2 |  +    #
+        ...
+"""
+
+from __future__ import annotations
+
+from repro.schedule.lifetimes import compute_lifetimes
+from repro.schedule.maxlive import live_values_per_row
+from repro.schedule.schedule import Schedule
+
+
+def schedule_table(schedule: Schedule) -> str:
+    """One iteration's schedule: a row per cycle, ops at their issue."""
+    by_cycle: dict[int, list[str]] = {}
+    for name in schedule.graph.node_names():
+        by_cycle.setdefault(schedule.issue_cycle(name), []).append(name)
+    last = max(by_cycle, default=0)
+    lines = [f"II = {schedule.ii}, stages = {schedule.stage_count}"]
+    for cycle in range(last + 1):
+        ops = "  ".join(by_cycle.get(cycle, []))
+        marker = "|" if cycle % schedule.ii else "+"
+        lines.append(f"{cycle:4d} {marker} {ops}".rstrip())
+    return "\n".join(lines)
+
+
+def lifetime_chart(schedule: Schedule) -> str:
+    """Figure 2b-style chart: one column per value, bars over lifetimes.
+
+    ``#`` marks the definition cycle, ``|`` the cycles the value stays
+    alive, ``+`` the final cycle before the last consumer issues.
+    Zero-length lifetimes (producer and last consumer issue together, or
+    no consumer) show a single ``#``.
+    """
+    lifetimes = compute_lifetimes(schedule)
+    if not lifetimes:
+        return "(no loop variants)"
+    width = max(len(lt.producer) for lt in lifetimes) + 2
+    top = max(
+        [lt.end for lt in lifetimes]
+        + [schedule.issue_cycle(n) for n in schedule.graph.node_names()]
+    )
+    header = "cycle |" + "".join(
+        lt.producer.rjust(width) for lt in lifetimes
+    )
+    lines = [header]
+    for cycle in range(top + 1):
+        cells = []
+        for lt in lifetimes:
+            if cycle == lt.start:
+                mark = "#"
+            elif lt.start < cycle < lt.end - 1:
+                mark = "|"
+            elif lt.start < cycle == lt.end - 1:
+                mark = "+"
+            else:
+                mark = ""
+            cells.append(mark.rjust(width))
+        lines.append(f"{cycle:5d} |" + "".join(cells))
+    return "\n".join(lines)
+
+
+def register_rows(schedule: Schedule) -> str:
+    """Figure 2d-style summary: live variant count per kernel row."""
+    per_row = live_values_per_row(schedule)
+    lines = ["row | live variants"]
+    for row, live in enumerate(per_row):
+        lines.append(f"{row:3d} | {'*' * live} {live}")
+    lines.append(f"MaxLive = {max(per_row, default=0)}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Workloads: the paper's examples and evaluation loop suites.
+
+* :mod:`repro.workloads.motivating` — Section 2's seven-operation example
+  (reconstructed; reproduces the 8/7/6 register comparison) and the
+  ordering walk-throughs of Figures 7 and 10.
+* :mod:`repro.workloads.govindarajan` — a 24-kernel stand-in for the
+  dependence graphs of Govindarajan et al. [8] used by Tables 1–3.
+* :mod:`repro.workloads.synthetic` — seeded random DDG generator.
+* :mod:`repro.workloads.perfectclub` — the 1258-loop synthetic suite that
+  stands in for the Perfect Club innermost loops of Section 4.2.
+* :class:`repro.workloads.loops.Loop` — a graph plus the run-time metadata
+  (iteration count, loop invariants) the dynamic experiments weight by.
+"""
+
+from repro.workloads.loops import Loop
+from repro.workloads.motivating import (
+    figure7_graph,
+    figure10_graph,
+    motivating_example,
+)
+
+__all__ = [
+    "Loop",
+    "figure10_graph",
+    "figure7_graph",
+    "motivating_example",
+]

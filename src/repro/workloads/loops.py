@@ -1,0 +1,42 @@
+"""The Loop container: a dependence graph plus run-time metadata.
+
+Sections 4.1/4.2 weight loops by properties a DDG alone does not carry:
+how many times the loop body executes (for the "dynamic" distributions of
+Figures 12–14) and how many loop *invariants* it reads (each invariant
+occupies one register for the whole execution regardless of scheduling —
+Figure 13 adds them to the variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.ddg import DependenceGraph
+
+
+@dataclass
+class Loop:
+    """One innermost loop of a benchmark suite."""
+
+    graph: DependenceGraph
+    #: Number of times the loop body executes (drives dynamic weighting).
+    iterations: int = 100
+    #: Loop-invariant values read by the body; one register each.
+    invariants: int = 0
+    #: Optional provenance tag (benchmark / kernel family).
+    source: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(
+                f"loop {self.graph.name!r}: iterations must be >= 1"
+            )
+        if self.invariants < 0:
+            raise ValueError(
+                f"loop {self.graph.name!r}: invariants must be >= 0"
+            )

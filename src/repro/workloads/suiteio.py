@@ -1,0 +1,68 @@
+"""Persisting whole loop suites to disk.
+
+Experiments are reproducible from seeds alone, but exporting the exact
+loop population (graphs + iteration counts + invariants) lets results be
+compared across library versions or fed to external tools.  Format: one
+JSON document with a list of loop entries, each embedding the graph in
+:mod:`repro.graph.serialization`'s format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.workloads.loops import Loop
+
+SUITE_FORMAT_VERSION = 1
+
+
+def suite_to_dict(loops: list[Loop]) -> dict[str, Any]:
+    """Serialise a loop suite to a plain dict."""
+    return {
+        "format": SUITE_FORMAT_VERSION,
+        "loops": [
+            {
+                "graph": graph_to_dict(loop.graph),
+                "iterations": loop.iterations,
+                "invariants": loop.invariants,
+                "source": loop.source,
+            }
+            for loop in loops
+        ],
+    }
+
+
+def suite_from_dict(data: dict[str, Any]) -> list[Loop]:
+    """Rebuild a suite serialised by :func:`suite_to_dict`."""
+    version = data.get("format", SUITE_FORMAT_VERSION)
+    if version != SUITE_FORMAT_VERSION:
+        raise WorkloadError(f"unsupported suite format version {version}")
+    loops = []
+    for entry in data.get("loops", []):
+        loops.append(
+            Loop(
+                graph=graph_from_dict(entry["graph"]),
+                iterations=int(entry.get("iterations", 100)),
+                invariants=int(entry.get("invariants", 0)),
+                source=entry.get("source", ""),
+            )
+        )
+    return loops
+
+
+def dump_suite(loops: list[Loop], path: str | Path) -> None:
+    """Write a suite to *path* as JSON."""
+    Path(path).write_text(
+        json.dumps(suite_to_dict(loops)) + "\n", encoding="utf-8"
+    )
+
+
+def load_suite(path: str | Path) -> list[Loop]:
+    """Load a suite written by :func:`dump_suite`."""
+    return suite_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

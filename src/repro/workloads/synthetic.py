@@ -1,0 +1,170 @@
+"""Seeded random dependence-graph generator.
+
+Used by the Perfect-Club-like suite (:mod:`repro.workloads.perfectclub`)
+and by the property-based tests.  The generator produces valid loop bodies
+by construction:
+
+* operations are emitted in program order; intra-iteration (distance-0)
+  edges always point forward, so the distance-0 subgraph is acyclic;
+* recurrences are injected as *backward* edges with distance >= 1 from an
+  operation to one of its (transitive) ancestors, so every circuit has a
+  positive total distance;
+* stores terminate value chains and produce no values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import FADD, FDIV, FMUL, FSQRT, MEM, Operation
+
+
+@dataclass
+class GeneratorProfile:
+    """Tunable statistics of the generated loop population."""
+
+    #: (opclass, latency, weight) candidates for compute operations.
+    compute_mix: list[tuple[str, int, float]] = field(
+        default_factory=lambda: [
+            (FADD, 4, 0.52),
+            (FMUL, 4, 0.36),
+            (FDIV, 17, 0.10),
+            (FSQRT, 30, 0.02),
+        ]
+    )
+    load_latency: int = 2
+    store_latency: int = 1
+    #: Fraction of operations that are loads (value sources).
+    load_fraction: float = 0.30
+    #: Fraction of operations that are stores (value sinks).
+    store_fraction: float = 0.12
+    #: Probability a compute op takes two operands instead of one.
+    two_operand_probability: float = 0.65
+    #: How far back an operand is drawn from (locality window).
+    operand_window: int = 6
+    #: Probability the loop carries at least one recurrence.
+    recurrence_probability: float = 0.25
+    #: Maximum extra recurrences beyond the first.
+    max_extra_recurrences: int = 2
+    #: Iteration distances for backward edges, with weights.
+    distances: list[tuple[int, float]] = field(
+        default_factory=lambda: [(1, 0.8), (2, 0.15), (3, 0.05)]
+    )
+
+
+def _weighted(rng: random.Random, table: list[tuple]) -> tuple:
+    total = sum(entry[-1] for entry in table)
+    point = rng.random() * total
+    cumulative = 0.0
+    for entry in table:
+        cumulative += entry[-1]
+        if point <= cumulative:
+            return entry
+    return table[-1]
+
+
+def random_ddg(
+    rng: random.Random,
+    n_ops: int,
+    name: str = "synthetic",
+    profile: GeneratorProfile | None = None,
+) -> DependenceGraph:
+    """Generate a valid loop body with *n_ops* operations."""
+    if n_ops < 2:
+        raise ValueError("need at least two operations")
+    profile = profile or GeneratorProfile()
+    graph = DependenceGraph(name)
+
+    producers: list[str] = []  # value-producing op names, program order
+    ancestors: dict[str, set[str]] = {}
+
+    n_loads = max(1, round(n_ops * profile.load_fraction))
+    n_stores = max(1, round(n_ops * profile.store_fraction))
+    n_compute = max(1, n_ops - n_loads - n_stores)
+
+    def pick_operands(count: int) -> list[str]:
+        if not producers:
+            return []
+        window = producers[-profile.operand_window :]
+        return [rng.choice(window) for _ in range(count)]
+
+    index = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal index
+        index += 1
+        return f"{prefix}{index}"
+
+    for _ in range(n_loads):
+        op = Operation(fresh("ld"), profile.load_latency, MEM)
+        graph.add_operation(op)
+        ancestors[op.name] = set()
+        producers.append(op.name)
+
+    for _ in range(n_compute):
+        opclass, latency, _ = _weighted(rng, profile.compute_mix)
+        op = Operation(fresh(opclass[:1] + "x"), latency, opclass)
+        graph.add_operation(op)
+        ancestors[op.name] = set()
+        operand_count = (
+            2 if rng.random() < profile.two_operand_probability else 1
+        )
+        for operand in pick_operands(operand_count):
+            graph.add_edge(Edge(operand, op.name, 0))
+            ancestors[op.name] |= ancestors[operand] | {operand}
+        producers.append(op.name)
+
+    for _ in range(n_stores):
+        op = Operation(
+            fresh("st"), profile.store_latency, MEM, produces_value=False
+        )
+        graph.add_operation(op)
+        ancestors[op.name] = set()
+        for operand in pick_operands(1):
+            graph.add_edge(Edge(operand, op.name, 0))
+            ancestors[op.name] |= ancestors[operand] | {operand}
+
+    _inject_recurrences(rng, graph, ancestors, profile)
+    graph.validate()
+    return graph
+
+
+def _inject_recurrences(
+    rng: random.Random,
+    graph: DependenceGraph,
+    ancestors: dict[str, set[str]],
+    profile: GeneratorProfile,
+) -> None:
+    if rng.random() >= profile.recurrence_probability:
+        return
+    count = 1 + rng.randint(0, profile.max_extra_recurrences)
+    candidates = [
+        name for name, anc in ancestors.items() if anc and name in graph
+    ]
+    rng.shuffle(candidates)
+    made = 0
+    for tail in candidates:
+        if made >= count:
+            break
+        pool = sorted(ancestors[tail])
+        if not pool:
+            continue
+        head = rng.choice(pool)
+        if not graph.operation(head).produces_value:
+            continue
+        distance, _ = _weighted(rng, profile.distances)
+        # Backward register edge: `head` (early op) consumes the value
+        # `tail` produced `distance` iterations ago — but only value
+        # producers can close a register recurrence.
+        if graph.operation(tail).produces_value:
+            graph.add_edge(
+                Edge(tail, head, distance, DependenceKind.REGISTER)
+            )
+        else:
+            graph.add_edge(
+                Edge(tail, head, distance, DependenceKind.MEMORY)
+            )
+        made += 1

@@ -1,0 +1,55 @@
+"""Shared fixtures: machines, workload suites, and a validity helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.schedule.verify import verify_schedule
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.perfectclub import perfect_club_suite
+
+
+@pytest.fixture(scope="session")
+def generic4():
+    """Section 2's machine: four general-purpose pipelined units."""
+    return motivating_machine()
+
+
+@pytest.fixture(scope="session")
+def gov_machine():
+    """Section 4.1's machine (1 fadd / 1 fmul / 1 fdiv / 1 mem)."""
+    return govindarajan_machine()
+
+
+@pytest.fixture(scope="session")
+def pc_machine():
+    """Section 4.2's machine (2 of each class, div/sqrt unpipelined)."""
+    return perfect_club_machine()
+
+
+@pytest.fixture(scope="session")
+def gov_suite():
+    """The 24 Table-1 kernels."""
+    return govindarajan_suite()
+
+
+@pytest.fixture(scope="session")
+def pc_sample():
+    """A reproducible 60-loop sample of the Perfect-Club population."""
+    return perfect_club_suite(n_loops=60)
+
+
+@pytest.fixture
+def assert_valid():
+    """Callable fixture: verify a schedule and return it."""
+
+    def check(schedule):
+        verify_schedule(schedule)
+        return schedule
+
+    return check

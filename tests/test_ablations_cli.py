@@ -1,0 +1,92 @@
+"""Tests for the ablation studies, the motivating harness, and the CLI."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ProgramOrderScheduler,
+    hypernode_sensitivity,
+    phase_split,
+    preordering_value,
+    render_sensitivity,
+)
+from repro.experiments.cli import main
+from repro.experiments.motivating import (
+    METHODS,
+    render_motivating,
+    run_motivating,
+)
+from repro.machine.configs import govindarajan_machine, perfect_club_machine
+from repro.workloads.govindarajan import daxpy, liv1, liv5
+from repro.workloads.perfectclub import perfect_club_suite
+
+
+class TestMotivatingHarness:
+    def test_paper_numbers(self):
+        panels = run_motivating()
+        registers = {p.method: p.registers for p in panels}
+        assert registers == {"topdown": 8, "bottomup": 7, "hrms": 6}
+
+    def test_order_follows_figures(self):
+        assert [p.method for p in run_motivating()] == list(METHODS)
+
+    def test_render(self):
+        text = render_motivating(run_motivating())
+        assert "Figure 2" in text and "Figure 4" in text
+        assert "6 registers" in text
+
+
+class TestAblations:
+    def test_hypernode_sensitivity_small_spread(self):
+        """Footnote 1: starting-node choice barely moves MaxLive."""
+        machine = govindarajan_machine()
+        rows = hypernode_sensitivity(
+            [liv1(), liv5(), daxpy()], machine, max_candidates=6
+        )
+        for row in rows:
+            assert row.min_ii == row.max_ii  # II never changes
+            assert row.max_maxlive - row.min_maxlive <= 2, row.loop
+
+    def test_sensitivity_render(self):
+        machine = govindarajan_machine()
+        rows = hypernode_sensitivity([daxpy()], machine, max_candidates=3)
+        assert "MaxLive" in render_sensitivity(rows)
+
+    def test_program_order_ablation_schedules_validly(self, assert_valid):
+        machine = govindarajan_machine()
+        loop = liv1()
+        schedule = ProgramOrderScheduler().schedule(loop.graph, machine)
+        assert_valid(schedule)
+
+    def test_preordering_helps(self):
+        loops = perfect_club_suite(n_loops=60, seed=31)
+        value = preordering_value(loops, perfect_club_machine())
+        # The ordering is the paper's contribution: it should not lose.
+        assert value.hrms_maxlive <= value.ablated_maxlive
+        assert value.hrms_optimal >= value.ablated_optimal - 2
+
+    def test_phase_split_fractions(self):
+        loops = perfect_club_suite(n_loops=20, seed=37)
+        split = phase_split(loops, perfect_club_machine())
+        assert 0.0 < split.ordering_share < 1.0
+        assert 0.0 < split.scheduling_share < 1.0
+
+
+class TestCLI:
+    def test_motivating_artefact(self, capsys):
+        assert main(["motivating"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+
+    def test_stats_quick(self, capsys):
+        assert main(["stats", "--loops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "II == MII" in out
+
+    def test_fig11_quick(self, capsys):
+        assert main(["fig11", "--loops", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "hrms" in out
+
+    def test_rejects_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-thing"])

@@ -1,0 +1,163 @@
+"""Tests for MVE + end-fit register allocation."""
+
+import pytest
+
+from repro.core.scheduler import HRMSScheduler
+from repro.machine.configs import motivating_machine
+from repro.mii.analysis import compute_mii
+from repro.schedule.allocator import (
+    Arc,
+    allocate_registers,
+    mve_unroll_degree,
+)
+from repro.schedule.maxlive import max_live
+from repro.workloads.motivating import motivating_example
+
+
+class TestArc:
+    def test_simple_overlap(self):
+        a = Arc("x", 0, start=0, length=4, circumference=10)
+        b = Arc("y", 0, start=2, length=4, circumference=10)
+        c = Arc("z", 0, start=4, length=2, circumference=10)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_wraparound_overlap(self):
+        a = Arc("x", 0, start=8, length=4, circumference=10)  # 8,9,0,1
+        b = Arc("y", 0, start=0, length=2, circumference=10)  # 0,1
+        c = Arc("z", 0, start=2, length=2, circumference=10)  # 2,3
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_full_circle_overlaps_everything(self):
+        a = Arc("x", 0, start=3, length=10, circumference=10)
+        b = Arc("y", 0, start=7, length=1, circumference=10)
+        assert a.overlaps(b)
+
+    def test_zero_length_never_overlaps(self):
+        a = Arc("x", 0, start=3, length=0, circumference=10)
+        b = Arc("y", 0, start=3, length=10, circumference=10)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_covers(self):
+        a = Arc("x", 0, start=8, length=4, circumference=10)
+        assert a.covers(9)
+        assert a.covers(1)
+        assert not a.covers(5)
+
+
+class TestUnrollDegree:
+    def test_short_lifetimes_need_no_unroll(self, generic4):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        # Longest lifetime is 3 cycles at II=2 -> 2 instances.
+        assert mve_unroll_degree(schedule) == 2
+
+
+class TestAllocation:
+    def test_motivating_example_allocates_at_maxlive(self):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        allocation = allocate_registers(schedule)
+        assert allocation.maxlive == 6
+        assert allocation.register_count >= allocation.maxlive
+        assert allocation.overhead <= 1  # wands-only bound: MaxLive + 1
+
+    def test_every_instance_assigned(self):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        allocation = allocate_registers(schedule)
+        values = [
+            op.name
+            for op in schedule.graph.operations()
+            if op.produces_value
+        ]
+        for value in values:
+            for instance in range(allocation.unroll):
+                assert (value, instance) in allocation.assignment
+
+    def test_no_register_shared_by_overlapping_arcs(self):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        allocation = allocate_registers(schedule)
+        # Rebuild arcs and check pairwise disjointness per register.
+        from repro.schedule.lifetimes import compute_lifetimes
+
+        circ = allocation.unroll * schedule.ii
+        arcs = []
+        for lt in compute_lifetimes(schedule):
+            if lt.length == 0:
+                continue
+            for j in range(allocation.unroll):
+                arcs.append(
+                    Arc(
+                        lt.producer,
+                        j,
+                        (lt.start + j * schedule.ii) % circ,
+                        lt.length,
+                        circ,
+                    )
+                )
+        by_reg: dict[int, list[Arc]] = {}
+        for arc in arcs:
+            reg = allocation.assignment[(arc.value, arc.instance)]
+            by_reg.setdefault(reg, []).append(arc)
+        for reg, members in by_reg.items():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    assert not a.overlaps(b), (reg, a, b)
+
+    def test_near_maxlive_on_suite(self, gov_suite, gov_machine):
+        scheduler = HRMSScheduler()
+        for loop in gov_suite:
+            schedule = scheduler.schedule(loop.graph, gov_machine)
+            allocation = allocate_registers(schedule)
+            assert allocation.register_count >= max_live(schedule)
+            assert allocation.overhead <= 2, loop.name
+
+    @staticmethod
+    def _check_disjoint(schedule, allocation):
+        from repro.schedule.lifetimes import compute_lifetimes
+
+        circ = allocation.unroll * schedule.ii
+        by_reg: dict[int, list[Arc]] = {}
+        for lt in compute_lifetimes(schedule):
+            if lt.length == 0:
+                continue
+            for j in range(allocation.unroll):
+                arc = Arc(
+                    lt.producer,
+                    j,
+                    (lt.start + j * schedule.ii) % circ,
+                    lt.length,
+                    circ,
+                )
+                reg = allocation.assignment[(arc.value, arc.instance)]
+                by_reg.setdefault(reg, []).append(arc)
+        for reg, members in by_reg.items():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    assert not a.overlaps(b), (reg, a, b)
+
+    def test_assignments_disjoint_on_suite(self, gov_suite, gov_machine):
+        """Whichever strategy wins, no register hosts overlapping arcs."""
+        scheduler = HRMSScheduler()
+        for loop in gov_suite:
+            schedule = scheduler.schedule(loop.graph, gov_machine)
+            allocation = allocate_registers(schedule)
+            self._check_disjoint(schedule, allocation)
+
+    def test_tiled_strategy_disjoint(self, gov_suite, gov_machine):
+        from repro.schedule.allocator import _allocate_tiled_merged
+
+        scheduler = HRMSScheduler()
+        for loop in gov_suite:
+            schedule = scheduler.schedule(loop.graph, gov_machine)
+            allocation = _allocate_tiled_merged(schedule)
+            self._check_disjoint(schedule, allocation)

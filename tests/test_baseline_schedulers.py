@@ -1,0 +1,146 @@
+"""Tests for the comparison schedulers (Top-Down, Bottom-Up, Slack, FRLC)."""
+
+import pytest
+
+from repro.machine.configs import motivating_machine
+from repro.mii.analysis import compute_mii
+from repro.schedule.buffers import buffer_requirements
+from repro.schedule.maxlive import max_live
+from repro.schedulers.bottomup import BottomUpScheduler
+from repro.schedulers.frlc import FRLCScheduler
+from repro.schedulers.registry import available_schedulers, make_scheduler
+from repro.schedulers.slack import SlackScheduler
+from repro.schedulers.topdown import TopDownScheduler
+from repro.workloads.motivating import (
+    MOTIVATING_REGISTERS,
+    motivating_example,
+)
+
+
+class TestMotivatingRegisters:
+    """Section 2's comparison: Top-Down 8, Bottom-Up 7 (HRMS 6)."""
+
+    def test_topdown_needs_eight(self, assert_valid):
+        schedule = assert_valid(
+            TopDownScheduler().schedule(
+                motivating_example(), motivating_machine()
+            )
+        )
+        assert schedule.ii == 2
+        assert max_live(schedule) == MOTIVATING_REGISTERS["topdown"]
+
+    def test_topdown_places_e_too_early(self, assert_valid):
+        schedule = assert_valid(
+            TopDownScheduler().schedule(
+                motivating_example(), motivating_machine()
+            )
+        )
+        # E goes as soon as possible, far from its consumer F.
+        assert schedule.issue_cycle("E") <= 1
+        assert schedule.issue_cycle("F") >= 6
+
+    def test_bottomup_needs_seven(self, assert_valid):
+        schedule = assert_valid(
+            BottomUpScheduler().schedule(
+                motivating_example(), motivating_machine()
+            )
+        )
+        assert schedule.ii == 2
+        assert max_live(schedule) == MOTIVATING_REGISTERS["bottomup"]
+
+    def test_bottomup_places_c_too_late(self, assert_valid):
+        schedule = assert_valid(
+            BottomUpScheduler().schedule(
+                motivating_example(), motivating_machine()
+            )
+        )
+        # C drifts away from its producer B, stretching V2.
+        assert schedule.issue_cycle("C") - schedule.issue_cycle("B") > 2
+
+
+@pytest.mark.parametrize("method", ["topdown", "bottomup", "slack", "frlc"])
+class TestValidityAcrossSuites:
+    def test_gov_suite_valid(self, method, gov_suite, gov_machine,
+                             assert_valid):
+        scheduler = make_scheduler(method)
+        for loop in gov_suite:
+            analysis = compute_mii(loop.graph, gov_machine)
+            schedule = assert_valid(
+                scheduler.schedule(loop.graph, gov_machine, analysis)
+            )
+            assert schedule.ii >= analysis.mii, loop.name
+
+    def test_pc_sample_valid(self, method, pc_sample, pc_machine,
+                             assert_valid):
+        scheduler = make_scheduler(method)
+        for loop in pc_sample:
+            assert_valid(scheduler.schedule(loop.graph, pc_machine))
+
+
+class TestSlackSpecifics:
+    def test_handles_tight_recurrence(self, gov_machine, assert_valid):
+        from repro.graph.builder import GraphBuilder
+        from repro.machine.configs import GOVINDARAJAN_LATENCIES
+
+        g = (
+            GraphBuilder().defaults(**GOVINDARAJAN_LATENCIES)
+            .load("l")
+            .mul("m", deps=["l", ("a", 1)])
+            .add("a", deps=["m"])
+            .store("s", deps=["a"])
+            .build()
+        )
+        analysis = compute_mii(g, gov_machine)
+        schedule = assert_valid(
+            SlackScheduler().schedule(g, gov_machine, analysis)
+        )
+        assert schedule.ii == analysis.mii
+
+    def test_lifetime_sensitive_on_example(self, assert_valid):
+        schedule = assert_valid(
+            SlackScheduler().schedule(
+                motivating_example(), motivating_machine()
+            )
+        )
+        # Slack should not be worse than the naive Top-Down.
+        assert max_live(schedule) <= MOTIVATING_REGISTERS["topdown"]
+
+
+class TestFRLCSpecifics:
+    def test_register_insensitive_but_fast(self, assert_valid):
+        """FRLC matches II but not buffers on the lifetime-critical loop."""
+        from repro.graph.builder import GraphBuilder
+        from repro.machine.configs import (
+            GOVINDARAJAN_LATENCIES,
+            govindarajan_machine,
+        )
+
+        # liv5-like loop where flat-ASAP placement stretches lifetimes.
+        g = (
+            GraphBuilder().defaults(**GOVINDARAJAN_LATENCIES)
+            .load("lz").load("ly")
+            .add("sub", deps=["ly", ("m", 1)])
+            .mul("m", deps=["lz", "sub"])
+            .store("st", deps=["m"], latency=1)
+            .build()
+        )
+        machine = govindarajan_machine()
+        frlc = assert_valid(FRLCScheduler().schedule(g, machine))
+        hrms = assert_valid(
+            make_scheduler("hrms").schedule(g, machine)
+        )
+        assert frlc.ii == hrms.ii
+        assert buffer_requirements(frlc) >= buffer_requirements(hrms)
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in available_schedulers():
+            scheduler = make_scheduler(name)
+            assert scheduler.name == name
+
+    def test_unknown_name(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            make_scheduler("does-not-exist")

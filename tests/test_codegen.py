@@ -1,0 +1,69 @@
+"""Tests for unrolled-kernel code generation."""
+
+from repro.core.scheduler import HRMSScheduler
+from repro.machine.configs import motivating_machine
+from repro.schedule.allocator import allocate_registers
+from repro.schedule.codegen import generate_unrolled_kernel
+from repro.workloads.motivating import motivating_example
+
+
+def paper_kernel():
+    schedule = HRMSScheduler().schedule(
+        motivating_example(), motivating_machine()
+    )
+    return schedule, generate_unrolled_kernel(schedule)
+
+
+class TestUnrolledKernel:
+    def test_every_copy_of_every_op_emitted(self):
+        schedule, kernel = paper_kernel()
+        emitted = [
+            (op.operation, op.copy) for row in kernel.rows for op in row
+        ]
+        expected = {
+            (name, copy)
+            for name in schedule.graph.node_names()
+            for copy in range(kernel.unroll)
+        }
+        assert set(emitted) == expected
+        assert len(emitted) == len(expected)  # no duplicates
+
+    def test_rows_cover_unrolled_span(self):
+        _, kernel = paper_kernel()
+        assert len(kernel.rows) == kernel.unroll * kernel.ii
+
+    def test_stores_have_no_dest(self):
+        _, kernel = paper_kernel()
+        for row in kernel.rows:
+            for op in row:
+                if op.operation in ("C", "G"):
+                    assert op.dest is None
+                else:
+                    assert op.dest is not None
+
+    def test_consumer_reads_producers_register(self):
+        schedule, kernel = paper_kernel()
+        allocation = allocate_registers(schedule)
+        # B (copy k) reads A's value of the same iteration (distance 0).
+        for row in kernel.rows:
+            for op in row:
+                if op.operation != "B":
+                    continue
+                expected = f"r{allocation.assignment[('A', op.copy)]}"
+                assert expected in op.sources
+
+    def test_distinct_copies_use_distinct_registers_when_overlapping(self):
+        schedule, kernel = paper_kernel()
+        allocation = allocate_registers(schedule)
+        # D's lifetime (3 cycles) exceeds II=2, so consecutive instances
+        # coexist and must sit in different registers.
+        assert (
+            allocation.assignment[("D", 0)]
+            != allocation.assignment[("D", 1)]
+        )
+
+    def test_render_contains_rows_and_registers(self):
+        _, kernel = paper_kernel()
+        text = kernel.render()
+        assert "unrolled kernel" in text
+        assert "r0" in text

@@ -1,0 +1,120 @@
+"""Tests for the Figure 11–14 harnesses and the §4.2 stats."""
+
+import pytest
+
+from repro.experiments.fig11 import figure11, render_figure11
+from repro.experiments.fig12 import figure12
+from repro.experiments.fig13 import figure13
+from repro.experiments.fig14 import BUDGETS, figure14, render_figure14
+from repro.experiments.results import (
+    cumulative_distribution,
+    series_at,
+)
+from repro.experiments.stats import aggregate, render_stats, run_study
+from repro.workloads.perfectclub import perfect_club_suite
+
+
+@pytest.fixture(scope="module")
+def study():
+    """A 90-loop study shared by all figure tests (fast but meaningful)."""
+    return run_study(loops=perfect_club_suite(n_loops=90, seed=17))
+
+
+class TestCumulativeDistribution:
+    def test_unweighted(self):
+        series = cumulative_distribution([1, 1, 2, 4])
+        assert series_at(series, 0) == 0.0
+        assert series_at(series, 1) == 0.5
+        assert series_at(series, 3) == 0.75
+        assert series_at(series, 4) == 1.0
+
+    def test_weighted(self):
+        series = cumulative_distribution([1, 2], weights=[3.0, 1.0])
+        assert series_at(series, 1) == 0.75
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cumulative_distribution([1], weights=[1.0, 2.0])
+
+
+class TestStats:
+    def test_aggregate_claims_shape(self, study):
+        stats = aggregate(study)
+        assert stats.loops == 90
+        assert stats.optimal_fraction > 0.9  # paper: 97.5%
+        assert 1.0 <= stats.mean_ii_over_mii < 1.1  # paper: 1.01
+        assert stats.dynamic_performance > 0.9  # paper: 98.4%
+        assert 0.0 < stats.ordering_time_share < 1.0
+        ratio = stats.register_ratio_vs["topdown"]
+        assert ratio < 1.0  # HRMS needs fewer registers overall
+
+    def test_render(self, study):
+        text = render_stats(aggregate(study))
+        assert "II == MII" in text
+        assert "paper" in text
+
+
+class TestFigureCurves:
+    @pytest.mark.parametrize("figure", [figure11, figure12, figure13])
+    def test_series_monotone_to_one(self, study, figure):
+        for name, series in figure(study).items():
+            fractions = [frac for _, frac in series]
+            assert all(
+                b >= a for a, b in zip(fractions, fractions[1:])
+            ), name
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_hrms_dominates_topdown(self, study):
+        """At every register budget, at least as many HRMS loops fit."""
+        series = figure11(study)
+        hrms = dict(series["hrms"])
+        topdown = dict(series["topdown"])
+        worse_points = sum(
+            1
+            for x in range(0, max(topdown) + 1)
+            if series_at(series["hrms"], x)
+            < series_at(series["topdown"], x) - 1e-9
+        )
+        # Allow a couple of crossover points from heuristic noise.
+        assert worse_points <= 2
+
+    def test_fig13_shifted_right_of_fig12(self, study):
+        """Adding invariants can only move the (dynamic) curves right."""
+        variants_only = figure12(study)["hrms"]
+        with_inv = figure13(study)["hrms"]
+        for x in (8, 16, 32):
+            assert series_at(with_inv, x) <= series_at(variants_only, x) + 1e-9
+
+    def test_render_figure11(self, study):
+        text = render_figure11(figure11(study))
+        assert "hrms" in text and "topdown" in text
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        study = run_study(loops=perfect_club_suite(n_loops=40, seed=23))
+        return figure14(study)
+
+    def test_all_budget_method_pairs_present(self, result):
+        pairs = {(o.method, o.budget) for o in result.outcomes}
+        assert pairs == {
+            (m, b) for m in ("hrms", "topdown") for b in BUDGETS
+        }
+
+    def test_cycles_grow_as_registers_shrink(self, result):
+        for method in ("hrms", "topdown"):
+            unlimited = result.cycles(method, None)
+            at64 = result.cycles(method, 64)
+            at32 = result.cycles(method, 32)
+            assert unlimited <= at64 <= at32
+
+    def test_hrms_not_slower_under_pressure(self, result):
+        """The Figure 14 claim, in its weak (shape) form."""
+        assert result.cycles("hrms", 32) <= result.cycles("topdown", 32)
+        assert result.cycles("hrms", 64) <= result.cycles("topdown", 64)
+
+    def test_render(self, result):
+        text = render_figure14(result)
+        assert "inf" in text
+        assert "spilled loops" in text

@@ -1,0 +1,90 @@
+"""Tests for the Table 1–3 harnesses (run on a small sub-suite)."""
+
+import pytest
+
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, summarise
+from repro.experiments.table3 import render_table3, summarise_times
+from repro.workloads.govindarajan import daxpy, liv2, liv3, liv5, stencil3
+
+
+@pytest.fixture(scope="module")
+def records():
+    """Five representative loops, all four methods (SPILP capped)."""
+    loops = [liv2(), liv3(), liv5(), daxpy(), stencil3()]
+    return run_table1(loops=loops, spilp_time_limit=10.0)
+
+
+class TestTable1:
+    def test_one_record_per_loop(self, records):
+        assert [r.loop for r in records] == [
+            "liv2", "liv3", "liv5", "daxpy", "stencil3",
+        ]
+
+    def test_all_methods_present(self, records):
+        for record in records:
+            assert set(record.results) == {"hrms", "spilp", "slack", "frlc"}
+
+    def test_hrms_matches_spilp_ii(self, records):
+        for record in records:
+            hrms = record.result("hrms")
+            spilp = record.result("spilp")
+            if spilp.failed:
+                continue
+            assert hrms.ii == spilp.ii, record.loop
+
+    def test_ii_never_below_mii(self, records):
+        for record in records:
+            for result in record.results.values():
+                if not result.failed:
+                    assert result.ii >= record.mii
+
+    def test_rendering_contains_loops_and_methods(self, records):
+        text = render_table1(records)
+        assert "liv2" in text
+        assert "hrms.II" in text
+        assert "spilp.Buf" in text
+
+
+class TestTable2:
+    def test_summary_counts_add_up(self, records):
+        for comparison in summarise(records):
+            total = (
+                comparison.ii_better
+                + comparison.ii_equal
+                + comparison.ii_worse
+                + comparison.skipped
+            )
+            assert total == len(records)
+            # Buffer counts only cover the II ties.
+            buf_total = (
+                comparison.buf_better
+                + comparison.buf_equal
+                + comparison.buf_worse
+            )
+            assert buf_total == comparison.ii_equal
+
+    def test_hrms_never_loses_ii_to_heuristics_here(self, records):
+        for comparison in summarise(records):
+            if comparison.method in ("slack", "frlc"):
+                assert comparison.ii_worse == 0
+
+    def test_rendering(self, records):
+        text = render_table2(summarise(records))
+        assert "II<" in text
+        assert "spilp" in text
+
+
+class TestTable3:
+    def test_totals_positive(self, records):
+        for totals in summarise_times(records):
+            assert totals.total_seconds > 0
+
+    def test_spilp_slower_than_hrms(self, records):
+        times = {t.method: t.total_seconds for t in summarise_times(records)}
+        assert times["spilp"] > times["hrms"]
+
+    def test_rendering_contains_ratio(self, records):
+        text = render_table3(summarise_times(records))
+        assert "xHRMS" in text
+        assert "hrms" in text

@@ -1,0 +1,92 @@
+"""Tests for the ``hrms-compile`` command-line driver."""
+
+import pytest
+
+from repro.frontend.cli import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCompileCli:
+    def test_kernel_summary(self, capsys):
+        code, out, err = _run(capsys, "--kernel", "daxpy")
+        assert code == 0
+        assert "daxpy: 5 ops" in out
+        assert "MII = 2" in out
+        assert err == ""
+
+    def test_source_file(self, tmp_path, capsys):
+        path = tmp_path / "my_loop.txt"
+        path.write_text(
+            "real s\nreal x(9)\ndo i = 1, 9\n  s = s + x(i)\nend do\n"
+        )
+        code, out, _ = _run(capsys, str(path))
+        assert code == 0
+        assert "my_loop:" in out
+
+    def test_missing_file(self, capsys):
+        code, _, err = _run(capsys, "no/such/file.loop")
+        assert code == 2
+        assert "no such file" in err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("real s\ndo i = 1, 5\n  s = undeclared\nend do\n")
+        code, _, err = _run(capsys, str(path))
+        assert code == 1
+        assert "undeclared" in err
+
+    def test_emit_dot(self, capsys):
+        code, out, _ = _run(capsys, "--kernel", "daxpy", "--emit", "dot")
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_emit_schedule(self, capsys):
+        code, out, _ = _run(
+            capsys, "--kernel", "daxpy", "--emit", "schedule"
+        )
+        assert code == 0
+        assert "II = 2" in out
+
+    def test_emit_lifetimes(self, capsys):
+        code, out, _ = _run(
+            capsys, "--kernel", "dot", "--emit", "lifetimes"
+        )
+        assert code == 0
+        assert "cycle |" in out
+
+    def test_emit_kernels(self, capsys):
+        for emit, marker in (
+            ("kernel", "unrolled kernel"),
+            ("rotating", "rotating kernel"),
+        ):
+            code, out, _ = _run(
+                capsys, "--kernel", "daxpy", "--emit", emit
+            )
+            assert code == 0
+            assert marker in out
+
+    def test_scheduler_and_machine_flags(self, capsys):
+        code, out, _ = _run(
+            capsys,
+            "--kernel", "liv5_tridiag",
+            "--scheduler", "topdown",
+            "--machine", "govindarajan",
+        )
+        assert code == 0
+        assert "topdown II" in out
+
+    def test_trips_override(self, capsys):
+        code, out, _ = _run(
+            capsys, "--kernel", "daxpy", "--trips", "7"
+        )
+        assert code == 0
+        assert "7 iterations" in out
+
+    def test_kernel_and_path_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--kernel", "daxpy", "somefile"])

@@ -1,0 +1,96 @@
+"""End-to-end tests: bundled kernels through the full pipeline.
+
+Every kernel in :mod:`repro.frontend.kernels` must compile, schedule
+under multiple methods, and produce verifier-clean schedules.  A few
+kernels with analytically-known MIIs pin the dependence analysis.
+"""
+
+import pytest
+
+from repro.frontend import (
+    compile_source,
+    govindarajan_profile,
+    kernel_names,
+    kernel_source,
+)
+from repro.machine.configs import govindarajan_machine, perfect_club_machine
+from repro.mii.analysis import compute_mii
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.registry import make_scheduler
+
+KERNELS = kernel_names()
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return perfect_club_machine()
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernel_compiles_and_hrms_schedules_verify(name, machine):
+    loop = compile_source(kernel_source(name), name=name)
+    schedule = make_scheduler("hrms").schedule(loop.graph, machine)
+    verify_schedule(schedule)
+    assert schedule.ii >= compute_mii(loop.graph, machine).mii
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernel_schedules_with_topdown(name, machine):
+    loop = compile_source(kernel_source(name), name=name)
+    schedule = make_scheduler("topdown").schedule(loop.graph, machine)
+    verify_schedule(schedule)
+
+
+@pytest.mark.parametrize(
+    "name, expected_recmii",
+    [
+        # load(2) + sub(4) + mul(4) + store(1), distance 1.
+        ("liv5_tridiag", 11),
+        # s = s + x(i)*y(i): the add feeds itself, distance 1.
+        ("dot", 4),
+        # x(i) = a*x(i-1) + b*x(i-2) + f(i): the distance-1 circuit is
+        # load(2) + mul(4) + add(4) + add(4) + store(1) = 15.
+        ("state_recurrence", 15),
+    ],
+)
+def test_known_recurrence_miis(name, expected_recmii, machine):
+    loop = compile_source(kernel_source(name), name=name)
+    analysis = compute_mii(loop.graph, machine)
+    assert analysis.recmii == expected_recmii
+
+
+def test_recurrence_free_kernels_are_resource_bound(machine):
+    for name in ("daxpy", "liv1_hydro", "liv12_first_diff", "stencil3"):
+        loop = compile_source(kernel_source(name), name=name)
+        analysis = compute_mii(loop.graph, machine)
+        assert analysis.recmii <= analysis.resmii, name
+
+
+def test_hrms_beats_or_ties_topdown_registers(machine):
+    """Aggregate register comparison over the kernel library.
+
+    HRMS need not win every kernel, but across the library it must not
+    lose to the register-blind Top-Down scheduler.
+    """
+    from repro.schedule.maxlive import max_live
+
+    hrms_total = 0
+    topdown_total = 0
+    for name in KERNELS:
+        loop = compile_source(kernel_source(name), name=name)
+        hrms = make_scheduler("hrms").schedule(loop.graph, machine)
+        topdown = make_scheduler("topdown").schedule(loop.graph, machine)
+        if hrms.ii == topdown.ii:
+            hrms_total += max_live(hrms)
+            topdown_total += max_live(topdown)
+    assert hrms_total <= topdown_total
+
+
+def test_kernels_compile_under_govindarajan_profile():
+    machine = govindarajan_machine()
+    for name in ("daxpy", "dot", "liv5_tridiag", "predicated_clip"):
+        loop = compile_source(
+            kernel_source(name), name=name, profile=govindarajan_profile()
+        )
+        schedule = make_scheduler("hrms").schedule(loop.graph, machine)
+        verify_schedule(schedule)

@@ -1,0 +1,477 @@
+"""IF-conversion, dependence-test and lowering tests.
+
+These check the *graph shapes* the front end produces: node mix, edge
+kinds and distances, recurrence circuits, CSE, invariant hoisting — the
+properties the schedulers consume.
+"""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import (
+    compile_source,
+    compile_to_lowered,
+    govindarajan_profile,
+)
+from repro.frontend.ifconvert import count_predicates, if_convert
+from repro.frontend.parser import parse_program
+from repro.graph.edges import DependenceKind
+from repro.mii.analysis import compute_mii
+from repro.machine.configs import perfect_club_machine
+
+
+def _edges(graph, kind=None):
+    edges = graph.edges()
+    if kind is not None:
+        edges = [e for e in edges if e.kind is kind]
+    return edges
+
+
+def _ops_with_prefix(graph, prefix):
+    return [n for n in graph.node_names() if n.startswith(prefix)]
+
+
+class TestIfConversion:
+    def _flatten(self, source):
+        return if_convert(parse_program(source).loop)
+
+    def test_unconditional_body_has_no_guards(self):
+        flat = self._flatten(
+            "real s\nreal x(5)\ndo i = 1, 5\n  s = s + x(i)\nend do"
+        )
+        assert [g.guard for g in flat] == [None]
+
+    def test_then_and_else_get_complementary_guards(self):
+        flat = self._flatten(
+            """
+            real s
+            real x(5)
+            do i = 1, 5
+              if (x(i) > 0) then
+                s = s + 1
+              else
+                s = s - 1
+              end if
+            end do
+            """
+        )
+        assert len(flat) == 2
+        then_guard, else_guard = flat[0].guard, flat[1].guard
+        assert then_guard is not None
+        assert type(else_guard).__name__ == "NotOp"
+        assert count_predicates(flat) == 2
+
+    def test_nested_guards_conjoin(self):
+        flat = self._flatten(
+            """
+            real s, a
+            real x(5)
+            do i = 1, 5
+              if (x(i) > 0) then
+                if (x(i) < a) then
+                  s = s + 1
+                end if
+              end if
+            end do
+            """
+        )
+        guard = flat[0].guard
+        assert type(guard).__name__ == "BoolOp"
+        assert guard.op == "and"
+
+    def test_statement_order_is_preserved(self):
+        flat = self._flatten(
+            """
+            real s, t
+            real x(5), y(5)
+            do i = 1, 5
+              s = x(i)
+              if (s > 0) then
+                t = s * 2
+              end if
+              y(i) = s
+            end do
+            """
+        )
+        kinds = [g.is_store for g in flat]
+        assert kinds == [False, False, True]
+
+
+class TestScalarDataFlow:
+    def test_reduction_creates_distance_one_recurrence(self):
+        loop = compile_source(
+            "real s\nreal x(9)\ndo i = 1, 9\n  s = s + x(i)\nend do"
+        )
+        carried = [
+            e
+            for e in _edges(loop.graph, DependenceKind.REGISTER)
+            if e.distance == 1
+        ]
+        assert len(carried) == 1
+        add = _ops_with_prefix(loop.graph, "add")[0]
+        assert carried[0].src == add and carried[0].dst == add
+
+    def test_read_after_write_uses_same_iteration_value(self):
+        loop = compile_source(
+            "real s\nreal x(9), y(9)\ndo i = 1, 9\n"
+            "  s = x(i) * x(i)\n  y(i) = s\nend do"
+        )
+        carried = [e for e in loop.graph.edges() if e.distance == 1]
+        assert carried == []
+
+    def test_second_order_recurrence_distances(self):
+        # The Fibonacci idiom: u_j = u_{j-1} + u_{j-2}.  The copy chain
+        # t = s (before s is redefined) makes t's value the add from two
+        # iterations back, so the add feeds itself at distances 1 and 2.
+        loop = compile_source(
+            """
+            real s, t, u
+            real x(9)
+            do i = 1, 9
+              u = s + t
+              t = s
+              s = u
+              x(i) = u
+            end do
+            """
+        )
+        add = [n for n in loop.graph.node_names() if n.startswith("add")][0]
+        self_loops = [
+            e for e in loop.graph.edges() if e.src == add and e.dst == add
+        ]
+        assert sorted(e.distance for e in self_loops) == [1, 2]
+
+    def test_copy_cycle_reads_preheader_values(self):
+        # s and t merely swap forever: their values are loop-invariant,
+        # so no carried edge exists and the swapped values count as
+        # invariant registers.
+        lowered = compile_to_lowered(
+            """
+            real s, t, u
+            real x(9)
+            do i = 1, 9
+              u = s
+              s = t
+              t = u
+              x(i) = u
+            end do
+            """
+        )
+        carried = [e for e in lowered.graph.edges() if e.distance >= 1]
+        assert carried == []
+        assert lowered.invariants >= 1
+
+    def test_scalar_reassigned_invariant_costs_register_not_edge(self):
+        # s is set from an invariant each iteration; the early read uses
+        # the previous iteration's value, which is that same invariant.
+        lowered = compile_to_lowered(
+            """
+            real a, s
+            real x(9), y(9)
+            do i = 1, 9
+              y(i) = s + x(i)
+              s = a
+            end do
+            """
+        )
+        carried = [e for e in lowered.graph.edges() if e.distance == 1]
+        assert carried == []
+        assert lowered.invariants == 1
+
+
+class TestMemoryDependences:
+    def test_in_place_update_creates_memory_recurrence(self):
+        # x(i) = f(x(i-1)) : store->load distance 1
+        lowered = compile_to_lowered(
+            "real x(9), y(9)\ndo i = 2, 9\n  x(i) = y(i) - x(i - 1)\nend do"
+        )
+        memory = _edges(lowered.graph, DependenceKind.MEMORY)
+        assert len(memory) == 1
+        edge = memory[0]
+        assert edge.src.startswith("st_x") and edge.dst.startswith("ld_x")
+        assert edge.distance == 1
+
+    def test_same_iteration_store_then_load_distance_zero(self):
+        lowered = compile_to_lowered(
+            "real s\nreal x(9), y(9)\ndo i = 1, 9\n"
+            "  x(i) = y(i)\n  s = x(i)\nend do"
+        )
+        memory = _edges(lowered.graph, DependenceKind.MEMORY)
+        zero = [e for e in memory if e.distance == 0]
+        assert any(
+            e.src.startswith("st_x") and e.dst.startswith("ld_x")
+            for e in zero
+        )
+
+    def test_disjoint_strides_have_no_dependence(self):
+        # Writes even elements, reads odd: offsets differ by 1 under
+        # coefficient 2 → non-integer distance → independent.
+        lowered = compile_to_lowered(
+            "real x(99)\ndo i = 1, 40\n  x(2 * i) = x(2 * i + 1)\nend do"
+        )
+        assert _edges(lowered.graph, DependenceKind.MEMORY) == []
+
+    def test_far_dependence_distance(self):
+        lowered = compile_to_lowered(
+            "real x(99)\ndo i = 4, 90\n  x(i) = x(i - 3) + 1\nend do"
+        )
+        memory = _edges(lowered.graph, DependenceKind.MEMORY)
+        assert [e.distance for e in memory] == [3]
+
+    def test_indirect_access_is_conservative(self):
+        lowered = compile_to_lowered(
+            """
+            real w(9), ind(9), v(9)
+            do i = 1, 9
+              w(ind(i)) = w(ind(i)) + v(i)
+            end do
+            """
+        )
+        memory = _edges(lowered.graph, DependenceKind.MEMORY)
+        distances = sorted(e.distance for e in memory)
+        # load-before-store (d0) plus store-to-next-load (d1).
+        assert distances == [0, 1]
+
+    def test_fixed_address_store_gets_self_output_edge(self):
+        lowered = compile_to_lowered(
+            "real x(9), y(9)\ndo i = 1, 9\n  x(1) = y(i)\nend do"
+        )
+        self_edges = [
+            e for e in lowered.graph.edges() if e.src == e.dst
+        ]
+        assert len(self_edges) == 1
+        assert self_edges[0].distance == 1
+
+    def test_reads_only_never_conflict(self):
+        lowered = compile_to_lowered(
+            "real s\nreal x(9)\ndo i = 1, 9\n  s = x(i) + x(i - 1)\nend do"
+        )
+        assert _edges(lowered.graph, DependenceKind.MEMORY) == []
+
+    def test_symbolic_shift_same_symbol_compares(self):
+        # x(i+k) written, x(i+k) read: same symbolic form, distance 0.
+        lowered = compile_to_lowered(
+            """
+            real k, s
+            real x(99)
+            do i = 1, 9
+              x(i + k) = s
+              s = x(i + k)
+            end do
+            """
+        )
+        memory = _edges(lowered.graph, DependenceKind.MEMORY)
+        assert any(
+            e.distance == 0 and e.src.startswith("st_x") for e in memory
+        )
+
+    def test_symbolic_vs_plain_shift_is_conservative(self):
+        lowered = compile_to_lowered(
+            """
+            real k
+            real x(99), y(99)
+            do i = 1, 9
+              x(i + k) = y(i)
+              y(i) = x(i)
+            end do
+            """
+        )
+        # st_x vs ld_x: different symbolic parts → conservative pair.
+        memory = [
+            e
+            for e in _edges(lowered.graph, DependenceKind.MEMORY)
+            if "_x" in e.src and "_x" in e.dst
+        ]
+        assert sorted(e.distance for e in memory) == [0, 1]
+
+
+class TestLoweringNodesAndCSE:
+    def test_daxpy_node_mix(self):
+        loop = compile_source(
+            "real a\nreal x(9), y(9)\ndo i = 1, 9\n"
+            "  y(i) = y(i) + a * x(i)\nend do"
+        )
+        graph = loop.graph
+        assert len(_ops_with_prefix(graph, "ld_")) == 2
+        assert len(_ops_with_prefix(graph, "st_")) == 1
+        assert len(_ops_with_prefix(graph, "mul")) == 1
+        assert len(_ops_with_prefix(graph, "add")) == 1
+        assert loop.invariants == 1
+
+    def test_repeated_load_is_cse_d(self):
+        loop = compile_source(
+            "real s\nreal x(9)\ndo i = 1, 9\n  s = x(i) * x(i)\nend do"
+        )
+        assert len(_ops_with_prefix(loop.graph, "ld_")) == 1
+
+    def test_store_invalidates_load_cse(self):
+        loop = compile_source(
+            "real s\nreal x(9)\ndo i = 1, 9\n"
+            "  s = x(i)\n  x(i) = s + 1\n  s = x(i)\nend do"
+        )
+        assert len(_ops_with_prefix(loop.graph, "ld_x")) == 2
+
+    def test_common_subexpression_reused(self):
+        loop = compile_source(
+            "real s\nreal x(9), y(9)\ndo i = 1, 9\n"
+            "  s = (x(i) + y(i)) * (x(i) + y(i))\nend do"
+        )
+        assert len(_ops_with_prefix(loop.graph, "add")) == 1
+
+    def test_invariant_expression_hoisted(self):
+        lowered = compile_to_lowered(
+            "real a, b\nreal x(9)\ndo i = 1, 9\n"
+            "  x(i) = a * b + x(i)\nend do"
+        )
+        # a*b computes in the preheader: one invariant register, no
+        # in-loop multiply.
+        assert _ops_with_prefix(lowered.graph, "mul") == []
+        assert lowered.invariants == 1
+
+    def test_pure_constant_folds_away_entirely(self):
+        lowered = compile_to_lowered(
+            "real x(9)\ndo i = 1, 9\n  x(i) = 2 * 3 + 1\nend do"
+        )
+        assert len(lowered.graph) == 1  # just the store
+        assert lowered.invariants == 0
+
+    def test_unused_invariant_not_counted(self):
+        lowered = compile_to_lowered(
+            "real a, b\nreal x(9)\ndo i = 1, 9\n  x(i) = a\nend do"
+        )
+        assert lowered.invariants == 1
+
+    def test_stores_produce_no_value(self):
+        loop = compile_source(
+            "real x(9), y(9)\ndo i = 1, 9\n  y(i) = x(i)\nend do"
+        )
+        store = loop.graph.operation(_ops_with_prefix(loop.graph, "st_")[0])
+        assert store.is_store
+
+    def test_profile_controls_latencies(self):
+        lowered = compile_to_lowered(
+            "real x(9), y(9)\ndo i = 1, 9\n  y(i) = x(i) / 2\nend do",
+            profile=govindarajan_profile(),
+        )
+        div = lowered.graph.operation(
+            _ops_with_prefix(lowered.graph, "div")[0]
+        )
+        assert div.latency == 17
+        assert div.opclass == "fdiv"
+
+
+class TestPredicationLowering:
+    def test_guarded_scalar_becomes_select(self):
+        loop = compile_source(
+            """
+            real s
+            real x(9)
+            do i = 1, 9
+              if (x(i) > 0) then
+                s = s + x(i)
+              end if
+            end do
+            """
+        )
+        graph = loop.graph
+        assert len(_ops_with_prefix(graph, "cmp")) == 1
+        assert len(_ops_with_prefix(graph, "sel")) == 1
+        # The select feeds itself across iterations (s's recurrence).
+        sel = _ops_with_prefix(graph, "sel")[0]
+        self_loops = [
+            e for e in graph.edges() if e.src == sel and e.dst == sel
+        ]
+        assert [e.distance for e in self_loops] == [1]
+
+    def test_guarded_store_gets_control_edge(self):
+        loop = compile_source(
+            """
+            real lo
+            real x(9), y(9)
+            do i = 1, 9
+              if (x(i) > lo) then
+                y(i) = x(i)
+              end if
+            end do
+            """
+        )
+        control = _edges(loop.graph, DependenceKind.CONTROL)
+        assert len(control) == 1
+        assert control[0].src.startswith("cmp")
+        assert control[0].dst.startswith("st_y")
+
+    def test_then_else_share_one_compare(self):
+        loop = compile_source(
+            """
+            real s
+            real x(9)
+            do i = 1, 9
+              if (x(i) > 0) then
+                s = s + x(i)
+              else
+                s = s - x(i)
+              end if
+            end do
+            """
+        )
+        graph = loop.graph
+        assert len(_ops_with_prefix(graph, "cmp")) == 1
+        assert len(_ops_with_prefix(graph, "not")) == 1
+        assert len(_ops_with_prefix(graph, "sel")) == 2
+
+    def test_invariant_predicate_hoists(self):
+        lowered = compile_to_lowered(
+            """
+            real a, b, s
+            real x(9)
+            do i = 1, 9
+              if (a > b) then
+                s = s + x(i)
+              end if
+            end do
+            """
+        )
+        assert _ops_with_prefix(lowered.graph, "cmp") == []
+        # The hoisted predicate is one invariant register.
+        assert lowered.invariants == 1
+
+
+class TestEndToEnd:
+    def test_tridiagonal_recurrence_ii(self):
+        # The memory recurrence load->sub->mul->store must bound the II:
+        # 2 + 4 + 4 + 1 = 11 with perfect-club latencies.
+        loop = compile_source(
+            "real x(9), y(9), z(9)\ndo i = 2, 9\n"
+            "  x(i) = z(i) * (y(i) - x(i - 1))\nend do"
+        )
+        analysis = compute_mii(loop.graph, perfect_club_machine())
+        assert analysis.recmii == 11
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SemanticError, match="at least one statement"):
+            compile_source("real s\ndo i = 1, 5\nend do")
+
+    def test_never_assigned_scalar_read(self):
+        # Read of a scalar that is never assigned is an invariant —
+        # no error — but reading a *variant* before any possible write
+        # resolves to the carried final definition.
+        loop = compile_source(
+            "real s, t\nreal x(9)\ndo i = 1, 9\n  t = s\n  s = x(i)\nend do"
+        )
+        carried = [e for e in loop.graph.edges() if e.distance == 1]
+        # t = s reads the previous iteration's load.
+        assert len(carried) == 0 or all(
+            e.src.startswith("ld_") for e in carried
+        )
+
+    def test_trip_count_flows_to_loop(self):
+        loop = compile_source(
+            "real s\ndo i = 10, 109\n  s = s + 1\nend do"
+        )
+        assert loop.iterations == 100
+
+    def test_trips_override(self):
+        loop = compile_source(
+            "real s, n\ndo i = 1, n\n  s = s + 1\nend do", trips=7
+        )
+        assert loop.iterations == 7

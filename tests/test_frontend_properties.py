@@ -1,0 +1,198 @@
+"""Property-based tests of the front end (hypothesis).
+
+A source-level program generator drives the whole pipeline: every random
+program that compiles must produce a valid dependence graph whose HRMS
+schedule passes the verifier — the compiler-level analogue of the random
+DDG properties in ``test_properties.py``.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemanticError
+from repro.frontend import compile_to_lowered
+from repro.frontend.affine import analyze_affine
+from repro.frontend.nodes import BinOp, Num, UnaryOp, VarRef
+from repro.graph.edges import DependenceKind
+from repro.machine.configs import perfect_club_machine
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.registry import make_scheduler
+
+SCALARS = ("s", "t", "a", "b")
+ARRAYS = ("x", "y", "z")
+
+
+# ----------------------------------------------------------------------
+# Source-program generator
+# ----------------------------------------------------------------------
+@st.composite
+def subscripts(draw):
+    shift = draw(st.integers(min_value=-3, max_value=3))
+    if shift == 0:
+        return "i"
+    return f"i + {shift}" if shift > 0 else f"i - {-shift}"
+
+
+@st.composite
+def expressions(draw, depth=0):
+    choices = ["const", "scalar", "array"]
+    if depth < 2:
+        choices += ["binop", "binop", "unary"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "const":
+        return str(draw(st.integers(min_value=1, max_value=9)))
+    if kind == "scalar":
+        return draw(st.sampled_from(SCALARS))
+    if kind == "array":
+        array = draw(st.sampled_from(ARRAYS))
+        return f"{array}({draw(subscripts())})"
+    if kind == "unary":
+        return f"-({draw(expressions(depth=depth + 1))})"
+    op = draw(st.sampled_from("+-*/"))
+    lhs = draw(expressions(depth=depth + 1))
+    rhs = draw(expressions(depth=depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(
+        st.sampled_from(
+            ["scalar", "array", "array"] + (["if"] if depth == 0 else [])
+        )
+    )
+    if kind == "scalar":
+        target = draw(st.sampled_from(SCALARS))
+        return [f"{target} = {draw(expressions())}"]
+    if kind == "array":
+        array = draw(st.sampled_from(ARRAYS))
+        return [f"{array}({draw(subscripts())}) = {draw(expressions())}"]
+    relop = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "/="]))
+    cond = f"{draw(expressions(depth=1))} {relop} {draw(expressions(depth=1))}"
+    then_stmt = draw(statements(depth=1))
+    lines = [f"if ({cond}) then", *[f"  {s}" for s in then_stmt]]
+    if draw(st.booleans()):
+        else_stmt = draw(statements(depth=1))
+        lines += ["else", *[f"  {s}" for s in else_stmt]]
+    lines.append("end if")
+    return lines
+
+
+@st.composite
+def programs(draw):
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        body.extend(draw(statements()))
+    lines = [
+        f"real {', '.join(SCALARS)}",
+        f"real {', '.join(f'{a}(100)' for a in ARRAYS)}",
+        "do i = 1, 50",
+        *[f"  {s}" for s in body],
+        "end do",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pipeline properties
+# ----------------------------------------------------------------------
+class TestCompiledGraphInvariants:
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_random_program_compiles_to_valid_graph(self, source):
+        lowered = self._compile(source)
+        if lowered is None:
+            return
+        graph = lowered.graph
+        graph.validate()
+        assert len(graph) >= 1
+        assert lowered.invariants >= 0
+        # Every edge endpoint exists; distances are nonnegative.
+        for edge in graph.edges():
+            assert edge.src in graph and edge.dst in graph
+            assert edge.distance >= 0
+
+    @staticmethod
+    def _compile(source):
+        """Compile, tolerating the documented dead-body rejection."""
+        try:
+            return compile_to_lowered(source)
+        except SemanticError as error:
+            assert "lowers to no operations" in str(error)
+            return None
+
+    @given(programs())
+    @settings(max_examples=25, deadline=None)
+    def test_random_program_schedules_clean(self, source):
+        lowered = self._compile(source)
+        if lowered is None:
+            return
+        schedule = make_scheduler("hrms").schedule(
+            lowered.graph, perfect_club_machine()
+        )
+        verify_schedule(schedule)
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_stores_never_produce_values(self, source):
+        lowered = self._compile(source)
+        if lowered is None:
+            return
+        for op in lowered.graph.operations():
+            if op.name.startswith("st_"):
+                assert op.is_store
+            else:
+                assert op.produces_value
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_control_edges_only_target_stores(self, source):
+        lowered = self._compile(source)
+        if lowered is None:
+            return
+        for edge in lowered.graph.edges():
+            if edge.kind is DependenceKind.CONTROL:
+                assert lowered.graph.operation(edge.dst).is_store
+                assert edge.distance == 0
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_lowering_is_deterministic(self, source):
+        first = self._compile(source)
+        if first is None:
+            return
+        second = self._compile(source)
+        assert first.graph.node_names() == second.graph.node_names()
+        assert sorted(e.key for e in first.graph.edges()) == sorted(
+            e.key for e in second.graph.edges()
+        )
+        assert first.invariants == second.invariants
+
+
+class TestAffineProperties:
+    @given(
+        st.integers(min_value=-4, max_value=4),
+        st.integers(min_value=-10, max_value=10),
+    )
+    def test_affine_roundtrip(self, coef, const):
+        # Build "coef * i + const" as an AST and re-analyse it.
+        expr = BinOp(
+            "+",
+            BinOp("*", Num(Fraction(coef)), VarRef("i")),
+            Num(Fraction(const)),
+        )
+        form = analyze_affine(expr, "i", frozenset())
+        assert form is not None
+        assert form.coef == coef
+        assert form.const == const
+
+    @given(st.integers(min_value=-5, max_value=5))
+    def test_negation_flips_all_coefficients(self, shift):
+        expr = UnaryOp(
+            "-", BinOp("+", VarRef("i"), Num(Fraction(shift)))
+        )
+        form = analyze_affine(expr, "i", frozenset())
+        assert form.coef == -1
+        assert form.const == -shift

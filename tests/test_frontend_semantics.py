@@ -1,0 +1,158 @@
+"""Semantic-analysis and affine-analysis tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend.affine import analyze_affine
+from repro.frontend.parser import parse_program
+from repro.frontend.semantics import analyze
+
+
+def _analyze(source: str):
+    program = parse_program(source)
+    return analyze(program, source)
+
+
+class TestScalarClassification:
+    def test_variant_vs_invariant(self):
+        info = _analyze(
+            """
+            real a, s
+            real x(10)
+            do i = 1, 10
+              s = s + a * x(i)
+            end do
+            """
+        )
+        assert info.variant_scalars == ("s",)
+        assert info.invariant_scalars == ("a",)
+
+    def test_scalar_assigned_only_in_branch_is_variant(self):
+        info = _analyze(
+            """
+            real s, t
+            real x(10)
+            do i = 1, 10
+              if (x(i) > t) then
+                s = s + 1
+              end if
+            end do
+            """
+        )
+        assert info.variant_scalars == ("s",)
+        assert info.invariant_scalars == ("t",)
+
+    def test_trip_count_from_literal_bounds(self):
+        info = _analyze("real s\ndo i = 5, 104\n  s = s + 1\nend do")
+        assert info.trip_count == 100
+
+    def test_trip_count_none_for_symbolic_bounds(self):
+        info = _analyze("real s, n\ndo i = 1, n\n  s = s + 1\nend do")
+        assert info.trip_count is None
+        # n is read (as a bound) but loop-bound reads happen before the
+        # body; only body reads classify scalars.
+        assert "n" not in info.variant_scalars
+
+
+class TestSemanticErrors:
+    def test_undeclared_scalar_read(self):
+        with pytest.raises(SemanticError, match="undeclared scalar 'b'"):
+            _analyze("real a\ndo i = 1, 5\n  a = b\nend do")
+
+    def test_undeclared_scalar_write(self):
+        with pytest.raises(SemanticError, match="undeclared scalar 'c'"):
+            _analyze("real a\ndo i = 1, 5\n  c = a\nend do")
+
+    def test_undeclared_array(self):
+        with pytest.raises(SemanticError, match="undeclared array 'z'"):
+            _analyze("real a\ndo i = 1, 5\n  a = z(i)\nend do")
+
+    def test_loop_variable_must_not_be_assigned(self):
+        with pytest.raises(SemanticError, match="must not be assigned"):
+            _analyze("real a\ndo i = 1, 5\n  i = a\nend do")
+
+    def test_loop_variable_must_not_shadow_declaration(self):
+        with pytest.raises(SemanticError, match="shadows"):
+            _analyze("real i\ndo i = 1, 5\n  i2 = 1\nend do")
+
+    def test_array_used_without_subscript(self):
+        with pytest.raises(SemanticError, match="without a subscript"):
+            _analyze("real a\nreal x(5)\ndo i = 1, 5\n  a = x\nend do")
+
+    def test_array_assigned_without_subscript(self):
+        with pytest.raises(SemanticError, match="without a subscript"):
+            _analyze("real a\nreal x(5)\ndo i = 1, 5\n  x = a\nend do")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(SemanticError, match="more than once"):
+            _analyze("real a\nreal a(5)\ndo i = 1, 5\n  a = 1\nend do")
+
+    def test_loop_bound_using_loop_variable(self):
+        with pytest.raises(SemanticError, match="loop variable"):
+            _analyze("real s\ndo i = 1, i\n  s = 1\nend do")
+
+    def test_loop_bound_using_array(self):
+        with pytest.raises(SemanticError, match="arrays"):
+            _analyze("real s\nreal x(5)\ndo i = 1, x(1)\n  s = 1\nend do")
+
+
+class TestAffineAnalysis:
+    def _form(self, text: str, invariants=("k",)):
+        source = (
+            f"real s, k\nreal x(100)\ndo i = 1, 10\n  s = x({text})\nend do"
+        )
+        program = parse_program(source)
+        subscript = program.loop.body[0].value.subscripts[0]
+        return analyze_affine(subscript, "i", frozenset(invariants))
+
+    def test_plain_index(self):
+        form = self._form("i")
+        assert (form.coef, form.const) == (Fraction(1), Fraction(0))
+
+    def test_shifted_index(self):
+        form = self._form("i - 3")
+        assert (form.coef, form.const) == (Fraction(1), Fraction(-3))
+
+    def test_scaled_index(self):
+        form = self._form("2 * i + 1")
+        assert (form.coef, form.const) == (Fraction(2), Fraction(1))
+
+    def test_negated_index(self):
+        form = self._form("-i + 10")
+        assert (form.coef, form.const) == (Fraction(-1), Fraction(10))
+
+    def test_symbolic_offset(self):
+        form = self._form("i + k")
+        assert form.coef == 1
+        assert form.sym_coefs == (("k", Fraction(1)),)
+
+    def test_symbolic_offsets_cancel(self):
+        form = self._form("i + k - k")
+        assert form.sym_coefs == ()
+
+    def test_division_by_constant(self):
+        form = self._form("(2 * i + 4) / 2")
+        assert (form.coef, form.const) == (Fraction(1), Fraction(2))
+
+    def test_variant_scalar_is_not_affine(self):
+        assert self._form("i + s") is None
+
+    def test_indirect_subscript_is_not_affine(self):
+        assert self._form("x(i)") is None
+
+    def test_product_of_loop_var_not_affine(self):
+        assert self._form("i * i") is None
+
+    def test_division_by_loop_var_not_affine(self):
+        assert self._form("k / i", invariants=("k",)) is None
+
+    def test_distance_between_forms(self):
+        write = self._form("i")
+        read = self._form("i - 1")
+        assert write.minus_const(read) == Fraction(1)
+
+    def test_distance_undefined_across_different_shapes(self):
+        assert self._form("i").minus_const(self._form("2 * i")) is None
+        assert self._form("i").minus_const(self._form("i + k")) is None

@@ -1,0 +1,103 @@
+"""DO-loop step (stride) support: parsing, trip counts, dependences."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import compile_source, compile_to_lowered
+from repro.frontend.parser import parse_program
+from repro.graph.edges import DependenceKind
+
+
+def _memory_edges(lowered):
+    return [
+        e for e in lowered.graph.edges()
+        if e.kind is DependenceKind.MEMORY
+    ]
+
+
+class TestStepParsing:
+    def test_default_step_is_one(self):
+        program = parse_program("real s\ndo i = 1, 9\n  s = s\nend do")
+        assert program.loop.step == 1
+
+    def test_explicit_step(self):
+        program = parse_program("real s\ndo i = 1, 9, 2\n  s = s\nend do")
+        assert program.loop.step == 2
+
+    def test_negative_step(self):
+        program = parse_program("real s\ndo i = 9, 1, -2\n  s = s\nend do")
+        assert program.loop.step == -2
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ParseError, match="nonzero"):
+            parse_program("real s\ndo i = 1, 9, 0\n  s = s\nend do")
+
+    def test_fractional_step_rejected(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_program("real s\ndo i = 1, 9, 0.5\n  s = s\nend do")
+
+
+class TestStepTripCount:
+    def test_stride_two(self):
+        loop = compile_source(
+            "real s\nreal x(99)\ndo i = 1, 99, 2\n  s = s + x(i)\nend do"
+        )
+        assert loop.iterations == 50
+
+    def test_negative_stride(self):
+        loop = compile_source(
+            "real s\nreal x(99)\ndo i = 99, 1, -3\n  s = s + x(i)\nend do"
+        )
+        assert loop.iterations == 33
+
+    def test_uneven_stride(self):
+        loop = compile_source(
+            "real s\nreal x(99)\ndo i = 1, 10, 4\n  s = s + x(i)\nend do"
+        )
+        # i = 1, 5, 9.
+        assert loop.iterations == 3
+
+
+class TestStepDependences:
+    def test_stride_two_shift_two_is_distance_one(self):
+        # x(i) written, x(i-2) read, step 2: the read sees the value
+        # written *one* iteration earlier.
+        lowered = compile_to_lowered(
+            "real x(99)\ndo i = 3, 99, 2\n  x(i) = x(i - 2) + 1\nend do"
+        )
+        assert [e.distance for e in _memory_edges(lowered)] == [1]
+
+    def test_stride_two_shift_one_is_independent(self):
+        # Odd iterations write odd elements; x(i-1) reads even elements
+        # no instance ever wrote.
+        lowered = compile_to_lowered(
+            "real x(99)\ndo i = 2, 98, 2\n  x(i) = x(i - 1) + 1\nend do"
+        )
+        assert _memory_edges(lowered) == []
+
+    def test_negative_stride_recurrence(self):
+        # Counting down by 1: x(i) = f(x(i+1)) reads last iteration's
+        # write (distance 1 in iteration space).
+        lowered = compile_to_lowered(
+            "real x(99)\ndo i = 98, 2, -1\n  x(i) = x(i + 1) + 1\nend do"
+        )
+        assert [e.distance for e in _memory_edges(lowered)] == [1]
+
+    def test_stride_four_shift_eight_is_distance_two(self):
+        lowered = compile_to_lowered(
+            "real x(99)\ndo i = 9, 99, 4\n  x(i) = x(i - 8) + 1\nend do"
+        )
+        assert [e.distance for e in _memory_edges(lowered)] == [2]
+
+    def test_step_kernel_schedules(self):
+        from repro.machine.configs import perfect_club_machine
+        from repro.schedule.verify import verify_schedule
+        from repro.schedulers.registry import make_scheduler
+
+        loop = compile_source(
+            "real x(99)\ndo i = 3, 99, 2\n  x(i) = x(i - 2) + 1\nend do"
+        )
+        schedule = make_scheduler("hrms").schedule(
+            loop.graph, perfect_club_machine()
+        )
+        verify_schedule(schedule)

@@ -1,0 +1,45 @@
+"""Tests for the compiled-kernel scheduler-comparison experiment."""
+
+from repro.experiments.frontend_suite import (
+    render_frontend_suite,
+    run_frontend_suite,
+)
+
+
+def _small_result():
+    return run_frontend_suite(
+        methods=("hrms", "topdown"),
+        kernels=("daxpy", "dot", "liv5_tridiag", "matmul_inner"),
+    )
+
+
+class TestFrontendSuiteExperiment:
+    def test_rows_cover_methods_times_kernels(self):
+        result = _small_result()
+        assert len(result.rows) == 2 * 4
+        assert {r.method for r in result.rows} == {"hrms", "topdown"}
+
+    def test_ii_never_below_mii(self):
+        for row in _small_result().rows:
+            assert row.ii >= row.mii
+
+    def test_summary_consistent_with_rows(self):
+        result = _small_result()
+        summary = result.summary()
+        hrms_rows = result.for_method("hrms")
+        at_mii, maxlive, seconds = summary["hrms"]
+        assert at_mii == sum(1 for r in hrms_rows if r.optimal)
+        assert maxlive == sum(r.maxlive for r in hrms_rows)
+        assert abs(seconds - sum(r.seconds for r in hrms_rows)) < 1e-9
+
+    def test_render_contains_every_kernel_and_method(self):
+        result = _small_result()
+        text = render_frontend_suite(result)
+        for kernel in ("daxpy", "dot", "liv5_tridiag", "matmul_inner"):
+            assert kernel in text
+        assert "hrms" in text and "topdown" in text
+        assert "kernels at MII" in text
+
+    def test_hrms_reaches_mii_on_selected_kernels(self):
+        result = _small_result()
+        assert all(r.optimal for r in result.for_method("hrms"))

@@ -1,0 +1,100 @@
+"""Unit tests for the GraphBuilder DSL."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, _parse_dep
+from repro.graph.edges import DependenceKind
+from repro.graph.ops import FADD, FMUL, MEM
+
+
+class TestBuilder:
+    def test_basic_pipeline(self):
+        g = (
+            GraphBuilder("daxpy")
+            .load("x")
+            .load("y")
+            .mul("m", deps=["x"])
+            .add("s", deps=["m", "y"])
+            .store("st", deps=["s"])
+            .build()
+        )
+        assert g.node_names() == ["x", "y", "m", "s", "st"]
+        assert g.operation("m").opclass == FMUL
+        assert g.operation("s").opclass == FADD
+        assert g.operation("st").is_store
+        assert g.edge_count() == 4
+
+    def test_defaults_set_latencies(self):
+        g = (
+            GraphBuilder()
+            .defaults(fadd=4, mem=2)
+            .load("x")
+            .add("a", deps=["x"])
+            .build()
+        )
+        assert g.operation("x").latency == 2
+        assert g.operation("a").latency == 4
+
+    def test_explicit_latency_wins_over_default(self):
+        g = (
+            GraphBuilder()
+            .defaults(mem=2)
+            .load("x", latency=7)
+            .build()
+        )
+        assert g.operation("x").latency == 7
+
+    def test_forward_reference_for_recurrence(self):
+        g = (
+            GraphBuilder()
+            .mul("m", deps=[("a", 1)])  # 'a' defined below
+            .add("a", deps=["m"])
+            .build()
+        )
+        edges = {(e.src, e.dst, e.distance) for e in g.edges()}
+        assert ("a", "m", 1) in edges
+
+    def test_dep_tuple_forms(self):
+        g = (
+            GraphBuilder()
+            .load("x")
+            .op("a", deps=["x"])
+            .op("b", deps=[("x", 2)])
+            .op("c", deps=[("x", 1, "memory")])
+            .build()
+        )
+        kinds = {(e.dst, e.kind) for e in g.edges()}
+        assert ("c", DependenceKind.MEMORY) in kinds
+        assert ("b", DependenceKind.REGISTER) in kinds
+
+    def test_chain_links_sequence(self):
+        g = (
+            GraphBuilder()
+            .op("a").op("b").op("c")
+            .chain(["a", "b", "c"])
+            .build()
+        )
+        assert g.successors("a") == ["b"]
+        assert g.successors("b") == ["c"]
+
+    def test_build_validates(self):
+        from repro.errors import ZeroDistanceCycleError
+
+        builder = GraphBuilder().op("a").op("b")
+        builder.edge("a", "b").edge("b", "a")
+        with pytest.raises(ZeroDistanceCycleError):
+            builder.build()
+
+    def test_store_default_opclass_is_mem(self):
+        g = GraphBuilder().store("st").build()
+        assert g.operation("st").opclass == MEM
+
+
+class TestParseDep:
+    def test_malformed_spec(self):
+        with pytest.raises(ValueError):
+            _parse_dep(("a", 1, "memory", "extra"))
+
+    def test_string_kind_coerced(self):
+        _, _, kind = _parse_dep(("a", 0, "control"))
+        assert kind is DependenceKind.CONTROL

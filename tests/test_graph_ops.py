@@ -1,0 +1,66 @@
+"""Unit tests for operations and edges."""
+
+import pytest
+
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import GENERIC, Operation
+
+
+class TestOperation:
+    def test_defaults(self):
+        op = Operation("a")
+        assert op.latency == 1
+        assert op.opclass == GENERIC
+        assert op.produces_value
+        assert not op.is_store
+
+    def test_store_flag(self):
+        st = Operation("st", produces_value=False)
+        assert st.is_store
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Operation("")
+
+    @pytest.mark.parametrize("latency", [0, -1, -17])
+    def test_rejects_nonpositive_latency(self, latency):
+        with pytest.raises(ValueError):
+            Operation("a", latency=latency)
+
+    def test_renamed_preserves_attributes(self):
+        op = Operation("a", latency=5, opclass="fdiv", produces_value=False)
+        clone = op.renamed("b")
+        assert clone.name == "b"
+        assert clone.latency == 5
+        assert clone.opclass == "fdiv"
+        assert clone.is_store
+
+    def test_equality_ignores_attrs(self):
+        assert Operation("a", attrs={"x": 1}) == Operation("a", attrs={})
+
+
+class TestEdge:
+    def test_defaults(self):
+        edge = Edge("a", "b")
+        assert edge.distance == 0
+        assert edge.kind is DependenceKind.REGISTER
+        assert not edge.is_loop_carried
+        assert edge.carries_value
+
+    def test_loop_carried(self):
+        assert Edge("a", "b", distance=2).is_loop_carried
+
+    def test_memory_edges_carry_no_value(self):
+        edge = Edge("a", "b", kind=DependenceKind.MEMORY)
+        assert not edge.carries_value
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            Edge("a", "b", distance=-1)
+
+    def test_key_identity(self):
+        e1 = Edge("a", "b", 1)
+        e2 = Edge("a", "b", 1)
+        e3 = Edge("a", "b", 2)
+        assert e1.key == e2.key
+        assert e1.key != e3.key

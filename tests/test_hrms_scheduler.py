@@ -1,0 +1,118 @@
+"""End-to-end tests of the HRMS scheduler against the paper's claims."""
+
+import pytest
+
+from repro.core.scheduler import HRMSScheduler
+from repro.errors import IterationLimitError
+from repro.graph.builder import GraphBuilder
+from repro.machine.configs import motivating_machine
+from repro.machine.machine import MachineModel, UnitClass
+from repro.mii.analysis import compute_mii
+from repro.schedule.maxlive import live_values_per_row, max_live
+from repro.workloads.motivating import (
+    MOTIVATING_HRMS_SCHEDULE,
+    motivating_example,
+)
+
+
+class TestMotivatingExample:
+    @pytest.fixture(scope="class")
+    def schedule(self, generic4=None):
+        return HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+
+    def test_exact_paper_placement(self, schedule, assert_valid):
+        assert_valid(schedule)
+        assert schedule.ii == 2
+        assert schedule.as_dict() == MOTIVATING_HRMS_SCHEDULE
+
+    def test_paper_register_rows(self, schedule):
+        # "There are 6 alive registers in the first row and 5 in the
+        # second, therefore the loop variants require only 6 registers."
+        assert live_values_per_row(schedule) == [6, 5]
+        assert max_live(schedule) == 6
+
+    def test_stats_recorded(self, schedule):
+        stats = schedule.stats
+        assert stats.scheduler == "hrms"
+        assert stats.mii == 2
+        assert stats.attempts == 1
+        assert stats.total_seconds > 0
+
+
+class TestSuiteBehaviour:
+    def test_ii_at_mii_on_gov_suite(self, gov_suite, gov_machine,
+                                    assert_valid):
+        scheduler = HRMSScheduler()
+        for loop in gov_suite:
+            analysis = compute_mii(loop.graph, gov_machine)
+            schedule = assert_valid(
+                scheduler.schedule(loop.graph, gov_machine, analysis)
+            )
+            assert schedule.ii == analysis.mii, loop.name
+
+    def test_near_optimal_on_pc_sample(self, pc_sample, pc_machine,
+                                       assert_valid):
+        scheduler = HRMSScheduler()
+        optimal = 0
+        for loop in pc_sample:
+            analysis = compute_mii(loop.graph, pc_machine)
+            schedule = assert_valid(
+                scheduler.schedule(loop.graph, pc_machine, analysis)
+            )
+            optimal += schedule.ii == analysis.mii
+        assert optimal / len(pc_sample) > 0.9
+
+    def test_ordering_reused_across_ii_attempts(self):
+        """The II search must not re-run the pre-ordering (paper, §3.3)."""
+        calls = []
+        scheduler = HRMSScheduler()
+        original = scheduler.prepare
+
+        def counting_prepare(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        scheduler.prepare = counting_prepare
+        # A tight machine forces several II attempts.
+        machine = MachineModel("tight", [UnitClass("generic", 1)])
+        b = GraphBuilder()
+        for i in range(6):
+            b.op(f"o{i}", latency=3)
+        b.chain([f"o{i}" for i in range(6)])
+        schedule = scheduler.schedule(b.build(), machine)
+        assert schedule.stats.attempts >= 1
+        assert len(calls) == 1
+
+
+class TestFailureModes:
+    def test_iteration_limit(self):
+        # An impossible machine: II window can never admit the second op
+        # because max_ii is clamped below feasibility.
+        machine = MachineModel("one", [UnitClass("generic", 1)])
+        g = (
+            GraphBuilder()
+            .op("a", latency=2)
+            .op("b", latency=2, deps=["a"])
+            .build()
+        )
+        with pytest.raises(IterationLimitError):
+            HRMSScheduler(max_ii=0).schedule(g, machine)
+
+    def test_single_op_loop(self, generic4, assert_valid):
+        g = GraphBuilder().op("only").build()
+        schedule = assert_valid(HRMSScheduler().schedule(g, generic4))
+        assert schedule.ii == 1
+        assert schedule.issue_cycle("only") == 0
+
+    def test_disconnected_components_all_scheduled(self, generic4,
+                                                   assert_valid):
+        g = (
+            GraphBuilder()
+            .op("a").op("b", deps=["a"])
+            .op("x").op("y", deps=["x"])
+            .build()
+        )
+        schedule = assert_valid(HRMSScheduler().schedule(g, generic4))
+        assert set(schedule.as_dict()) == {"a", "b", "x", "y"}

@@ -1,0 +1,139 @@
+"""Tests for the Iterative Modulo Scheduling baseline (Rau 1994)."""
+
+import pytest
+
+from repro.frontend import compile_source, kernel_names, kernel_source
+from repro.graph.builder import GraphBuilder
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.mii.analysis import compute_mii
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.ims import IMSScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.motivating import motivating_example
+import random
+
+from repro.workloads.synthetic import random_ddg
+
+
+class TestIMSBasics:
+    def test_registered(self):
+        assert isinstance(make_scheduler("ims"), IMSScheduler)
+
+    def test_motivating_example_reaches_mii(self):
+        graph = motivating_example()
+        machine = motivating_machine()
+        schedule = IMSScheduler().schedule(graph, machine)
+        verify_schedule(schedule)
+        assert schedule.ii == 2
+
+    def test_chain_schedules_at_resource_mii(self):
+        graph = (
+            GraphBuilder("chain")
+            .load("a")
+            .op("b", "fadd", latency=1, deps=["a"])
+            .op("c", "fmul", latency=2, deps=["b"])
+            .store("d", deps=["c"])
+            .build()
+        )
+        machine = govindarajan_machine()
+        schedule = IMSScheduler().schedule(graph, machine)
+        verify_schedule(schedule)
+        assert schedule.ii == compute_mii(graph, machine).mii
+
+    def test_recurrence_respected(self):
+        graph = (
+            GraphBuilder("rec")
+            .load("x")
+            .op("acc", "fadd", latency=1, deps=["x", ("acc", 1)])
+            .store("st", deps=["acc"])
+            .build()
+        )
+        machine = govindarajan_machine()
+        schedule = IMSScheduler().schedule(graph, machine)
+        verify_schedule(schedule)
+
+    def test_height_priority_prefers_critical_chain(self):
+        # The divide chain is critical; IMS must schedule it first and
+        # still fit the independent adds around it.
+        graph = (
+            GraphBuilder("critical")
+            .load("x")
+            .div("d", deps=["x"])
+            .store("sd", deps=["d"])
+            .load("y")
+            .add("a1", deps=["y"])
+            .store("sa", deps=["a1"])
+            .build()
+        )
+        machine = govindarajan_machine()
+        schedule = IMSScheduler().schedule(graph, machine)
+        verify_schedule(schedule)
+        assert schedule.ii == compute_mii(graph, machine).mii
+
+
+class TestIMSSuiteQuality:
+    def test_reaches_mii_on_govindarajan_suite(self):
+        machine = govindarajan_machine()
+        misses = 0
+        for loop in govindarajan_suite():
+            schedule = IMSScheduler().schedule(loop.graph, machine)
+            verify_schedule(schedule)
+            if schedule.ii > compute_mii(loop.graph, machine).mii:
+                misses += 1
+        # IMS is the II-quality yardstick: it should reach the MII on
+        # (almost) the whole suite.
+        assert misses <= 1
+
+    @pytest.mark.parametrize("name", kernel_names()[:8])
+    def test_frontend_kernels_verify(self, name):
+        loop = compile_source(kernel_source(name), name=name)
+        schedule = IMSScheduler().schedule(
+            loop.graph, perfect_club_machine()
+        )
+        verify_schedule(schedule)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_verify(self, seed):
+        graph = random_ddg(random.Random(seed), 14)
+        machine = perfect_club_machine()
+        schedule = IMSScheduler().schedule(graph, machine)
+        verify_schedule(schedule)
+        assert schedule.ii >= compute_mii(graph, machine).mii
+
+
+class TestIMSEjection:
+    def test_budget_exhaustion_moves_to_next_ii(self):
+        # A tiny budget forces II escalation rather than failure.
+        graph = (
+            GraphBuilder("tight")
+            .load("a")
+            .load("b")
+            .load("c")
+            .add("s1", deps=["a", "b"])
+            .add("s2", deps=["s1", "c"])
+            .store("st", deps=["s2"])
+            .build()
+        )
+        machine = govindarajan_machine()
+        schedule = IMSScheduler(budget_factor=1).schedule(graph, machine)
+        verify_schedule(schedule)
+
+    def test_force_place_monotone_cycles(self):
+        # Heavy contention on one unit class exercises the eviction path;
+        # the schedule must still verify.
+        builder = GraphBuilder("contend")
+        for i in range(8):
+            builder.load(f"l{i}")
+        builder.add("sum0", deps=["l0", "l1"])
+        for i in range(1, 7):
+            builder.add(f"sum{i}", deps=[f"sum{i-1}", f"l{i+1}"])
+        builder.store("st", deps=["sum6"])
+        graph = builder.build()
+        machine = govindarajan_machine()
+        schedule = IMSScheduler().schedule(graph, machine)
+        verify_schedule(schedule)

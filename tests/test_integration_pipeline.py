@@ -1,0 +1,104 @@
+"""End-to-end integration: every subsystem composed on one loop.
+
+graph construction → serialisation round-trip → MII analysis →
+pre-ordering → scheduling → verification → lifetimes/MaxLive/buffers →
+register allocation → code generation → cycle-accurate simulation →
+spill-constrained rescheduling.  If any layer's contract drifts, this
+test is designed to fail first.
+"""
+
+import pytest
+
+from repro.core.ordering import hrms_order
+from repro.core.scheduler import HRMSScheduler
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.machine.configs import govindarajan_machine
+from repro.mii.analysis import compute_mii
+from repro.schedule.allocator import allocate_registers
+from repro.schedule.buffers import buffer_requirements
+from repro.schedule.codegen import generate_unrolled_kernel
+from repro.schedule.kernel import build_pipelined_loop
+from repro.schedule.lifetimes import compute_lifetimes
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.sim.simulator import simulate
+from repro.spill.spiller import schedule_with_register_budget
+from repro.workloads.govindarajan import liv5
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return govindarajan_machine()
+
+
+@pytest.fixture(scope="module")
+def loop():
+    return liv5()
+
+
+def test_full_pipeline(machine, loop):
+    # Serialisation round-trip feeds the rest of the pipeline.
+    graph = graph_from_dict(graph_to_dict(loop.graph))
+    assert graph.node_names() == loop.graph.node_names()
+
+    # Analysis: liv5 is the classic tridiagonal recurrence, RecMII 3.
+    analysis = compute_mii(graph, machine)
+    assert analysis.recmii == 3
+    assert analysis.mii == 3
+    nontrivial = [s for s in analysis.subgraphs if not s.is_trivial]
+    assert len(nontrivial) == 1
+
+    # Ordering: a permutation that starts inside the recurrence.
+    ordering = hrms_order(graph, mii_result=analysis)
+    assert sorted(ordering.order) == sorted(graph.node_names())
+    assert ordering.order[0] in nontrivial[0].nodes
+
+    # Scheduling at the MII, verified.
+    schedule = HRMSScheduler().schedule(graph, machine, analysis)
+    verify_schedule(schedule)
+    assert schedule.ii == 3
+
+    # Metrics are mutually consistent.
+    lifetimes = compute_lifetimes(schedule)
+    assert {lt.producer for lt in lifetimes} == {
+        op.name for op in graph.operations() if op.produces_value
+    }
+    pressure = max_live(schedule)
+    stores = sum(1 for op in graph.operations() if op.is_store)
+    assert pressure <= buffer_requirements(schedule) - stores
+
+    # Allocation covers the pressure and code generation names it.
+    allocation = allocate_registers(schedule)
+    assert allocation.register_count >= pressure
+    kernel = generate_unrolled_kernel(schedule, allocation)
+    emitted = {op.operation for row in kernel.rows for op in row}
+    assert emitted == set(graph.node_names())
+
+    # Pipelined code tables are consistent with the stage count.
+    pipelined = build_pipelined_loop(schedule)
+    assert pipelined.stage_count == schedule.stage_count
+
+    # The simulator agrees with the analytics.
+    report = simulate(schedule, iterations=4 * schedule.stage_count)
+    assert report.peak_live_steady == pressure
+
+    # Spilling under a one-register-short budget still verifies.
+    outcome = schedule_with_register_budget(
+        graph, machine, HRMSScheduler(), budget=pressure - 1
+    )
+    verify_schedule(outcome.schedule)
+    if outcome.fits:
+        assert outcome.register_pressure <= pressure - 1
+
+
+def test_all_schedulers_compose_with_metrics(machine, loop):
+    from repro.schedulers.registry import available_schedulers, make_scheduler
+
+    analysis = compute_mii(loop.graph, machine)
+    for name in available_schedulers():
+        scheduler = make_scheduler(name)
+        schedule = scheduler.schedule(loop.graph, machine, analysis)
+        verify_schedule(schedule)
+        assert max_live(schedule) >= 1
+        report = simulate(schedule, iterations=3 * schedule.stage_count)
+        assert report.peak_live_steady == max_live(schedule), name

@@ -1,0 +1,111 @@
+"""Unit tests for the machine model and modulo reservation table."""
+
+import pytest
+
+from repro.errors import MachineError, UnknownResourceError
+from repro.graph.ops import FADD, FDIV, GENERIC, Operation
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.machine.machine import MachineModel, UnitClass
+from repro.machine.mrt import ModuloReservationTable
+
+
+class TestMachineModel:
+    def test_generic_machine_accepts_any_opclass(self, generic4):
+        op = Operation("x", opclass="weird")
+        assert generic4.class_for(op).name == GENERIC
+
+    def test_typed_machine_rejects_unknown_class(self, gov_machine):
+        with pytest.raises(UnknownResourceError):
+            gov_machine.class_for(Operation("x", opclass="vector"))
+
+    def test_unit_count_validation(self):
+        with pytest.raises(MachineError):
+            UnitClass("fadd", 0)
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(MachineError):
+            MachineModel("m", [UnitClass("a", 1), UnitClass("a", 2)])
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(MachineError):
+            MachineModel("m", [])
+
+    def test_reservation_cycles(self, pc_machine):
+        div = Operation("d", latency=17, opclass=FDIV)
+        add = Operation("a", latency=4, opclass=FADD)
+        assert pc_machine.reservation_cycles(div) == 17  # unpipelined
+        assert pc_machine.reservation_cycles(add) == 1  # pipelined
+
+    def test_total_units(self):
+        assert motivating_machine().total_units() == 4
+        assert govindarajan_machine().total_units() == 4
+        assert perfect_club_machine().total_units() == 10
+
+
+class TestMRT:
+    def test_capacity_per_row(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=2)
+        ops = [Operation(f"o{i}", latency=2) for i in range(5)]
+        # Four ops fit in row 0 (cycles 0, 2, 4, 6), the fifth does not.
+        for i, op in enumerate(ops[:4]):
+            assert mrt.place(op, 2 * i)
+        assert not mrt.place(ops[4], 8)
+        assert mrt.place(ops[4], 9)  # row 1 is empty
+
+    def test_unplace_frees_slot(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=1)
+        ops = [Operation(f"o{i}") for i in range(5)]
+        for op in ops[:4]:
+            assert mrt.place(op, 0)
+        assert not mrt.place(ops[4], 0)
+        mrt.unplace(ops[0])
+        assert mrt.place(ops[4], 0)
+
+    def test_double_place_rejected(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=2)
+        op = Operation("o")
+        mrt.place(op, 0)
+        with pytest.raises(MachineError):
+            mrt.place(op, 1)
+
+    def test_negative_cycles_wrap(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=3)
+        op = Operation("o")
+        assert mrt.place(op, -2)  # row 1
+        assert mrt.occupants(GENERIC, 1) == ["o"]
+
+    def test_unpipelined_spans_rows(self, pc_machine):
+        mrt = ModuloReservationTable(pc_machine, ii=17)
+        div1 = Operation("d1", latency=17, opclass=FDIV)
+        div2 = Operation("d2", latency=17, opclass=FDIV)
+        div3 = Operation("d3", latency=17, opclass=FDIV)
+        assert mrt.place(div1, 0)  # fills unit 0 completely
+        assert mrt.place(div2, 5)  # second unit
+        assert not mrt.place(div3, 11)  # no third unit
+
+    def test_unpipelined_span_longer_than_ii_rejected(self, pc_machine):
+        mrt = ModuloReservationTable(pc_machine, ii=10)
+        div = Operation("d", latency=17, opclass=FDIV)
+        assert not mrt.fits(div, 0)
+
+    def test_conflicting_ops(self, gov_machine):
+        mrt = ModuloReservationTable(gov_machine, ii=2)
+        add1 = Operation("a1", latency=1, opclass=FADD)
+        add2 = Operation("a2", latency=1, opclass=FADD)
+        mrt.place(add1, 0)
+        assert mrt.conflicting_ops(add2, 2) == {"a1"}
+        assert mrt.conflicting_ops(add2, 1) == set()
+
+    def test_ii_must_be_positive(self, generic4):
+        with pytest.raises(MachineError):
+            ModuloReservationTable(generic4, ii=0)
+
+    def test_utilisation(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=2)
+        assert mrt.utilisation() == 0.0
+        mrt.place(Operation("o"), 0)
+        assert 0.0 < mrt.utilisation() <= 1.0

@@ -1,0 +1,171 @@
+"""Unit tests for ResMII / RecMII / recurrence-subgraph analysis."""
+
+from repro.graph.builder import GraphBuilder
+from repro.machine.configs import GOVINDARAJAN_LATENCIES
+from repro.mii.analysis import compute_mii
+from repro.mii.recmii import compute_recmii
+from repro.mii.recurrences import (
+    all_backward_edge_keys,
+    find_recurrence_subgraphs,
+)
+from repro.mii.resmii import compute_resmii
+
+
+def _gov_builder(name="g"):
+    return GraphBuilder(name).defaults(**GOVINDARAJAN_LATENCIES)
+
+
+class TestResMII:
+    def test_generic_machine(self, generic4):
+        b = GraphBuilder()
+        for i in range(9):
+            b.op(f"o{i}", latency=2)
+        # ceil(9 ops / 4 units) = 3.
+        assert compute_resmii(b.build(), generic4) == 3
+
+    def test_typed_machine_busiest_class_wins(self, gov_machine):
+        g = (
+            _gov_builder()
+            .load("l1").load("l2").load("l3")
+            .add("a1", deps=["l1"])
+            .build()
+        )
+        # 3 memory ops on 1 unit -> ResMII 3.
+        assert compute_resmii(g, gov_machine) == 3
+
+    def test_unpipelined_latency_floor(self, pc_machine):
+        g = (
+            GraphBuilder()
+            .defaults(fdiv=17)
+            .div("d1", deps=[])
+            .build()
+        )
+        # One divide, but the unpipelined unit is busy 17 cycles.
+        assert compute_resmii(g, pc_machine) == 17
+
+    def test_empty_pressure_defaults_to_one(self, gov_machine):
+        g = _gov_builder().add("a").build()
+        assert compute_resmii(g, gov_machine) == 1
+
+
+class TestRecMII:
+    def test_acyclic_is_one(self):
+        g = GraphBuilder().op("a").op("b").edge("a", "b").build()
+        assert compute_recmii(g) == 1
+
+    def test_simple_recurrence(self):
+        g = (
+            GraphBuilder()
+            .op("a", latency=2)
+            .op("b", latency=3, deps=["a"])
+            .edge("b", "a", distance=1)
+            .build()
+        )
+        assert compute_recmii(g) == 5
+
+    def test_distance_divides_latency(self):
+        g = (
+            GraphBuilder()
+            .op("a", latency=2)
+            .op("b", latency=3, deps=["a"])
+            .edge("b", "a", distance=2)
+            .build()
+        )
+        assert compute_recmii(g) == 3  # ceil(5 / 2)
+
+    def test_self_loop(self):
+        g = GraphBuilder().op("a", latency=4, deps=[("a", 2)]).build()
+        assert compute_recmii(g) == 2
+
+    def test_max_over_circuits(self):
+        g = (
+            GraphBuilder()
+            .op("a", latency=1)
+            .op("b", latency=1, deps=["a"])
+            .op("c", latency=5, deps=["a"])
+            .edge("b", "a", distance=1)
+            .edge("c", "a", distance=1)
+            .build()
+        )
+        assert compute_recmii(g) == 6
+
+
+class TestRecurrenceSubgraphs:
+    def test_shared_backward_edge_merges(self):
+        b = GraphBuilder()
+        for name in "ABCDE":
+            b.op(name)
+        g = (
+            b.edge("A", "B").edge("B", "C").edge("C", "E")
+            .edge("A", "D").edge("D", "E")
+            .edge("E", "A", distance=1)
+            .build()
+        )
+        subs = find_recurrence_subgraphs(g)
+        assert len(subs) == 1
+        assert subs[0].nodes == ["A", "B", "C", "D", "E"]
+        assert len(subs[0].circuits) == 2
+
+    def test_distinct_backward_edges_stay_separate(self):
+        b = GraphBuilder()
+        for name in "ACDE":
+            b.op(name)
+        g = (
+            b.edge("A", "C").edge("C", "D")
+            .edge("D", "A", distance=1)
+            .edge("C", "E").edge("E", "C", distance=1)
+            .build()
+        )
+        subs = find_recurrence_subgraphs(g)
+        assert len(subs) == 2
+
+    def test_simplification_removes_shared_nodes(self):
+        b = GraphBuilder()
+        # Circuit 1 (longer, higher RecMII): A->B->C->A; circuit 2: C->D->C.
+        g = (
+            b.op("A", latency=3).op("B", latency=3, deps=["A"])
+            .op("C", latency=3, deps=["B"])
+            .op("D", latency=1, deps=["C"])
+            .edge("C", "A", distance=1)
+            .edge("D", "C", distance=1)
+            .build()
+        )
+        subs = find_recurrence_subgraphs(g)
+        assert subs[0].recmii >= subs[1].recmii
+        first_nodes = set(subs[0].ordering_nodes)
+        second_nodes = set(subs[1].ordering_nodes)
+        assert not first_nodes & second_nodes
+        assert "C" in first_nodes  # claimed by the more restrictive one
+
+    def test_trivial_circuits_get_no_ordering_nodes(self):
+        g = GraphBuilder().op("a", deps=[("a", 1)]).op("b", deps=["a"]).build()
+        subs = find_recurrence_subgraphs(g)
+        assert len(subs) == 1
+        assert subs[0].is_trivial
+        assert subs[0].ordering_nodes == []
+
+    def test_backward_edge_union(self):
+        b = GraphBuilder()
+        g = (
+            b.op("A").op("B", deps=["A"])
+            .edge("B", "A", distance=1)
+            .build()
+        )
+        keys = all_backward_edge_keys(find_recurrence_subgraphs(g))
+        assert keys == {("B", "A", 1, "register")}
+
+
+class TestComputeMII:
+    def test_combined(self, gov_machine):
+        g = (
+            _gov_builder()
+            .load("l")
+            .mul("m", deps=["l", ("a", 1)])
+            .add("a", deps=["m"])
+            .build()
+        )
+        result = compute_mii(g, gov_machine)
+        assert result.recmii == 3  # mul(2) + add(1) over distance 1
+        assert result.resmii == 1
+        assert result.mii == 3
+        assert result.recurrence_constrained

@@ -1,0 +1,75 @@
+"""The HRMS pre-ordering invariant on compiler-derived graphs.
+
+`test_preordering.py` checks the only-predecessors-or-only-successors
+invariant on synthetic populations; this file re-checks it on every
+front-end-compiled kernel, whose graphs carry the memory/control edge
+mixes and conservative recurrences real compilation produces.
+"""
+
+import pytest
+
+from repro.core.ordering import hrms_order
+from repro.frontend import compile_source, kernel_names, kernel_source
+from repro.machine.configs import perfect_club_machine
+from repro.mii.analysis import compute_mii
+
+KERNELS = kernel_names()
+
+
+def _sides_before(graph, order):
+    """For each node: which neighbour sides were ordered before it."""
+    seen: set[str] = set()
+    for name in order:
+        preds = set(graph.predecessors(name)) - {name}
+        succs = set(graph.successors(name)) - {name}
+        yield name, bool(preds & seen), bool(succs & seen)
+        seen.add(name)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return perfect_club_machine()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_order_is_a_permutation(kernel, machine):
+    loop = compile_source(kernel_source(kernel), name=kernel)
+    order = hrms_order(loop.graph, machine=machine).order
+    assert sorted(order) == sorted(loop.graph.node_names())
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_one_sided_on_acyclic_kernels(kernel, machine):
+    loop = compile_source(kernel_source(kernel), name=kernel)
+    analysis = compute_mii(loop.graph, machine)
+    if any(not s.is_trivial for s in analysis.subgraphs):
+        pytest.skip("recurrence closers legitimately see both sides")
+    order = hrms_order(loop.graph, machine=machine).order
+    for name, before_pred, before_succ in _sides_before(loop.graph, order):
+        assert not (before_pred and before_succ), (kernel, name)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_every_node_has_a_reference_neighbour(kernel, machine):
+    """Each op (except batch leaders) sees a scheduled pred or succ.
+
+    Legitimate orphans: one initial hypernode per connected component,
+    plus the head of each recurrence subgraph that has no directed path
+    to the already-reduced hypernode (the paper's §3.2 "no path" case —
+    e.g. parallel guarded accumulators sharing only ancestors).
+    """
+    loop = compile_source(kernel_source(kernel), name=kernel)
+    order = hrms_order(loop.graph, machine=machine).order
+    orphans = sum(
+        1
+        for _, before_pred, before_succ in _sides_before(loop.graph, order)
+        if not before_pred and not before_succ
+    )
+    from repro.graph.components import connected_components
+
+    analysis = compute_mii(loop.graph, machine)
+    n_recurrences = sum(
+        1 for s in analysis.subgraphs if not s.is_trivial
+    )
+    bound = len(connected_components(loop.graph)) + n_recurrences
+    assert orphans <= bound

@@ -1,0 +1,62 @@
+"""Unit tests for the experiment result containers and renderers."""
+
+from repro.experiments.results import (
+    LoopRecord,
+    MethodResult,
+    cumulative_distribution,
+    render_table,
+    series_at,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(
+            ["Loop", "II"], [["liv1", 4], ["a-much-longer-name", 17]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Loop")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns are padded to the widest cell.
+        assert "a-much-longer-name" in lines[3]
+
+    def test_floats_formatted(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestMethodResult:
+    def test_optimal_flag(self):
+        ok = MethodResult("hrms", ii=3, buffers=5, maxlive=4,
+                          seconds=0.1, mii=3)
+        slow = MethodResult("hrms", ii=4, buffers=5, maxlive=4,
+                            seconds=0.1, mii=3)
+        failed = MethodResult("spilp", ii=3, buffers=0, maxlive=0,
+                              seconds=0.1, mii=3, failed=True)
+        assert ok.optimal
+        assert not slow.optimal
+        assert not failed.optimal
+
+    def test_loop_record_lookup(self):
+        record = LoopRecord("l", size=4, mii=2, resmii=2, recmii=1)
+        assert record.result("hrms") is None
+
+
+class TestSeries:
+    def test_series_at_clamps(self):
+        series = cumulative_distribution([2, 3])
+        assert series_at(series, -1) == 0.0
+        assert series_at(series, 99) == 1.0
+
+    def test_empty_population(self):
+        assert cumulative_distribution([]) == []
+        assert series_at([], 5) == 0.0
+
+    def test_upto_extends_series(self):
+        series = cumulative_distribution([1], upto=4)
+        assert series[-1] == (4, 1.0)

@@ -1,0 +1,113 @@
+"""Tests for rotating-register-file code generation."""
+
+import random
+
+from repro.frontend import compile_source, kernel_source
+from repro.graph.edges import DependenceKind
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.schedule.codegen import generate_rotating_kernel
+from repro.schedule.rotating import allocate_rotating
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.motivating import motivating_example
+from repro.workloads.synthetic import random_ddg
+
+HRMS = make_scheduler("hrms")
+
+
+def _motivating():
+    return HRMS.schedule(motivating_example(), motivating_machine())
+
+
+class TestRotatingKernel:
+    def test_kernel_has_ii_rows_and_all_ops(self):
+        schedule = _motivating()
+        kernel = generate_rotating_kernel(schedule)
+        assert len(kernel.rows) == schedule.ii
+        emitted = [op.operation for row in kernel.rows for op in row]
+        assert sorted(emitted) == sorted(schedule.graph.node_names())
+
+    def test_each_op_in_its_modulo_row(self):
+        schedule = _motivating()
+        kernel = generate_rotating_kernel(schedule)
+        for row_index, row in enumerate(kernel.rows):
+            for op in row:
+                assert (
+                    schedule.issue_cycle(op.operation) % schedule.ii
+                    == row_index
+                )
+
+    def test_stores_have_no_destination(self):
+        schedule = _motivating()
+        kernel = generate_rotating_kernel(schedule)
+        for row in kernel.rows:
+            for op in row:
+                produces = schedule.graph.operation(
+                    op.operation
+                ).produces_value
+                assert (op.dest is not None) == produces
+
+    def test_source_registers_encode_distance(self):
+        # s = s + x(i): the add reads its own previous instance, whose
+        # rotating name is (slot - 1) mod R.
+        loop = compile_source(
+            "real s\nreal x(9)\ndo i = 1, 9\n  s = s + x(i)\nend do"
+        )
+        schedule = HRMS.schedule(loop.graph, perfect_club_machine())
+        allocation = allocate_rotating(schedule)
+        kernel = generate_rotating_kernel(schedule, allocation)
+        registers = allocation.register_count
+        add_name = next(
+            n for n in loop.graph.node_names() if n.startswith("add")
+        )
+        emitted = next(
+            op
+            for row in kernel.rows
+            for op in row
+            if op.operation == add_name
+        )
+        slot = allocation.slots[add_name]
+        assert f"rr{(slot - 1) % registers}" in emitted.sources
+
+    def test_render_mentions_register_count(self):
+        schedule = _motivating()
+        kernel = generate_rotating_kernel(schedule)
+        text = kernel.render()
+        assert f"{kernel.register_count} rotating registers" in text
+        assert "no unrolling" in text
+
+    def test_register_operand_count_matches_graph(self):
+        schedule = _motivating()
+        kernel = generate_rotating_kernel(schedule)
+        graph = schedule.graph
+        for row in kernel.rows:
+            for op in row:
+                expected = sum(
+                    1
+                    for e in graph.in_edges(op.operation)
+                    if e.kind is DependenceKind.REGISTER
+                    and graph.operation(e.src).produces_value
+                )
+                assert len(op.sources) == expected
+
+    def test_random_graphs_emit_consistently(self):
+        machine = perfect_club_machine()
+        for seed in range(5):
+            graph = random_ddg(random.Random(300 + seed), 10)
+            schedule = HRMS.schedule(graph, machine)
+            kernel = generate_rotating_kernel(schedule)
+            emitted = [op.operation for row in kernel.rows for op in row]
+            assert sorted(emitted) == sorted(graph.node_names())
+
+    def test_store_only_loop(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = GraphBuilder("stores").store("a").store("b").build()
+        schedule = HRMS.schedule(graph, govindarajan_machine())
+        kernel = generate_rotating_kernel(schedule)
+        assert kernel.register_count == 0
+        emitted = [op for row in kernel.rows for op in row]
+        assert all(op.dest is None for op in emitted)

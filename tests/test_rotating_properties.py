@@ -1,0 +1,113 @@
+"""Property-based tests of the rotating-register-file collision algebra.
+
+The allocator's feasibility test (`_collides`) is closed-form modular
+arithmetic; these properties pin it against a brute-force enumeration of
+instance pairs and check its symmetries on random lifetimes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.lifetimes import ValueLifetime
+from repro.schedule.rotating import _collides
+
+
+@st.composite
+def lifetimes(draw):
+    start = draw(st.integers(min_value=0, max_value=30))
+    length = draw(st.integers(min_value=0, max_value=25))
+    return ValueLifetime("v", start, start + length)
+
+
+slots = st.integers(min_value=0, max_value=7)
+iis = st.integers(min_value=1, max_value=8)
+sizes = st.integers(min_value=1, max_value=8)
+
+
+def _collides_brute(first, second, slot_first, slot_second, ii, registers,
+                    same_value=False):
+    """Reference implementation: enumerate iteration offsets and compare.
+
+    Collision is translation-invariant in the iteration pair (i, j) —
+    only ``m = i - j`` matters for both the register congruence and the
+    time overlap — so instance ``m`` of *first* against instance 0 of
+    *second* covers every case.  The offset range is sized from the
+    lifetimes so no distant overlap is missed.
+    """
+    if first.length == 0 or second.length == 0:
+        return False
+    span = abs(second.start - first.start) + first.length + second.length
+    bound = span // ii + 2
+    for m in range(-bound, bound + 1):
+        if same_value and m == 0:
+            continue
+        if (slot_first + m) % registers != slot_second % registers:
+            continue
+        a0 = first.start + m * ii
+        if (
+            a0 < second.start + second.length
+            and second.start < a0 + first.length
+        ):
+            return True
+    return False
+
+
+class TestCollisionAlgebra:
+    @given(lifetimes(), lifetimes(), slots, slots, iis, sizes)
+    @settings(max_examples=250, deadline=None)
+    def test_matches_brute_force(self, a, b, sa, sb, ii, registers):
+        sa %= registers
+        sb %= registers
+        assert _collides(a, b, sa, sb, ii, registers) == _collides_brute(
+            a, b, sa, sb, ii, registers
+        )
+
+    @given(lifetimes(), lifetimes(), slots, slots, iis, sizes)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetric(self, a, b, sa, sb, ii, registers):
+        sa %= registers
+        sb %= registers
+        assert _collides(a, b, sa, sb, ii, registers) == _collides(
+            b, a, sb, sa, ii, registers
+        )
+
+    @given(lifetimes(), slots, iis, sizes)
+    @settings(max_examples=150, deadline=None)
+    def test_self_collision_matches_brute_force(self, a, slot, ii, registers):
+        slot %= registers
+        assert _collides(
+            a, a, slot, slot, ii, registers, same_value=True
+        ) == _collides_brute(
+            a, a, slot, slot, ii, registers, same_value=True
+        )
+
+    @given(lifetimes(), slots, iis)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_length_never_collides(self, a, slot, ii):
+        empty = ValueLifetime("z", 5, 5)
+        assert not _collides(a, empty, slot % 4, 0, ii, 4)
+        assert not _collides(empty, a, 0, slot % 4, ii, 4)
+
+    @given(lifetimes(), lifetimes(), iis)
+    @settings(max_examples=100, deadline=None)
+    def test_overlapping_same_slot_same_iteration(self, a, b, ii):
+        # Two values whose iteration-0 instances overlap in time always
+        # collide when given the same slot (the m = 0 witness).
+        overlap = (
+            a.length > 0
+            and b.length > 0
+            and a.start < b.end
+            and b.start < a.end
+        )
+        if overlap:
+            assert _collides(a, b, 3, 3, ii, 8)
+
+    @given(lifetimes(), iis, sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_long_lifetime_self_wraps(self, a, ii, registers):
+        # A lifetime longer than R * II must collide with its own later
+        # instances no matter the slot.
+        if a.length > registers * ii:
+            assert _collides(
+                a, a, 0, 0, ii, registers, same_value=True
+            )

@@ -1,0 +1,144 @@
+"""Tests for Schedule, lifetimes, MaxLive and buffers."""
+
+import pytest
+
+from repro.core.scheduler import HRMSScheduler
+from repro.errors import SchedulingError
+from repro.graph.builder import GraphBuilder
+from repro.machine.configs import motivating_machine
+from repro.schedule.buffers import buffer_requirements, value_buffers
+from repro.schedule.lifetimes import compute_lifetimes, total_lifetime
+from repro.schedule.maxlive import (
+    instances_alive_at_row,
+    live_values_per_row,
+    max_live,
+)
+from repro.schedule.lifetimes import ValueLifetime
+from repro.schedule.schedule import Schedule
+from repro.workloads.motivating import motivating_example
+
+
+@pytest.fixture(scope="module")
+def paper_schedule():
+    return HRMSScheduler().schedule(
+        motivating_example(), motivating_machine()
+    )
+
+
+class TestSchedule:
+    def test_normalisation(self, generic4):
+        g = GraphBuilder().op("a", latency=2).op("b", deps=["a"]).build()
+        s = Schedule(g, generic4, ii=2, start={"a": -4, "b": -2})
+        assert s.issue_cycle("a") == 0
+        assert s.issue_cycle("b") == 2
+
+    def test_missing_operation_rejected(self, generic4):
+        g = GraphBuilder().op("a").op("b", deps=["a"]).build()
+        with pytest.raises(SchedulingError):
+            Schedule(g, generic4, ii=1, start={"a": 0})
+
+    def test_bad_ii_rejected(self, generic4):
+        g = GraphBuilder().op("a").build()
+        with pytest.raises(SchedulingError):
+            Schedule(g, generic4, ii=0, start={"a": 0})
+
+    def test_stage_count_and_rows(self, paper_schedule):
+        # Latest issue is G@9 with II=2 -> stage 4, so SC=5.
+        assert paper_schedule.stage_count == 5
+        assert paper_schedule.stage_of("G") == 4
+        assert paper_schedule.row_of("G") == 1
+
+    def test_kernel_rows_cover_all_ops(self, paper_schedule):
+        rows = paper_schedule.kernel_rows()
+        names = [name for row in rows for name, _ in row]
+        assert sorted(names) == sorted(
+            paper_schedule.graph.node_names()
+        )
+
+    def test_execution_cycles(self, paper_schedule):
+        assert paper_schedule.execution_cycles(100) == 200
+        with pytest.raises(ValueError):
+            paper_schedule.execution_cycles(-1)
+
+    def test_length(self, paper_schedule):
+        # G issues at 9, latency 2.
+        assert paper_schedule.length == 11
+
+
+class TestLifetimes:
+    def test_paper_lifetimes(self, paper_schedule):
+        spans = {
+            lt.producer: (lt.start, lt.end)
+            for lt in compute_lifetimes(paper_schedule)
+        }
+        # V1..V6 of Figure 4b (C and G are stores -> absent).
+        assert spans == {
+            "A": (0, 2),
+            "B": (2, 4),
+            "D": (4, 7),
+            "E": (5, 7),
+            "F": (7, 9),
+        }
+
+    def test_stores_have_no_lifetime(self, paper_schedule):
+        producers = {lt.producer for lt in compute_lifetimes(paper_schedule)}
+        assert "C" not in producers
+        assert "G" not in producers
+
+    def test_self_dependence_lifetime_spans_distance(self, generic4):
+        g = GraphBuilder().op("acc", latency=1, deps=[("acc", 2)]).build()
+        s = HRMSScheduler().schedule(g, generic4)
+        (lt,) = compute_lifetimes(s)
+        assert lt.length == 2 * s.ii
+
+    def test_total_lifetime(self, paper_schedule):
+        assert total_lifetime(paper_schedule) == 2 + 2 + 3 + 2 + 2
+
+    def test_invalid_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            ValueLifetime("x", start=5, end=3)
+
+
+class TestMaxLive:
+    def test_instances_alive_closed_form(self):
+        lt = ValueLifetime("v", start=1, end=7)  # 6 cycles, ii=2
+        assert instances_alive_at_row(lt, row=0, ii=2) == 3  # cycles 2,4,6? no: 2,4,6 <7 -> 3
+        assert instances_alive_at_row(lt, row=1, ii=2) == 3  # cycles 1,3,5
+
+    def test_zero_length_contributes_nothing(self):
+        lt = ValueLifetime("v", start=3, end=3)
+        assert instances_alive_at_row(lt, 1, 2) == 0
+
+    def test_brute_force_equivalence(self):
+        ii = 3
+        lt = ValueLifetime("v", start=2, end=17)
+        for row in range(ii):
+            brute = sum(
+                1
+                for t in range(lt.start, lt.end)
+                if t % ii == row
+            )
+            assert instances_alive_at_row(lt, row, ii) == brute
+
+    def test_paper_rows(self, paper_schedule):
+        assert live_values_per_row(paper_schedule) == [6, 5]
+        assert max_live(paper_schedule) == 6
+
+
+class TestBuffers:
+    @pytest.mark.parametrize(
+        "start,end,ii,expected",
+        [
+            (0, 2, 2, 1),
+            (0, 3, 2, 2),
+            (0, 4, 2, 2),
+            (5, 5, 2, 0),
+            (0, 7, 3, 3),
+        ],
+    )
+    def test_value_buffers(self, start, end, ii, expected):
+        assert value_buffers(start, end, ii) == expected
+
+    def test_stores_add_one_each(self, paper_schedule):
+        # Values: A(1) B(1) D(2) E(1) F(1) = 6 buffers; stores C,G add 2.
+        assert buffer_requirements(paper_schedule) == 8

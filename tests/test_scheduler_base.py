@@ -1,0 +1,63 @@
+"""Unit tests for the shared scheduler driver arithmetic."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.schedulers.base import (
+    downward_window,
+    early_start,
+    late_start,
+    upward_window,
+)
+
+
+@pytest.fixture
+def diamond():
+    return (
+        GraphBuilder()
+        .op("a", latency=2)
+        .op("b", latency=3, deps=["a"])
+        .op("c", latency=1, deps=["b", ("b", 1)])
+        .build()
+    )
+
+
+class TestStartBounds:
+    def test_early_start_none_without_scheduled_preds(self, diamond):
+        assert early_start(diamond, {}, "b", ii=2) is None
+
+    def test_early_start_direct(self, diamond):
+        assert early_start(diamond, {"a": 5}, "b", ii=2) == 7
+
+    def test_early_start_parallel_edges_max(self, diamond):
+        # c has edges from b at distance 0 (bound t_b+3) and distance 1
+        # (bound t_b+3-ii); the max must win.
+        assert early_start(diamond, {"b": 0}, "c", ii=2) == 3
+
+    def test_late_start_direct(self, diamond):
+        # b feeds c at distances 0 and 1; LS = min(t_c - 3, t_c - 3 + ii).
+        assert late_start(diamond, {"c": 10}, "b", ii=4) == 7
+
+    def test_self_edges_ignored(self):
+        g = GraphBuilder().op("a", latency=4, deps=[("a", 1)]).build()
+        assert early_start(g, {"a": 3}, "a", ii=4) is None
+
+    def test_unscheduled_neighbours_ignored(self, diamond):
+        assert late_start(diamond, {"a": 0}, "b", ii=2) is None
+
+
+class TestWindows:
+    def test_upward_window_length_ii(self):
+        assert list(upward_window(5, 3)) == [5, 6, 7]
+
+    def test_upward_window_clipped_by_ls(self):
+        assert list(upward_window(5, 3, ls=6)) == [5, 6]
+
+    def test_downward_window_length_ii(self):
+        assert list(downward_window(5, 3)) == [5, 4, 3]
+
+    def test_downward_window_clipped_by_es(self):
+        assert list(downward_window(5, 3, es=4)) == [5, 4]
+
+    def test_windows_can_be_negative(self):
+        assert list(downward_window(-2, 2)) == [-2, -3]

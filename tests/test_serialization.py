@@ -1,0 +1,54 @@
+"""Round-trip tests for graph serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.serialization import (
+    dump_graph,
+    dumps_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_graph,
+)
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.motivating import motivating_example
+
+
+def graphs_equal(a, b) -> bool:
+    if a.node_names() != b.node_names():
+        return False
+    if {e.key for e in a.edges()} != {e.key for e in b.edges()}:
+        return False
+    return all(
+        a.operation(n) == b.operation(n) for n in a.node_names()
+    )
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        g = motivating_example()
+        assert graphs_equal(g, loads_graph(dumps_graph(g)))
+
+    def test_file_round_trip(self, tmp_path):
+        g = motivating_example()
+        path = tmp_path / "graph.json"
+        dump_graph(g, path)
+        assert graphs_equal(g, load_graph(path))
+
+    def test_suite_round_trips(self):
+        for loop in govindarajan_suite():
+            clone = graph_from_dict(graph_to_dict(loop.graph))
+            assert graphs_equal(loop.graph, clone), loop.name
+
+    def test_store_flag_preserved(self):
+        g = motivating_example()
+        clone = loads_graph(dumps_graph(g))
+        assert clone.operation("C").is_store
+        assert clone.operation("G").is_store
+
+    def test_unknown_version_rejected(self):
+        data = graph_to_dict(motivating_example())
+        data["format"] = 99
+        with pytest.raises(GraphError):
+            graph_from_dict(data)

@@ -1,0 +1,77 @@
+"""Tests for the kernel simulator (cross-validation of the analytics)."""
+
+import pytest
+
+from repro.core.scheduler import HRMSScheduler
+from repro.errors import ScheduleVerificationError
+from repro.graph.builder import GraphBuilder
+from repro.machine.configs import motivating_machine
+from repro.schedule.maxlive import max_live
+from repro.schedule.schedule import Schedule
+from repro.sim.simulator import simulate
+from repro.workloads.motivating import motivating_example
+
+
+class TestSimulator:
+    def test_peak_live_matches_maxlive_on_example(self):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        report = simulate(schedule, iterations=4 * schedule.stage_count)
+        assert report.peak_live_steady == max_live(schedule) == 6
+
+    def test_peak_live_matches_on_gov_suite(self, gov_suite, gov_machine):
+        scheduler = HRMSScheduler()
+        for loop in gov_suite:
+            schedule = scheduler.schedule(loop.graph, gov_machine)
+            report = simulate(
+                schedule, iterations=4 * schedule.stage_count + 2
+            )
+            assert report.peak_live_steady == max_live(schedule), loop.name
+
+    def test_peak_live_matches_on_pc_sample(self, pc_sample, pc_machine):
+        scheduler = HRMSScheduler()
+        for loop in pc_sample[:25]:
+            schedule = scheduler.schedule(loop.graph, pc_machine)
+            report = simulate(
+                schedule, iterations=4 * schedule.stage_count + 2
+            )
+            assert report.peak_live_steady == max_live(schedule), loop.name
+
+    def test_detects_premature_read(self, generic4):
+        g = GraphBuilder().op("a", latency=2).op("b", deps=["a"]).build()
+        broken = Schedule(g, generic4, ii=2, start={"a": 0, "b": 1})
+        with pytest.raises(ScheduleVerificationError, match="reads"):
+            simulate(broken, iterations=3)
+
+    def test_check_can_be_disabled(self, generic4):
+        g = GraphBuilder().op("a", latency=2).op("b", deps=["a"]).build()
+        broken = Schedule(g, generic4, ii=2, start={"a": 0, "b": 1})
+        report = simulate(broken, iterations=3, check_reads=False)
+        assert report.reads_checked > 0
+
+    def test_trace_collection(self):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        report = simulate(schedule, iterations=8, keep_trace=True)
+        assert len(report.live_trace) == report.total_cycles + 1
+        assert max(report.live_trace) == report.peak_live
+
+    def test_requires_positive_iterations(self):
+        schedule = HRMSScheduler().schedule(
+            motivating_example(), motivating_machine()
+        )
+        with pytest.raises(ValueError):
+            simulate(schedule, iterations=0)
+
+    def test_loop_carried_reads_validated(self, generic4):
+        g = (
+            GraphBuilder()
+            .op("acc", latency=1, deps=[("acc", 1)])
+            .op("use", latency=1, deps=["acc"])
+            .build()
+        )
+        schedule = HRMSScheduler().schedule(g, generic4)
+        report = simulate(schedule, iterations=10)
+        assert report.reads_checked > 10

@@ -1,0 +1,50 @@
+"""Cross-validation: the cycle-accurate simulator vs compiled kernels.
+
+The simulator re-derives MaxLive and dependence timing by *execution*;
+running it over front-end-compiled kernels closes the loop between the
+compiler's dependence analysis, the scheduler's placement and the
+closed-form register metrics.
+"""
+
+import pytest
+
+from repro.frontend import compile_source, kernel_names, kernel_source
+from repro.machine.configs import perfect_club_machine
+from repro.schedule.maxlive import max_live
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import simulate
+
+#: A representative slice (keeps the matrix fast); the full set runs in
+#: test_frontend_kernels.py without simulation.
+KERNELS = (
+    "daxpy",
+    "dot",
+    "liv5_tridiag",
+    "predicated_sum",
+    "gather",
+    "matmul_inner",
+    "row_sweep",
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return perfect_club_machine()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("method", ("hrms", "topdown", "ims"))
+def test_simulated_maxlive_matches_closed_form(kernel, method, machine):
+    loop = compile_source(kernel_source(kernel), name=kernel)
+    schedule = make_scheduler(method).schedule(loop.graph, machine)
+    report = simulate(schedule, iterations=2 * schedule.stage_count + 8)
+    assert report.peak_live_steady == max_live(schedule)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_simulation_accepts_every_kernel(kernel, machine):
+    loop = compile_source(kernel_source(kernel), name=kernel)
+    schedule = make_scheduler("hrms").schedule(loop.graph, machine)
+    # simulate() raises ScheduleVerificationError on any timing breach.
+    report = simulate(schedule, iterations=2 * schedule.stage_count + 6)
+    assert report.total_cycles > 0

@@ -1,0 +1,83 @@
+"""Tests for the SPILP integer-programming scheduler."""
+
+import pytest
+
+from repro.mii.analysis import compute_mii
+from repro.schedule.buffers import buffer_requirements
+from repro.schedulers.registry import make_scheduler
+from repro.schedulers.spilp import SPILPScheduler
+from repro.workloads.govindarajan import (
+    daxpy,
+    liv2,
+    liv3,
+    liv5,
+    recur2,
+    stencil3,
+)
+
+SMALL_LOOPS = [daxpy, liv2, liv3, liv5, recur2, stencil3]
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("kernel", SMALL_LOOPS)
+    def test_reaches_mii(self, kernel, gov_machine, assert_valid):
+        loop = kernel()
+        analysis = compute_mii(loop.graph, gov_machine)
+        schedule = assert_valid(
+            SPILPScheduler().schedule(loop.graph, gov_machine, analysis)
+        )
+        assert schedule.ii == analysis.mii, loop.name
+
+    @pytest.mark.parametrize("kernel", SMALL_LOOPS)
+    def test_buffers_at_most_heuristics(self, kernel, gov_machine,
+                                        assert_valid):
+        """SPILP minimises buffers: no heuristic may beat it at equal II."""
+        loop = kernel()
+        analysis = compute_mii(loop.graph, gov_machine)
+        optimal = assert_valid(
+            SPILPScheduler().schedule(loop.graph, gov_machine, analysis)
+        )
+        best = buffer_requirements(optimal)
+        for method in ("hrms", "slack", "frlc", "topdown"):
+            rival = make_scheduler(method).schedule(
+                loop.graph, gov_machine, analysis
+            )
+            if rival.ii == optimal.ii:
+                assert best <= buffer_requirements(rival), (
+                    loop.name,
+                    method,
+                )
+
+    def test_hrms_matches_spilp_buffers_closely(self, gov_machine):
+        """The paper's headline: HRMS ~= SPILP on II and buffers."""
+        gap = 0
+        total = 0
+        for kernel in SMALL_LOOPS:
+            loop = kernel()
+            analysis = compute_mii(loop.graph, gov_machine)
+            optimal = SPILPScheduler().schedule(
+                loop.graph, gov_machine, analysis
+            )
+            ours = make_scheduler("hrms").schedule(
+                loop.graph, gov_machine, analysis
+            )
+            assert ours.ii == optimal.ii
+            gap += buffer_requirements(ours) - buffer_requirements(optimal)
+            total += buffer_requirements(optimal)
+        assert gap <= max(2, total // 10)  # within ~10% overall
+
+
+class TestRobustness:
+    def test_infeasible_ii_skipped(self, gov_machine, assert_valid):
+        """RecMII-constrained loop: II = MII must come from the search."""
+        loop = liv5()
+        schedule = assert_valid(
+            SPILPScheduler().schedule(loop.graph, gov_machine)
+        )
+        assert schedule.ii == 3
+
+    def test_time_limit_configurable(self, gov_machine):
+        scheduler = SPILPScheduler(time_limit=0.5)
+        loop = daxpy()
+        schedule = scheduler.schedule(loop.graph, gov_machine)
+        assert schedule.ii >= 1

@@ -1,0 +1,53 @@
+"""Tests for loop-suite persistence."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.perfectclub import perfect_club_suite
+from repro.workloads.suiteio import (
+    dump_suite,
+    load_suite,
+    suite_from_dict,
+    suite_to_dict,
+)
+
+
+class TestSuiteIO:
+    def test_round_trip_gov_suite(self, tmp_path):
+        suite = govindarajan_suite()
+        path = tmp_path / "gov.json"
+        dump_suite(suite, path)
+        loaded = load_suite(path)
+        assert len(loaded) == len(suite)
+        for a, b in zip(suite, loaded):
+            assert a.graph.node_names() == b.graph.node_names()
+            assert {e.key for e in a.graph.edges()} == {
+                e.key for e in b.graph.edges()
+            }
+            assert a.iterations == b.iterations
+            assert a.invariants == b.invariants
+            assert a.source == b.source
+
+    def test_round_trip_perfect_sample(self):
+        suite = perfect_club_suite(n_loops=12)
+        clone = suite_from_dict(suite_to_dict(suite))
+        assert [l.name for l in clone] == [l.name for l in suite]
+
+    def test_loaded_loops_schedule_identically(self, tmp_path,
+                                               gov_machine):
+        from repro.core.scheduler import HRMSScheduler
+
+        suite = govindarajan_suite()[:4]
+        path = tmp_path / "s.json"
+        dump_suite(suite, path)
+        loaded = load_suite(path)
+        scheduler = HRMSScheduler()
+        for a, b in zip(suite, loaded):
+            sa = scheduler.schedule(a.graph, gov_machine)
+            sb = scheduler.schedule(b.graph, gov_machine)
+            assert sa.as_dict() == sb.as_dict()
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(WorkloadError):
+            suite_from_dict({"format": 42, "loops": []})

@@ -1,0 +1,69 @@
+"""Suite serialisation round-trips for compiler-derived loops.
+
+The compiled kernels carry everything the JSON format must preserve:
+memory and control edge kinds, loop-carried distances, store operations,
+invariant counts and literal trip counts.
+"""
+
+from repro.frontend import compile_source, kernel_names, kernel_source
+from repro.machine.configs import perfect_club_machine
+from repro.schedule.maxlive import max_live
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.suiteio import (
+    dump_suite,
+    load_suite,
+    suite_from_dict,
+    suite_to_dict,
+)
+
+
+def _compiled_suite():
+    return [
+        compile_source(kernel_source(name), name=name)
+        for name in kernel_names()
+    ]
+
+
+class TestCompiledSuiteRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        suite = _compiled_suite()
+        rebuilt = suite_from_dict(suite_to_dict(suite))
+        assert len(rebuilt) == len(suite)
+        for original, copy in zip(suite, rebuilt):
+            assert copy.graph.node_names() == original.graph.node_names()
+            assert sorted(e.key for e in copy.graph.edges()) == sorted(
+                e.key for e in original.graph.edges()
+            )
+            assert copy.iterations == original.iterations
+            assert copy.invariants == original.invariants
+
+    def test_file_round_trip(self, tmp_path):
+        suite = _compiled_suite()[:5]
+        path = tmp_path / "kernels.json"
+        dump_suite(suite, path)
+        rebuilt = load_suite(path)
+        assert [l.name for l in rebuilt] == [l.name for l in suite]
+
+    def test_rebuilt_loops_schedule_identically(self):
+        machine = perfect_club_machine()
+        hrms = make_scheduler("hrms")
+        for loop in _compiled_suite()[:6]:
+            rebuilt = suite_from_dict(suite_to_dict([loop]))[0]
+            original_schedule = hrms.schedule(loop.graph, machine)
+            rebuilt_schedule = hrms.schedule(rebuilt.graph, machine)
+            assert rebuilt_schedule.ii == original_schedule.ii
+            assert max_live(rebuilt_schedule) == max_live(
+                original_schedule
+            )
+
+    def test_operation_attributes_survive(self):
+        loop = compile_source(
+            kernel_source("predicated_clip"), name="predicated_clip"
+        )
+        rebuilt = suite_from_dict(suite_to_dict([loop]))[0]
+        for name in loop.graph.node_names():
+            original = loop.graph.operation(name)
+            copy = rebuilt.graph.operation(name)
+            assert copy.latency == original.latency
+            assert copy.opclass == original.opclass
+            assert copy.produces_value == original.produces_value

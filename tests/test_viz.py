@@ -1,0 +1,113 @@
+"""Tests for the DOT export and the Figure-2-style text charts."""
+
+from repro.frontend import compile_source
+from repro.machine.configs import motivating_machine
+from repro.schedule.maxlive import max_live
+from repro.schedulers.registry import make_scheduler
+from repro.viz import graph_to_dot, lifetime_chart, register_rows, schedule_table
+from repro.workloads.motivating import motivating_example
+
+HRMS = make_scheduler("hrms")
+
+
+def _schedule():
+    return HRMS.schedule(motivating_example(), motivating_machine())
+
+
+class TestDot:
+    def test_contains_every_node_and_edge(self):
+        graph = motivating_example()
+        dot = graph_to_dot(graph)
+        for op in graph.operations():
+            assert f'"{op.name}"' in dot
+        assert dot.count("->") == graph.edge_count()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_stores_are_boxes(self):
+        graph = motivating_example()
+        dot = graph_to_dot(graph)
+        for op in graph.operations():
+            if op.is_store:
+                line = next(
+                    l for l in dot.splitlines()
+                    if l.strip().startswith(f'"{op.name}" [')
+                )
+                assert "shape=box" in line
+
+    def test_loop_carried_edges_labelled(self):
+        loop = compile_source(
+            "real s\nreal x(9)\ndo i = 1, 9\n  s = s + x(i)\nend do"
+        )
+        dot = graph_to_dot(loop.graph)
+        assert 'label="d=1"' in dot
+        assert "constraint=false" in dot
+
+    def test_edge_kinds_styled(self):
+        loop = compile_source(
+            """
+            real lo
+            real x(9), y(9)
+            do i = 2, 9
+              if (x(i) > lo) then
+                y(i) = y(i - 1)
+              end if
+            end do
+            """
+        )
+        dot = graph_to_dot(loop.graph)
+        assert "style=dotted" in dot  # memory
+        assert "style=dashed" in dot  # control
+        assert "style=solid" in dot   # register
+
+    def test_latencies_optional(self):
+        graph = motivating_example()
+        assert "λ=" in graph_to_dot(graph, include_latencies=True)
+        assert "λ=" not in graph_to_dot(graph, include_latencies=False)
+
+    def test_quoting_of_odd_names(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = (
+            GraphBuilder("q")
+            .op('weird"name', "generic", latency=1)
+            .build()
+        )
+        dot = graph_to_dot(graph)
+        assert '\\"' in dot
+
+
+class TestCharts:
+    def test_schedule_table_shows_all_ops(self):
+        schedule = _schedule()
+        table = schedule_table(schedule)
+        for name in schedule.graph.node_names():
+            assert name in table
+        assert "II = 2" in table
+
+    def test_lifetime_chart_bar_lengths(self):
+        schedule = _schedule()
+        chart = lifetime_chart(schedule)
+        # Every producer appears as a column header, and the number of
+        # '#' marks equals the number of values (one definition each).
+        from repro.schedule.lifetimes import compute_lifetimes
+
+        lifetimes = compute_lifetimes(schedule)
+        header = chart.splitlines()[0]
+        for lifetime in lifetimes:
+            assert lifetime.producer in header
+        assert chart.count("#") == len(lifetimes)
+
+    def test_register_rows_matches_maxlive(self):
+        schedule = _schedule()
+        text = register_rows(schedule)
+        assert f"MaxLive = {max_live(schedule)}" in text
+        assert text.count("row | live variants") == 1
+
+    def test_empty_variant_chart(self):
+        from repro.graph.builder import GraphBuilder
+        from repro.machine.configs import govindarajan_machine
+
+        graph = GraphBuilder("stores").store("a").store("b").build()
+        schedule = HRMS.schedule(graph, govindarajan_machine())
+        assert lifetime_chart(schedule) == "(no loop variants)"

@@ -1,0 +1,161 @@
+"""Tests for the workload suites: paper examples, 24 kernels, generator."""
+
+import random
+
+import pytest
+
+from repro.graph.ops import FDIV
+from repro.mii.analysis import compute_mii
+from repro.workloads.govindarajan import KERNELS, govindarajan_suite
+from repro.workloads.loops import Loop
+from repro.workloads.motivating import (
+    figure7_graph,
+    figure10_graph,
+    motivating_example,
+)
+from repro.workloads.perfectclub import (
+    DEFAULT_SEED,
+    perfect_club_suite,
+)
+from repro.workloads.synthetic import GeneratorProfile, random_ddg
+
+
+class TestMotivatingWorkloads:
+    def test_motivating_shape(self):
+        g = motivating_example()
+        assert len(g) == 7
+        assert g.operation("C").is_store
+        assert g.operation("G").is_store
+        # Values V1, V2, V4, V5, V6: exactly five producers.
+        producers = [op for op in g.operations() if op.produces_value]
+        assert len(producers) == 5
+
+    def test_figure7_is_acyclic(self):
+        analysis_graphs = figure7_graph()
+        from repro.graph.traversal import is_acyclic
+
+        assert is_acyclic(analysis_graphs)
+
+    def test_figure10_recurrences(self, generic4):
+        analysis = compute_mii(figure10_graph(), generic4)
+        nontrivial = [s for s in analysis.subgraphs if not s.is_trivial]
+        assert len(nontrivial) == 2
+        assert nontrivial[0].recmii == 4  # {A, C, D, F}
+        assert nontrivial[1].recmii == 3  # {G, J, M}
+
+
+class TestGovindarajanSuite:
+    def test_exactly_24_kernels(self, gov_suite):
+        assert len(gov_suite) == 24
+        assert len({loop.name for loop in gov_suite}) == 24
+
+    def test_all_graphs_validate(self, gov_suite):
+        for loop in gov_suite:
+            loop.graph.validate()
+
+    def test_machine_compatibility(self, gov_suite, gov_machine):
+        for loop in gov_suite:
+            for op in loop.graph.operations():
+                gov_machine.class_for(op)  # raises on unknown class
+
+    def test_recurrence_mix(self, gov_suite, gov_machine):
+        with_recurrence = sum(
+            1
+            for loop in gov_suite
+            if compute_mii(loop.graph, gov_machine).recmii > 1
+        )
+        assert 6 <= with_recurrence <= 16
+
+    def test_divide_kernels_present(self, gov_suite):
+        with_div = [
+            loop.name
+            for loop in gov_suite
+            if any(op.opclass == FDIV for op in loop.graph.operations())
+        ]
+        assert "liv23s" in with_div
+        assert len(with_div) >= 3
+
+    def test_latencies_follow_section_41(self, gov_suite):
+        for loop in gov_suite:
+            for op in loop.graph.operations():
+                if op.opclass == "fadd":
+                    assert op.latency == 1
+                elif op.opclass == "fmul":
+                    assert op.latency == 2
+                elif op.opclass == "fdiv":
+                    assert op.latency == 17
+                elif op.opclass == "mem":
+                    assert op.latency in (1, 2)  # store 1, load 2
+
+    def test_kernels_are_fresh_each_call(self):
+        first = KERNELS[0]()
+        second = KERNELS[0]()
+        assert first.graph is not second.graph
+
+
+class TestSyntheticGenerator:
+    def test_requested_size(self):
+        rng = random.Random(1)
+        g = random_ddg(rng, 20)
+        assert len(g) == 20
+
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(ValueError):
+            random_ddg(random.Random(1), 1)
+
+    def test_deterministic_for_seed(self):
+        a = random_ddg(random.Random(42), 15)
+        b = random_ddg(random.Random(42), 15)
+        assert a.node_names() == b.node_names()
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+
+    def test_all_graphs_valid(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            random_ddg(rng, rng.randint(4, 40)).validate()
+
+    def test_recurrence_probability_zero(self):
+        profile = GeneratorProfile(recurrence_probability=0.0)
+        rng = random.Random(5)
+        from repro.graph.traversal import is_acyclic
+
+        for _ in range(20):
+            g = random_ddg(rng, 12, profile=profile)
+            assert is_acyclic(g)
+
+
+class TestPerfectClubSuite:
+    def test_default_size_is_1258(self):
+        # Generation only; scheduling 1258 loops is the experiments' job.
+        suite = perfect_club_suite()
+        assert len(suite) == 1258
+
+    def test_deterministic_default_seed(self):
+        a = perfect_club_suite(n_loops=10)
+        b = perfect_club_suite(n_loops=10, seed=DEFAULT_SEED)
+        for la, lb in zip(a, b):
+            assert la.graph.node_names() == lb.graph.node_names()
+            assert la.iterations == lb.iterations
+            assert la.invariants == lb.invariants
+
+    def test_population_statistics(self):
+        suite = perfect_club_suite(n_loops=400, seed=2)
+        sizes = sorted(len(loop.graph) for loop in suite)
+        # The documented mixture: a small-body majority (median ~9-12)
+        # plus a 15-20 % heavy tail of 48-200-op kernels that carries
+        # Figures 13/14's high-register loops.
+        assert 4 <= sizes[0]
+        assert sizes[-1] <= 200
+        assert 8 <= sizes[len(sizes) // 2] <= 14
+        tail = sum(1 for s in sizes if s >= 48) / len(sizes)
+        assert 0.10 <= tail <= 0.25
+        iters = [loop.iterations for loop in suite]
+        assert max(iters) > 500
+        assert min(iters) >= 4
+
+    def test_loop_metadata_validation(self):
+        g = motivating_example()
+        with pytest.raises(ValueError):
+            Loop(g, iterations=0)
+        with pytest.raises(ValueError):
+            Loop(g, invariants=-1)
