@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Performance regression gate for the scheduling engine.
+
+Measures the scalability hot paths (MinDist cold solve, MinDist cache
+hit, full HRMS schedule cold/warm) on the same seeded synthetic loops
+``benchmarks/bench_scalability.py`` uses, writes the numbers to
+``BENCH_scalability.json``, and **fails loudly** when any measurement
+regresses more than ``--threshold`` (default 2x) against the committed
+baseline — or when the achieved II changes at all, which would mean the
+schedules themselves changed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_check.py            # gate
+    PYTHONPATH=src python scripts/perf_check.py --update   # new baseline
+    PYTHONPATH=src python scripts/perf_check.py --sizes 16,64,160,512
+
+Timing keys are gated with min-of-N timings to damp machine noise; the
+2x threshold leaves further headroom for slow CI boxes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.scheduler import HRMSScheduler  # noqa: E402
+from repro.engine import MinDistSolver, default_solver  # noqa: E402
+from repro.machine.configs import perfect_club_machine  # noqa: E402
+from repro.mii.analysis import compute_mii  # noqa: E402
+from repro.workloads.synthetic import random_ddg  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_scalability.json"
+DEFAULT_SIZES = (16, 64, 160)
+TIMING_KEYS = (
+    "mindist_cold_s",
+    "mindist_warm_s",
+    "full_schedule_cold_s",
+    "full_schedule_warm_s",
+)
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - began)
+    return best
+
+
+def measure_size(size: int, machine, repeats: int = 3) -> dict:
+    graph = random_ddg(random.Random(size), size, name=f"scale{size}")
+    analysis = compute_mii(graph, machine)
+
+    cold = _best_of(repeats, lambda: MinDistSolver().solve(graph, analysis.mii))
+
+    solver = MinDistSolver()
+    solver.solve(graph, analysis.mii)
+    loops = 50
+
+    def warm_batch():
+        for _ in range(loops):
+            solver.solve(graph, analysis.mii)
+
+    warm = _best_of(repeats, warm_batch) / loops
+
+    scheduler = HRMSScheduler()
+    schedules = []
+
+    def cold_schedule():
+        default_solver().clear()
+        schedules.append(scheduler.schedule(graph, machine, analysis))
+
+    full_cold = _best_of(repeats, cold_schedule)
+    schedule = schedules[-1]
+    full_warm = _best_of(
+        repeats, lambda: scheduler.schedule(graph, machine, analysis)
+    )
+
+    return {
+        "mindist_cold_s": cold,
+        "mindist_warm_s": warm,
+        "full_schedule_cold_s": full_cold,
+        "full_schedule_warm_s": full_warm,
+        "ii": schedule.ii,
+        "mii": analysis.mii,
+        "attempts": schedule.stats.attempts,
+    }
+
+
+def run_measurements(sizes) -> dict:
+    machine = perfect_club_machine()
+    results = {}
+    for size in sizes:
+        results[str(size)] = measure_size(size, machine)
+        row = results[str(size)]
+        print(
+            f"  size {size:>4}: mindist cold {row['mindist_cold_s'] * 1e3:8.2f} ms"
+            f"  warm {row['mindist_warm_s'] * 1e6:8.1f} us"
+            f"  schedule cold {row['full_schedule_cold_s'] * 1e3:8.1f} ms"
+            f"  warm {row['full_schedule_warm_s'] * 1e3:8.1f} ms"
+            f"  (II {row['ii']}, {row['attempts']} attempts)"
+        )
+    return results
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    problems = []
+    for size, base_row in baseline.items():
+        row = current.get(size)
+        if row is None:
+            continue  # size not measured this run
+        if row["ii"] != base_row["ii"]:
+            problems.append(
+                f"size {size}: II changed {base_row['ii']} -> {row['ii']} "
+                "(schedules are no longer identical!)"
+            )
+        for key in TIMING_KEYS:
+            if key not in base_row:
+                continue
+            ratio = row[key] / base_row[key] if base_row[key] else 1.0
+            if ratio > threshold:
+                problems.append(
+                    f"size {size}: {key} regressed {ratio:.2f}x "
+                    f"({base_row[key]:.6f}s -> {row[key]:.6f}s)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"baseline JSON (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--sizes", default=",".join(map(str, DEFAULT_SIZES)),
+        help="comma-separated loop sizes (default: %(default)s; "
+        "add 512 for the large tier — slow)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="failure ratio vs baseline (default: 2.0)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s]
+    except ValueError:
+        parser.error(f"--sizes wants comma-separated integers, got "
+                     f"{args.sizes!r}")
+    if not sizes or any(size < 2 for size in sizes):
+        parser.error(f"--sizes wants loop sizes >= 2, got {args.sizes!r}")
+
+    print(f"perf_check: measuring sizes {sizes} ...")
+    current = run_measurements(sizes)
+
+    document = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "note": "min-of-N timings from scripts/perf_check.py; "
+            "see PERFORMANCE.md",
+        },
+        "sizes": current,
+    }
+
+    if args.baseline.exists():
+        baseline_doc = json.loads(args.baseline.read_text())
+        # Seed numbers are historical context; carry them forward.
+        if "seed_reference" in baseline_doc:
+            document["seed_reference"] = baseline_doc["seed_reference"]
+        if args.update:
+            # Keep baseline entries for sizes this run did not measure
+            # (e.g. the slow 512 tier) instead of silently dropping them.
+            merged = dict(baseline_doc.get("sizes", {}))
+            merged.update(document["sizes"])
+            document["sizes"] = merged
+            args.baseline.write_text(json.dumps(document, indent=2) + "\n")
+            print(f"perf_check: baseline updated -> {args.baseline}")
+            return 0
+        problems = compare(current, baseline_doc.get("sizes", {}),
+                           args.threshold)
+        if problems:
+            print("\nperf_check: PERFORMANCE REGRESSION")
+            for problem in problems:
+                print(f"  !! {problem}")
+            return 1
+        print(f"perf_check: ok (within {args.threshold}x of baseline)")
+        return 0
+
+    if not args.update:
+        print(
+            f"perf_check: no baseline at {args.baseline}; "
+            "run with --update to record one"
+        )
+        return 1
+    args.baseline.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"perf_check: first baseline recorded -> {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.ordering import OrderingResult, hrms_order
+from repro.engine.windows import StartBounds
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
 from repro.machine.mrt import ModuloReservationTable
@@ -46,7 +47,7 @@ from repro.schedulers.base import (
     scan_place,
     upward_window,
 )
-from repro.schedulers.mindist import NO_PATH, mindist_matrix
+from repro.schedulers.mindist import mindist_matrix
 
 
 class HRMSScheduler(ModuloScheduler):
@@ -109,12 +110,13 @@ class HRMSScheduler(ModuloScheduler):
             return None  # II below RecMII; cannot happen from the driver
         dist, names = solved
         index = {name: i for i, name in enumerate(names)}
+        bounds = StartBounds(dist)
         mrt = ModuloReservationTable(machine, ii)
         start: dict[str, int] = {}
         for name in ordering.order:
             op = graph.operation(name)
-            es = _transitive_early_start(dist, index, start, name)
-            ls = _transitive_late_start(dist, index, start, name)
+            es = bounds.early_start(index[name])
+            ls = bounds.late_start(index[name])
             if es is not None and ls is None:
                 window = upward_window(es, ii)
             elif ls is not None and es is None:
@@ -135,6 +137,7 @@ class HRMSScheduler(ModuloScheduler):
             if cycle is None:
                 return None
             start[name] = cycle
+            bounds.place(index[name], cycle)
         return start
 
     def ordering_for(
@@ -144,33 +147,3 @@ class HRMSScheduler(ModuloScheduler):
         from repro.mii.analysis import compute_mii
 
         return self.prepare(graph, machine, compute_mii(graph, machine)).order
-
-
-def _transitive_early_start(
-    dist, index: dict[str, int], start: dict[str, int], name: str
-) -> int | None:
-    """EarlyStart over all scheduled operations via MinDist paths."""
-    i = index[name]
-    bound: int | None = None
-    for other, cycle in start.items():
-        weight = dist[index[other], i]
-        if weight <= NO_PATH // 2:
-            continue
-        candidate = cycle + int(weight)
-        bound = candidate if bound is None else max(bound, candidate)
-    return bound
-
-
-def _transitive_late_start(
-    dist, index: dict[str, int], start: dict[str, int], name: str
-) -> int | None:
-    """LateStart over all scheduled operations via MinDist paths."""
-    i = index[name]
-    bound: int | None = None
-    for other, cycle in start.items():
-        weight = dist[i, index[other]]
-        if weight <= NO_PATH // 2:
-            continue
-        candidate = cycle - int(weight)
-        bound = candidate if bound is None else min(bound, candidate)
-    return bound

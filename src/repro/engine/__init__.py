@@ -1,0 +1,42 @@
+"""The scheduling-engine performance layer.
+
+Every modulo scheduler in the library leans on the same two geometric
+primitives: the all-pairs MinDist matrix (longest dependence distances at
+a candidate II) and the EarlyStart/LateStart windows it induces over a
+partial schedule.  The seed implementation recomputed both from scratch
+inside every II attempt; this package factors the II-independent
+structure out once per graph and keeps the per-II work vectorized:
+
+* :class:`~repro.engine.mindist.MinDistSolver` — factors a graph into
+  per-edge index/latency/distance arrays, assembles ``W(II) = L - II*Δ``
+  vectorized, runs the Floyd–Warshall sweep with NO_PATH saturation, and
+  memoizes ``(graph, II) -> (dist, names)`` (including infeasible ``None``
+  results) so the driver's II+1 retries and the two-pass HRMS attempt hit
+  the cache instead of re-solving.
+* :class:`~repro.engine.windows.StartBounds` — incremental, fully
+  vectorized transitive EarlyStart/LateStart bounds: one O(n) NumPy
+  update per placement instead of an O(n) Python loop per *query*.
+
+The cached matrices are returned read-only and shared between callers;
+treat them as immutable.
+"""
+
+from repro.engine.mindist import (
+    NO_PATH,
+    MinDistSolver,
+    cyclic_asap,
+    default_solver,
+    graph_fingerprint,
+    mindist_matrix,
+)
+from repro.engine.windows import StartBounds
+
+__all__ = [
+    "NO_PATH",
+    "MinDistSolver",
+    "StartBounds",
+    "cyclic_asap",
+    "default_solver",
+    "graph_fingerprint",
+    "mindist_matrix",
+]

@@ -1,0 +1,59 @@
+"""Vectorized, incremental EarlyStart/LateStart bounds.
+
+For a partial schedule, the transitive bounds of Section 3.3 are::
+
+    EarlyStart(v) = max over scheduled u:  t_u + mindist[u][v]
+    LateStart(v)  = min over scheduled u:  t_u - mindist[v][u]
+
+The seed recomputed both with a Python loop over every scheduled
+operation *per placement query* — O(n) dict lookups per query, O(n^2)
+per attempt.  :class:`StartBounds` keeps the running max/min for **all**
+operations as NumPy arrays and folds each new placement in with one
+vectorized row/column update, making every query O(1) and every
+placement O(n).
+
+Placements are monotone (bounds only tighten), which is exactly how the
+window-scanning schedulers (HRMS, SMS) use them; ejection-based methods
+that un-place operations recompute their bounds per pick instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.mindist import _NO_PATH_CUTOFF
+
+_NEG = np.iinfo(np.int64).min
+_POS = np.iinfo(np.int64).max
+
+
+class StartBounds:
+    """Running transitive EarlyStart/LateStart over a MinDist matrix."""
+
+    def __init__(self, dist: np.ndarray) -> None:
+        n = dist.shape[0]
+        self._dist = dist
+        self._reach = dist > _NO_PATH_CUTOFF
+        self._es = np.full(n, _NEG, dtype=np.int64)
+        self._has_es = np.zeros(n, dtype=bool)
+        self._ls = np.full(n, _POS, dtype=np.int64)
+        self._has_ls = np.zeros(n, dtype=bool)
+
+    def place(self, i: int, cycle: int) -> None:
+        """Fold ``operation i scheduled at cycle`` into every bound."""
+        out = self._reach[i, :]
+        np.maximum(self._es, cycle + self._dist[i, :],
+                   where=out, out=self._es)
+        self._has_es |= out
+        into = self._reach[:, i]
+        np.minimum(self._ls, cycle - self._dist[:, i],
+                   where=into, out=self._ls)
+        self._has_ls |= into
+
+    def early_start(self, i: int) -> int | None:
+        """EarlyStart of operation *i*, or ``None`` if unconstrained."""
+        return int(self._es[i]) if self._has_es[i] else None
+
+    def late_start(self, i: int) -> int | None:
+        """LateStart of operation *i*, or ``None`` if unconstrained."""
+        return int(self._ls[i]) if self._has_ls[i] else None

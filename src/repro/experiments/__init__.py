@@ -12,5 +12,7 @@
   budgets (∞/64/32) with spilling.
 * :mod:`repro.experiments.ablations` — design-choice checks (initial
   hypernode invariance, value of the pre-ordering, phase-time split).
+* :mod:`repro.experiments.runner` — ``concurrent.futures``-based
+  parallel study runner with per-loop result caching.
 * :mod:`repro.experiments.cli` — ``hrms-experiments`` command-line entry.
 """

@@ -6,8 +6,8 @@ Regenerates any table or figure of the paper::
     hrms-experiments table1 [--spilp-time-limit 30]
     hrms-experiments table2
     hrms-experiments table3
-    hrms-experiments stats  [--loops 1258]
-    hrms-experiments fig11  [--loops 1258]
+    hrms-experiments stats  [--loops 1258] [--jobs 8]
+    hrms-experiments fig11  [--loops 1258] [--jobs 8]
     hrms-experiments fig12 | fig13 | fig14
     hrms-experiments ablations
     hrms-experiments frontend
@@ -71,6 +71,11 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="small population + tight solver limits",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the Perfect-Club study "
+             "(default: 1 = serial; 0 = all cores)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -98,9 +103,16 @@ def main(argv: list[str] | None = None) -> int:
     def get_study():
         nonlocal study
         if study is None:
-            study = stats_mod.run_study(
-                loops=perfect_club_suite(n_loops=args.loops)
-            )
+            loops = perfect_club_suite(n_loops=args.loops)
+            if args.jobs == 1:
+                study = stats_mod.run_study(loops=loops)
+            else:
+                from repro.experiments.runner import run_study_parallel
+
+                study = run_study_parallel(
+                    loops=loops,
+                    max_workers=args.jobs if args.jobs > 0 else None,
+                )
         return study
 
     for artefact in wanted:

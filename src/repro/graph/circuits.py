@@ -32,11 +32,13 @@ class Circuit:
     nodes: tuple[str, ...]
     edges: tuple[Edge, ...]
 
-    @property
-    def latency_sum(self) -> int:
-        """Total distance-weighted latency is computed by the MII module;
-        here we only expose the plain node-latency sum's inputs."""
-        return len(self.nodes)
+    def latency_sum(self, graph: DependenceGraph) -> int:
+        """Sum of node latencies around the circuit (RecMII's numerator).
+
+        Latencies live on the operations, not the circuit, so the graph
+        must be supplied.
+        """
+        return sum(graph.operation(name).latency for name in self.nodes)
 
     def total_distance(self) -> int:
         """Sum of dependence distances around the circuit (Omega)."""

@@ -5,9 +5,19 @@ occupies its functional unit at row ``t mod II`` (and, for unpipelined
 units, the following ``latency - 1`` rows as well) in **every** iteration.
 All schedulers in the library share this implementation, including the
 ejection-based ones, so slots track their occupant and can be vacated.
+
+Occupancy is held twice: a NumPy boolean mask per unit class (what every
+feasibility test reads — a whole II-length scan window collapses to one
+rolled-mask reduction in :meth:`ModuloReservationTable.scan_place`) and a
+per-slot occupant-name table (what Slack's ejection machinery and the
+diagnostics read).
 """
 
 from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
 
 from repro.errors import MachineError
 from repro.graph.ops import Operation
@@ -22,39 +32,41 @@ class ModuloReservationTable:
             raise MachineError(f"II must be >= 1, got {ii}")
         self.machine = machine
         self.ii = ii
-        # table[class name][unit index][row] -> occupant op name or None
-        self._table: dict[str, list[list[str | None]]] = {
+        # occupied[class name][unit index, row] -> bool
+        self._occupied: dict[str, np.ndarray] = {
+            unit.name: np.zeros((unit.count, ii), dtype=bool)
+            for unit in machine.unit_classes()
+        }
+        # names[class name][unit index][row] -> occupant op name or None
+        self._names: dict[str, list[list[str | None]]] = {
             unit.name: [[None] * ii for _ in range(unit.count)]
             for unit in machine.unit_classes()
         }
         # op name -> (class name, unit index, start row, span)
         self._placements: dict[str, tuple[str, int, int, int]] = {}
+        self._rows = np.arange(ii, dtype=np.int64)
 
     # ------------------------------------------------------------------
-    def _span(self, op: Operation) -> int:
-        span = self.machine.reservation_cycles(op)
-        return span
-
     def fits(self, op: Operation, cycle: int) -> bool:
         """Can *op* issue at absolute *cycle* without a resource conflict?"""
         return self._find_unit(op, cycle) is not None
 
     def _find_unit(self, op: Operation, cycle: int) -> int | None:
         unit_class = self.machine.class_for(op)
-        span = self._span(op)
+        span = self.machine.reservation_cycles(op)
         if span > self.ii:
             # An unpipelined unit cannot start a new op every II cycles if
             # one execution lasts longer than II.
             return None
         row = cycle % self.ii
-        units = self._table[unit_class.name]
-        for index, unit_rows in enumerate(units):
-            if all(
-                unit_rows[(row + offset) % self.ii] is None
-                for offset in range(span)
-            ):
-                return index
-        return None
+        occupied = self._occupied[unit_class.name]
+        if span == 1:
+            busy = occupied[:, row]
+        else:
+            rows = (row + self._rows[:span]) % self.ii
+            busy = occupied[:, rows].any(axis=1)
+        index = int(busy.argmin())  # first free unit
+        return None if busy[index] else index
 
     def place(self, op: Operation, cycle: int) -> bool:
         """Reserve a unit for *op* at *cycle*; ``False`` if none is free."""
@@ -64,13 +76,63 @@ class ModuloReservationTable:
         if index is None:
             return False
         unit_class = self.machine.class_for(op)
-        span = self._span(op)
-        row = cycle % self.ii
-        unit_rows = self._table[unit_class.name][index]
-        for offset in range(span):
-            unit_rows[(row + offset) % self.ii] = op.name
-        self._placements[op.name] = (unit_class.name, index, row, span)
+        span = self.machine.reservation_cycles(op)
+        self._reserve(unit_class.name, index, cycle % self.ii, span, op.name)
         return True
+
+    def scan_place(
+        self, op: Operation, candidates: Iterable[int]
+    ) -> int | None:
+        """Place *op* at the first candidate cycle with a free unit.
+
+        Equivalent to trying :meth:`place` per candidate, but the whole
+        window is tested at once: the free-start-row mask of every unit
+        is built with one rolled-mask reduction, then the candidates are
+        checked against it in a single vectorized pass.
+        """
+        if op.name in self._placements:
+            raise MachineError(f"operation {op.name!r} is already placed")
+        unit_class = self.machine.class_for(op)
+        span = self.machine.reservation_cycles(op)
+        if span > self.ii:
+            return None
+        if isinstance(candidates, range):
+            cycles = np.arange(
+                candidates.start, candidates.stop, candidates.step,
+                dtype=np.int64,
+            )
+        else:
+            cycles = np.fromiter(candidates, dtype=np.int64)
+        if cycles.size == 0:
+            return None
+        occupied = self._occupied[unit_class.name]
+        if span == 1:
+            unit_free = ~occupied
+        else:
+            # windows[r, o] = row of offset o for a start at row r
+            windows = (self._rows[:, None] + self._rows[None, :span]) % self.ii
+            unit_free = ~occupied[:, windows].any(axis=2)
+        row_free = unit_free.any(axis=0)
+        rows = cycles % self.ii
+        feasible = row_free[rows]
+        first = int(feasible.argmax())
+        if not feasible[first]:
+            return None
+        row = int(rows[first])
+        index = int(unit_free[:, row].argmax())  # first free unit
+        self._reserve(unit_class.name, index, row, span, op.name)
+        return int(cycles[first])
+
+    def _reserve(
+        self, class_name: str, index: int, row: int, span: int, name: str
+    ) -> None:
+        occupied = self._occupied[class_name]
+        unit_names = self._names[class_name][index]
+        for offset in range(span):
+            slot = (row + offset) % self.ii
+            occupied[index, slot] = True
+            unit_names[slot] = name
+        self._placements[name] = (class_name, index, row, span)
 
     def unplace(self, op: Operation) -> None:
         """Release the reservation held by *op* (no-op when absent)."""
@@ -78,9 +140,12 @@ class ModuloReservationTable:
         if placement is None:
             return
         class_name, index, row, span = placement
-        unit_rows = self._table[class_name][index]
+        occupied = self._occupied[class_name]
+        unit_names = self._names[class_name][index]
         for offset in range(span):
-            unit_rows[(row + offset) % self.ii] = None
+            slot = (row + offset) % self.ii
+            occupied[index, slot] = False
+            unit_names[slot] = None
 
     def is_placed(self, op: Operation) -> bool:
         return op.name in self._placements
@@ -88,9 +153,9 @@ class ModuloReservationTable:
     def occupants(self, class_name: str, row: int) -> list[str]:
         """Names occupying *class_name* units at *row* (for diagnostics)."""
         return [
-            unit_rows[row % self.ii]
-            for unit_rows in self._table[class_name]
-            if unit_rows[row % self.ii] is not None
+            unit_names[row % self.ii]
+            for unit_names in self._names[class_name]
+            if unit_names[row % self.ii] is not None
         ]
 
     def conflicting_ops(self, op: Operation, cycle: int) -> set[str]:
@@ -101,22 +166,18 @@ class ModuloReservationTable:
         the table simply has no capacity the set may cover every unit.
         """
         unit_class = self.machine.class_for(op)
-        span = self._span(op)
+        span = self.machine.reservation_cycles(op)
         row = cycle % self.ii
         blockers: set[str] = set()
-        for unit_rows in self._table[unit_class.name]:
+        for unit_names in self._names[unit_class.name]:
             for offset in range(span):
-                occupant = unit_rows[(row + offset) % self.ii]
+                occupant = unit_names[(row + offset) % self.ii]
                 if occupant is not None:
                     blockers.add(occupant)
         return blockers
 
     def utilisation(self) -> float:
         """Fraction of slot-rows currently reserved (diagnostics)."""
-        total = 0
-        used = 0
-        for units in self._table.values():
-            for unit_rows in units:
-                total += len(unit_rows)
-                used += sum(1 for slot in unit_rows if slot is not None)
+        total = sum(occ.size for occ in self._occupied.values())
+        used = sum(int(occ.sum()) for occ in self._occupied.values())
         return used / total if total else 0.0

@@ -18,7 +18,7 @@ from repro.graph.ddg import DependenceGraph
 
 def circuit_recmii(graph: DependenceGraph, circuit: Circuit) -> int:
     """The II lower bound a single circuit imposes."""
-    latency_sum = sum(graph.operation(name).latency for name in circuit.nodes)
+    latency_sum = circuit.latency_sum(graph)
     distance_sum = circuit.total_distance()
     if distance_sum == 0:
         raise ZeroDistanceCycleError(

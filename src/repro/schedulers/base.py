@@ -72,11 +72,12 @@ def scan_place(
     op,
     candidates: Iterable[int],
 ) -> int | None:
-    """Place *op* at the first candidate cycle with a free unit."""
-    for cycle in candidates:
-        if mrt.place(op, cycle):
-            return cycle
-    return None
+    """Place *op* at the first candidate cycle with a free unit.
+
+    Delegates to the MRT's vectorized whole-window scan, which tests
+    every candidate row in one rolled-mask operation.
+    """
+    return mrt.scan_place(op, candidates)
 
 
 def upward_window(es: int, ii: int, ls: int | None = None) -> range:

@@ -87,11 +87,7 @@ class IMSScheduler(ModuloScheduler):
             es = early_start(graph, start, pick, ii)
             es = 0 if es is None else es
 
-            placed_at = None
-            for cycle in range(es, es + ii):
-                if mrt.place(op, cycle):
-                    placed_at = cycle
-                    break
+            placed_at = mrt.scan_place(op, range(es, es + ii))
             if placed_at is None:
                 placed_at = self._force_place(
                     graph, mrt, start, unscheduled, pick, es, last_forced, ii

@@ -10,62 +10,26 @@ retiming-free operation priority.
 At a feasible II (``II >= RecMII``) every dependence cycle has
 non-positive weight, so Floyd–Warshall converges; a positive diagonal
 entry flags an infeasible II.
+
+This module is the historical import point; the actual solving lives in
+:mod:`repro.engine.mindist`, which factors each graph once and memoizes
+``(graph, II)`` results so the II search never re-solves a matrix.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.engine.mindist import (  # noqa: F401  (re-exported API)
+    NO_PATH,
+    MinDistSolver,
+    cyclic_asap,
+    default_solver,
+    mindist_matrix,
+)
 
-from repro.graph.ddg import DependenceGraph
-
-#: Sentinel for "no path" — avoids -inf arithmetic warnings.
-NO_PATH = -(10**9)
-
-
-def mindist_matrix(
-    graph: DependenceGraph, ii: int
-) -> tuple[np.ndarray, list[str]] | None:
-    """Floyd–Warshall longest-path matrix, or ``None`` if II is infeasible.
-
-    Returns ``(matrix, names)`` with rows/columns indexed by *names*
-    (program order).  ``matrix[i, j] <= NO_PATH / 2`` means "no constraint".
-    """
-    names = graph.node_names()
-    index = {name: i for i, name in enumerate(names)}
-    n = len(names)
-    dist = np.full((n, n), NO_PATH, dtype=np.int64)
-
-    for edge in graph.edges():
-        i, j = index[edge.src], index[edge.dst]
-        weight = graph.operation(edge.src).latency - edge.distance * ii
-        if i == j:
-            if weight > 0:
-                return None  # self-dependence violated at this II
-            continue
-        if weight > dist[i, j]:
-            dist[i, j] = weight
-
-    for k in range(n):
-        via = dist[:, k, None] + dist[None, k, :]
-        np.maximum(dist, via, out=dist)
-        # Keep "no path" saturated so chained NO_PATH values cannot creep
-        # upward into the feasible range.
-        dist[dist < NO_PATH // 2] = NO_PATH
-
-    if np.any(np.diag(dist) > 0):
-        return None
-    return dist, names
-
-
-def cyclic_asap(graph: DependenceGraph, ii: int) -> dict[str, int] | None:
-    """Earliest issue cycles respecting loop-carried dependences at *ii*.
-
-    ``t(v) = max(0, max_u mindist[u][v])`` — the unconstrained-resource
-    ASAP schedule of the cyclic graph.  ``None`` when *ii* is infeasible.
-    """
-    result = mindist_matrix(graph, ii)
-    if result is None:
-        return None
-    dist, names = result
-    asap = np.maximum(dist.max(axis=0), 0)
-    return {name: int(asap[i]) for i, name in enumerate(names)}
+__all__ = [
+    "NO_PATH",
+    "MinDistSolver",
+    "cyclic_asap",
+    "default_solver",
+    "mindist_matrix",
+]

@@ -93,13 +93,11 @@ class SlackScheduler(ModuloScheduler):
             # operation to one cycle and thrash the ejection machinery.
             top = es + ii - 1 if hard_ls is None else min(hard_ls, es + ii - 1)
             if es <= top:
-                window = range(es, top + 1)
-                if not early_first:
-                    window = reversed(window)
-                for cycle in window:
-                    if mrt.place(op, cycle):
-                        placed_at = cycle
-                        break
+                if early_first:
+                    window = range(es, top + 1)
+                else:
+                    window = range(top, es - 1, -1)
+                placed_at = mrt.scan_place(op, window)
             if placed_at is None:
                 placed_at = self._force_place(
                     graph, mrt, start, unscheduled, pick, es, last_forced, ii

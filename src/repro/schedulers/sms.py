@@ -29,6 +29,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.windows import StartBounds
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
 from repro.machine.mrt import ModuloReservationTable
@@ -39,7 +40,7 @@ from repro.schedulers.base import (
     scan_place,
     upward_window,
 )
-from repro.schedulers.mindist import NO_PATH, mindist_matrix
+from repro.schedulers.mindist import mindist_matrix
 
 
 class SwingScheduler(ModuloScheduler):
@@ -85,12 +86,13 @@ class SwingScheduler(ModuloScheduler):
             return None
         dist, names = solved
         index = {name: i for i, name in enumerate(names)}
+        bounds = StartBounds(dist)
         mrt = ModuloReservationTable(machine, ii)
         start: dict[str, int] = {}
         for name in order:
             op = graph.operation(name)
-            es = _bound(dist, index, start, name, early=True)
-            ls = _bound(dist, index, start, name, early=False)
+            es = bounds.early_start(index[name])
+            ls = bounds.late_start(index[name])
             if es is not None and ls is None:
                 window = upward_window(es, ii)
             elif ls is not None and es is None:
@@ -108,6 +110,7 @@ class SwingScheduler(ModuloScheduler):
             if cycle is None:
                 return None
             start[name] = cycle
+            bounds.place(index[name], cycle)
         return start
 
 
@@ -147,25 +150,3 @@ def swing_order(graph: DependenceGraph, mii: int) -> list[str]:
             if other in remaining:
                 frontier.add(other)
     return ordered
-
-
-def _bound(
-    dist,
-    index: dict[str, int],
-    start: dict[str, int],
-    name: str,
-    early: bool,
-) -> int | None:
-    i = index[name]
-    bound: int | None = None
-    for other, cycle in start.items():
-        j = index[other]
-        weight = dist[j, i] if early else dist[i, j]
-        if weight <= NO_PATH // 2:
-            continue
-        candidate = cycle + int(weight) if early else cycle - int(weight)
-        if bound is None:
-            bound = candidate
-        else:
-            bound = max(bound, candidate) if early else min(bound, candidate)
-    return bound

@@ -1,9 +1,11 @@
 """Unit tests for the machine model and modulo reservation table."""
 
+import random
+
 import pytest
 
 from repro.errors import MachineError, UnknownResourceError
-from repro.graph.ops import FADD, FDIV, GENERIC, Operation
+from repro.graph.ops import FADD, FDIV, FMUL, GENERIC, MEM, Operation
 from repro.machine.configs import (
     govindarajan_machine,
     motivating_machine,
@@ -109,3 +111,143 @@ class TestMRT:
         assert mrt.utilisation() == 0.0
         mrt.place(Operation("o"), 0)
         assert 0.0 < mrt.utilisation() <= 1.0
+
+
+class _ReferenceMRT:
+    """The seed's list-of-lists MRT — the parity oracle for the bitmask
+    implementation.  Deliberately kept dumb: per-cycle, per-unit ``all``
+    scans over occupant lists."""
+
+    def __init__(self, machine, ii):
+        self.machine = machine
+        self.ii = ii
+        self._table = {
+            unit.name: [[None] * ii for _ in range(unit.count)]
+            for unit in machine.unit_classes()
+        }
+        self._placements = {}
+
+    def _find_unit(self, op, cycle):
+        unit_class = self.machine.class_for(op)
+        span = self.machine.reservation_cycles(op)
+        if span > self.ii:
+            return None
+        row = cycle % self.ii
+        for index, unit_rows in enumerate(self._table[unit_class.name]):
+            if all(
+                unit_rows[(row + offset) % self.ii] is None
+                for offset in range(span)
+            ):
+                return index
+        return None
+
+    def place(self, op, cycle):
+        if op.name in self._placements:
+            raise MachineError(f"operation {op.name!r} is already placed")
+        index = self._find_unit(op, cycle)
+        if index is None:
+            return False
+        unit_class = self.machine.class_for(op)
+        span = self.machine.reservation_cycles(op)
+        row = cycle % self.ii
+        unit_rows = self._table[unit_class.name][index]
+        for offset in range(span):
+            unit_rows[(row + offset) % self.ii] = op.name
+        self._placements[op.name] = (unit_class.name, index, row, span)
+        return True
+
+    def scan_place(self, op, candidates):
+        for cycle in candidates:
+            if self.place(op, cycle):
+                return cycle
+        return None
+
+    def unplace(self, op):
+        placement = self._placements.pop(op.name, None)
+        if placement is None:
+            return
+        class_name, index, row, span = placement
+        unit_rows = self._table[class_name][index]
+        for offset in range(span):
+            unit_rows[(row + offset) % self.ii] = None
+
+    def occupants(self, class_name, row):
+        return [
+            unit_rows[row % self.ii]
+            for unit_rows in self._table[class_name]
+            if unit_rows[row % self.ii] is not None
+        ]
+
+
+class TestBitmaskMRTParity:
+    """The NumPy-occupancy MRT behaves exactly like the seed's table."""
+
+    def _random_op(self, rng, name):
+        opclass, latency = rng.choice(
+            [(FADD, 4), (FMUL, 4), (FDIV, 17), (MEM, 2), (FADD, 1)]
+        )
+        return Operation(name, latency=latency, opclass=opclass)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_place_unplace_parity(self, seed, pc_machine):
+        rng = random.Random(seed)
+        ii = rng.randint(1, 20)
+        new = ModuloReservationTable(pc_machine, ii)
+        ref = _ReferenceMRT(pc_machine, ii)
+        live: list[Operation] = []
+        for step in range(300):
+            action = rng.random()
+            if action < 0.55 or not live:
+                op = self._random_op(rng, f"op{seed}_{step}")
+                cycle = rng.randint(-10, 4 * ii)
+                got, want = new.place(op, cycle), ref.place(op, cycle)
+                assert got == want, (seed, step, op, cycle)
+                if got:
+                    live.append(op)
+            elif action < 0.8:
+                op = self._random_op(rng, f"scan{seed}_{step}")
+                base = rng.randint(-5, 3 * ii)
+                window = range(base, base + rng.randint(0, 2 * ii))
+                if rng.random() < 0.5:
+                    window = range(
+                        window.stop - 1, window.start - 1, -1
+                    )
+                got, want = (
+                    new.scan_place(op, window),
+                    ref.scan_place(op, window),
+                )
+                assert got == want, (seed, step, op, window)
+                if got is not None:
+                    live.append(op)
+            else:
+                victim = live.pop(rng.randrange(len(live)))
+                new.unplace(victim)
+                ref.unplace(victim)
+            # Occupant tables stay identical row by row.
+            unit = rng.choice(pc_machine.unit_classes()).name
+            row = rng.randint(0, ii - 1)
+            assert new.occupants(unit, row) == ref.occupants(unit, row)
+
+    def test_ii_zero_and_negative_rejected(self, generic4):
+        for ii in (0, -3):
+            with pytest.raises(MachineError):
+                ModuloReservationTable(generic4, ii=ii)
+
+    def test_span_longer_than_ii_fast_reject(self, pc_machine):
+        mrt = ModuloReservationTable(pc_machine, ii=5)
+        div = Operation("d", latency=17, opclass=FDIV)  # unpipelined
+        assert not mrt.fits(div, 0)
+        assert not mrt.place(div, 0)
+        assert mrt.scan_place(div, range(0, 100)) is None
+        assert mrt.utilisation() == 0.0
+
+    def test_scan_place_empty_window(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=4)
+        assert mrt.scan_place(Operation("o"), range(3, 3)) is None
+
+    def test_scan_place_rejects_double_placement(self, generic4):
+        mrt = ModuloReservationTable(generic4, ii=4)
+        op = Operation("o")
+        assert mrt.scan_place(op, range(0, 4)) == 0
+        with pytest.raises(MachineError):
+            mrt.scan_place(op, range(0, 4))

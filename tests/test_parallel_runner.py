@@ -1,0 +1,71 @@
+"""Tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import parallel_map, run_study_parallel
+from repro.experiments.stats import aggregate, run_study
+from repro.workloads.perfectclub import perfect_club_suite
+
+
+def _squared(x):
+    return x * x
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_order_preserved(self, mode):
+        items = list(range(23))
+        assert parallel_map(_squared, items, mode=mode, max_workers=4) == [
+            x * x for x in items
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_squared, [1], mode="fleet")
+
+    def test_single_worker_is_serial(self):
+        assert parallel_map(_squared, [1, 2, 3], max_workers=1) == [1, 4, 9]
+
+
+class TestRunStudyParallel:
+    @pytest.fixture(scope="class")
+    def loops(self):
+        return perfect_club_suite(n_loops=30, seed=11)
+
+    @pytest.fixture(scope="class")
+    def serial_study(self, loops):
+        return run_study(loops=loops)
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_matches_serial_study(self, loops, serial_study, mode):
+        study = run_study_parallel(loops=loops, mode=mode, max_workers=4)
+        assert study.schedulers == serial_study.schedulers
+        assert len(study.records) == len(serial_study.records)
+        for ours, ref in zip(study.records, serial_study.records):
+            assert ours.loop.name == ref.loop.name
+            assert ours.mii == ref.mii
+            for name in ref.rows:
+                assert ours.rows[name].ii == ref.rows[name].ii
+                assert ours.rows[name].maxlive == ref.rows[name].maxlive
+        # The aggregate claims derived from the study agree too (timing
+        # shares differ; the structural numbers must not).
+        a, b = aggregate(study), aggregate(serial_study)
+        assert a.optimal_fraction == b.optimal_fraction
+        assert a.mean_ii_over_mii == b.mean_ii_over_mii
+        assert a.dynamic_performance == b.dynamic_performance
+        assert a.register_ratio_vs == b.register_ratio_vs
+
+    def test_per_loop_cache_reused(self, loops):
+        cache = {}
+        run_study_parallel(loops=loops, mode="serial", cache=cache)
+        entries = len(cache)
+        assert 0 < entries <= len(loops)  # duplicates deduplicated
+        study = run_study_parallel(loops=loops, mode="serial", cache=cache)
+        assert len(cache) == entries  # nothing recomputed
+        assert len(study.records) == len(loops)
+
+    def test_records_keep_their_own_loops(self, loops):
+        study = run_study_parallel(loops=loops, mode="serial")
+        assert [r.loop.name for r in study.records] == [
+            loop.name for loop in loops
+        ]

@@ -74,11 +74,38 @@ def test_allocator_covers_maxlive(params):
     lower = max_live(schedule)
     assert allocation.register_count >= lower
     # Guaranteed bound: the per-value tiling never exceeds the value
-    # buffer sum (one register per overlapped instance).
-    stores = sum(1 for op in graph.operations() if op.is_store)
-    assert allocation.register_count <= (
-        buffer_requirements(schedule) - stores
+    # buffer sum (one register per overlapped instance) — but only when
+    # the unroll degree is the exact lcm of the per-value degrees.  When
+    # the lcm exceeds MAX_UNROLL and the degree falls back to the
+    # maximum, some value's instances wrap the circle at a non-multiple
+    # stride and genuinely need extra registers (e.g. a 2*II lifetime at
+    # unroll 7 yields a C7 conflict cycle: chromatic number 3 > 2), so
+    # the buffer bound is unattainable by *any* allocator.
+    import math
+
+    from repro.schedule.allocator import mve_unroll_degree
+
+    degrees = [
+        math.ceil(lifetime.length / schedule.ii)
+        for lifetime in compute_lifetimes(schedule)
+        if lifetime.length > 0
+    ]
+    # The allocator's own unroll choice tells us which regime we are in:
+    # it equals the lcm exactly when no fallback happened.
+    exact_unroll = not degrees or (
+        mve_unroll_degree(schedule) == math.lcm(*degrees)
     )
+    stores = sum(1 for op in graph.operations() if op.is_store)
+    if exact_unroll:
+        assert allocation.register_count <= (
+            buffer_requirements(schedule) - stores
+        )
+    else:
+        # Fallback regime: one extra register per wrapped value is the
+        # provable ceiling for the strategies in play.
+        assert allocation.register_count <= (
+            buffer_requirements(schedule) - stores + len(degrees)
+        )
     # Quality bound: within a small margin of the MaxLive lower bound.
     assert allocation.register_count <= lower + max(3, -(-lower // 4))
 
