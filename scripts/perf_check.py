@@ -97,6 +97,69 @@ def measure_size(size: int, machine, repeats: int = 3) -> dict:
     }
 
 
+def measure_service(jobs: int = 48, workers: int = 4) -> dict:
+    """Service smoke tier: live localhost server, one batch, wall time.
+
+    Submits *jobs* schedule requests (the Govindarajan kernels, cycled)
+    over HTTP against a cold temporary store and reports end-to-end
+    throughput plus the p95 submit-to-finish latency.  Small numbers by
+    design — this guards the service plumbing (HTTP, queue, workers,
+    store) rather than the schedulers, which the size tiers cover.
+    """
+    import tempfile
+
+    from repro.graph.serialization import graph_to_dict
+    from repro.service import ServiceClient, ServiceServer
+    from repro.service.metrics import percentile
+    from repro.workloads.govindarajan import govindarajan_suite
+
+    graphs = [loop.graph for loop in govindarajan_suite()]
+    requests = [
+        {
+            "kind": "schedule",
+            "graph": graph_to_dict(graph),
+            "machine": "govindarajan",
+        }
+        for graph in (graphs * ((jobs // len(graphs)) + 1))[:jobs]
+    ]
+    with tempfile.TemporaryDirectory(prefix="hrms-perf-") as tmp:
+        with ServiceServer(tmp, workers=workers) as server:
+            client = ServiceClient(server.url)
+            began = time.perf_counter()
+            ids = client.submit_batch(requests)
+            records = [client.wait(i, timeout=300) for i in ids]
+            wall = time.perf_counter() - began
+    failed = [r for r in records if r["status"] != "done"]
+    if failed:
+        raise RuntimeError(f"service smoke: {len(failed)} jobs failed")
+    latencies = [r["finished_at"] - r["submitted_at"] for r in records]
+    return {
+        "jobs": jobs,
+        "wall_s": wall,
+        "throughput_jobs_per_s": jobs / wall,
+        "p95_latency_s": percentile(latencies, 0.95),
+    }
+
+
+def compare_service(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Service regressions: throughput is higher-is-better, latency
+    lower-is-better; both gated by the same ratio threshold."""
+    problems = []
+    base_rate = baseline.get("throughput_jobs_per_s")
+    if base_rate and current["throughput_jobs_per_s"] < base_rate / threshold:
+        problems.append(
+            f"service: throughput regressed "
+            f"{base_rate:.1f} -> {current['throughput_jobs_per_s']:.1f} jobs/s"
+        )
+    base_p95 = baseline.get("p95_latency_s")
+    if base_p95 and current["p95_latency_s"] > base_p95 * threshold:
+        problems.append(
+            f"service: p95 latency regressed "
+            f"{base_p95:.4f}s -> {current['p95_latency_s']:.4f}s"
+        )
+    return problems
+
+
 def run_measurements(sizes) -> dict:
     machine = perfect_club_machine()
     results = {}
@@ -155,6 +218,10 @@ def main(argv=None) -> int:
         "--update", action="store_true",
         help="rewrite the baseline with this run's numbers",
     )
+    parser.add_argument(
+        "--no-service", action="store_true",
+        help="skip the service smoke tier (HTTP batch over a live server)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -166,6 +233,15 @@ def main(argv=None) -> int:
 
     print(f"perf_check: measuring sizes {sizes} ...")
     current = run_measurements(sizes)
+    service = None
+    if not args.no_service:
+        print("perf_check: service smoke tier (live HTTP batch) ...")
+        service = measure_service()
+        print(
+            f"  service: {service['jobs']} jobs in {service['wall_s']:.2f}s"
+            f"  ({service['throughput_jobs_per_s']:.1f} jobs/s, "
+            f"p95 {service['p95_latency_s'] * 1e3:.1f} ms)"
+        )
 
     document = {
         "meta": {
@@ -176,6 +252,8 @@ def main(argv=None) -> int:
         },
         "sizes": current,
     }
+    if service is not None:
+        document["service"] = service
 
     if args.baseline.exists():
         baseline_doc = json.loads(args.baseline.read_text())
@@ -188,11 +266,17 @@ def main(argv=None) -> int:
             merged = dict(baseline_doc.get("sizes", {}))
             merged.update(document["sizes"])
             document["sizes"] = merged
+            if service is None and "service" in baseline_doc:
+                document["service"] = baseline_doc["service"]
             args.baseline.write_text(json.dumps(document, indent=2) + "\n")
             print(f"perf_check: baseline updated -> {args.baseline}")
             return 0
         problems = compare(current, baseline_doc.get("sizes", {}),
                            args.threshold)
+        if service is not None and "service" in baseline_doc:
+            problems += compare_service(
+                service, baseline_doc["service"], args.threshold
+            )
         if problems:
             print("\nperf_check: PERFORMANCE REGRESSION")
             for problem in problems:

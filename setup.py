@@ -11,6 +11,8 @@ setup(
         "console_scripts": [
             "hrms-experiments = repro.experiments.cli:main",
             "hrms-compile = repro.frontend.cli:main",
+            "hrms-serve = repro.service.cli:serve_main",
+            "hrms-submit = repro.service.cli:submit_main",
         ]
     }
 )

@@ -26,6 +26,7 @@ from repro.engine.mindist import (
     MinDistSolver,
     cyclic_asap,
     default_solver,
+    fingerprint_digest,
     graph_fingerprint,
     mindist_matrix,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "StartBounds",
     "cyclic_asap",
     "default_solver",
+    "fingerprint_digest",
     "graph_fingerprint",
     "mindist_matrix",
 ]

@@ -24,6 +24,8 @@ its cache entry.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import weakref
 from dataclasses import dataclass, field
 
@@ -71,6 +73,19 @@ def graph_fingerprint(graph: DependenceGraph) -> tuple:
             for edge in graph.edges()
         )),
     )
+
+
+def fingerprint_digest(graph: DependenceGraph) -> str:
+    """Stable hex content-address of a graph's structural fingerprint.
+
+    Two graphs share a digest exactly when :func:`graph_fingerprint`
+    says they schedule identically, so the digest is usable as a durable
+    cache key (the artifact store) and as a wire-safe graph identity.
+    """
+    canonical = json.dumps(
+        graph_fingerprint(graph), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass

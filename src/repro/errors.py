@@ -89,6 +89,18 @@ class WorkloadError(ReproError):
     """A workload definition or generator was misused."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the scheduling service layer."""
+
+
+class ArtifactError(ServiceError):
+    """A stored artifact is unreadable or has an unsupported schema."""
+
+
+class JobError(ServiceError):
+    """A job request is malformed or references unknown entities."""
+
+
 class FrontendError(ReproError):
     """Base class for errors raised by the loop-language front end."""
 

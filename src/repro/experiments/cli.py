@@ -76,6 +76,12 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the Perfect-Club study "
              "(default: 1 = serial; 0 = all cores)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store directory: study rows are read "
+             "from and written to DIR, so re-runs skip scheduling "
+             "(shared with hrms-serve)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -104,7 +110,19 @@ def main(argv: list[str] | None = None) -> int:
         nonlocal study
         if study is None:
             loops = perfect_club_suite(n_loops=args.loops)
-            if args.jobs == 1:
+            if args.store is not None:
+                # The persistent store makes warm re-runs pure reads, so
+                # route through the cache-aware runner even single-worker.
+                from repro.experiments.runner import run_study_parallel
+                from repro.service.store import persistent_study_cache
+
+                study = run_study_parallel(
+                    loops=loops,
+                    max_workers=args.jobs if args.jobs > 0 else None,
+                    mode="serial" if args.jobs == 1 else "process",
+                    cache=persistent_study_cache(args.store),
+                )
+            elif args.jobs == 1:
                 study = stats_mod.run_study(loops=loops)
             else:
                 from repro.experiments.runner import run_study_parallel

@@ -23,6 +23,7 @@ between runs and between serial/parallel execution.
 from __future__ import annotations
 
 import os
+from collections.abc import MutableMapping
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
@@ -107,13 +108,17 @@ def run_study_parallel(
     *,
     max_workers: int | None = None,
     mode: str = "process",
-    cache: dict[tuple, tuple[int, dict[str, StudyRow]]] | None = None,
+    cache: MutableMapping | None = None,
 ) -> PerfectStudy:
     """Parallel drop-in for :func:`repro.experiments.stats.run_study`.
 
     Structurally identical loops are scheduled once (keyed by graph
-    fingerprint + machine + scheduler set); pass the same *cache* dict
-    to successive calls to reuse results across studies.
+    fingerprint + machine + scheduler set); pass the same *cache*
+    mapping to successive calls to reuse results across studies.  Any
+    mutable mapping works — a plain dict for in-process reuse, or
+    :func:`repro.service.store.persistent_study_cache` to persist rows
+    in the on-disk artifact store across runs and processes
+    (``hrms-experiments --store DIR``).
     """
     if loops is None:
         loops = perfect_club_suite(

@@ -35,6 +35,31 @@ from repro.workloads.loops import Loop
 DEFAULT_TRIPS = 100
 
 
+def profile_by_name(name: str | None) -> LoweringProfile:
+    """Resolve a lowering profile from a wire-safe name.
+
+    The scheduling service accepts compile-from-source jobs whose JSON
+    body names the profile; ``None`` (or an omitted field) means the
+    Perfect-Club default that :func:`compile_source` already assumes.
+    """
+    from repro.errors import FrontendError
+
+    if name is None:
+        return perfect_club_profile()
+    profiles = {
+        "perfect_club": perfect_club_profile,
+        "perfect-club": perfect_club_profile,
+        "govindarajan": govindarajan_profile,
+    }
+    try:
+        return profiles[name]()
+    except KeyError:
+        raise FrontendError(
+            f"unknown lowering profile {name!r}; "
+            f"available: {', '.join(sorted(set(profiles)))}"
+        ) from None
+
+
 def compile_to_lowered(
     source: str,
     name: str = "loop",
@@ -93,4 +118,5 @@ __all__ = [
     "compile_program",
     "govindarajan_profile",
     "perfect_club_profile",
+    "profile_by_name",
 ]

@@ -19,9 +19,28 @@ from repro.graph.ops import Operation
 FORMAT_VERSION = 1
 
 
+def _declared_version(data: dict[str, Any]) -> int:
+    """The envelope's schema version, tolerantly resolved.
+
+    ``schema`` is the canonical key; ``format`` is the historical alias
+    the seed wrote and is still honoured.  A missing version means 1 (the
+    only format that ever existed without one), but any *declared* version
+    outside ``1..FORMAT_VERSION`` is rejected — newer envelopes may carry
+    fields whose absence here would silently change meaning.
+    """
+    declared = [
+        data[key] for key in ("schema", "format") if data.get(key) is not None
+    ]
+    for version in declared:
+        if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
+            raise GraphError(f"unsupported graph format version {version!r}")
+    return declared[0] if declared else FORMAT_VERSION
+
+
 def graph_to_dict(graph: DependenceGraph) -> dict[str, Any]:
     """Serialise *graph* to a plain dict."""
     return {
+        "schema": FORMAT_VERSION,
         "format": FORMAT_VERSION,
         "name": graph.name,
         "operations": [
@@ -47,9 +66,7 @@ def graph_to_dict(graph: DependenceGraph) -> dict[str, Any]:
 
 def graph_from_dict(data: dict[str, Any]) -> DependenceGraph:
     """Rebuild a graph serialised by :func:`graph_to_dict`."""
-    version = data.get("format", FORMAT_VERSION)
-    if version != FORMAT_VERSION:
-        raise GraphError(f"unsupported graph format version {version}")
+    _declared_version(data)
     graph = DependenceGraph(data.get("name", "loop"))
     for op in data.get("operations", []):
         graph.add_operation(

@@ -14,7 +14,9 @@ The paper evaluates three configurations, all provided in
 """
 
 from repro.machine.configs import (
+    builtin_machines,
     govindarajan_machine,
+    machine_from_config,
     motivating_machine,
     perfect_club_machine,
 )
@@ -25,7 +27,9 @@ __all__ = [
     "MachineModel",
     "ModuloReservationTable",
     "UnitClass",
+    "builtin_machines",
     "govindarajan_machine",
+    "machine_from_config",
     "motivating_machine",
     "perfect_club_machine",
 ]

@@ -55,6 +55,48 @@ def govindarajan_machine() -> MachineModel:
     )
 
 
+#: Machines addressable by name over the wire (service requests, CLIs).
+#: Keys are the canonical names plus the aliases the paper's sections use.
+def builtin_machines() -> dict[str, "MachineModel"]:
+    """Fresh instances of every named machine configuration."""
+    return {
+        "generic4": motivating_machine(),
+        "motivating": motivating_machine(),
+        "govindarajan": govindarajan_machine(),
+        "perfect-club": perfect_club_machine(),
+        "perfect_club": perfect_club_machine(),
+    }
+
+
+def machine_from_config(spec) -> MachineModel:
+    """Resolve a machine from a name, a dict envelope, or a model.
+
+    This is the single entry point the service and CLIs use to accept
+    machine descriptions over the wire: ``spec`` may be a registered
+    configuration name (:func:`builtin_machines`), a dict produced by
+    :meth:`MachineModel.to_dict`, or an already-built model (returned
+    unchanged).
+    """
+    from repro.errors import MachineError
+
+    if isinstance(spec, MachineModel):
+        return spec
+    if isinstance(spec, str):
+        machines = builtin_machines()
+        try:
+            return machines[spec]
+        except KeyError:
+            raise MachineError(
+                f"unknown machine configuration {spec!r}; "
+                f"available: {', '.join(sorted(set(machines)))}"
+            ) from None
+    if isinstance(spec, dict):
+        return MachineModel.from_dict(spec)
+    raise MachineError(
+        f"cannot build a machine from {type(spec).__name__}"
+    )
+
+
 def perfect_club_machine() -> MachineModel:
     """Section 4.2's machine: 2 of each class, Div/Sqrt unpipelined.
 

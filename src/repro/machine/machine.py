@@ -76,6 +76,59 @@ class MachineModel:
         """Total number of unit instances across all classes."""
         return sum(unit.count for unit in self._classes.values())
 
+    # ------------------------------------------------------------------
+    # Wire format.  The scheduling service accepts machine descriptions
+    # over HTTP, so machines round-trip through plain dicts the same way
+    # graphs do (:mod:`repro.graph.serialization`).
+    SCHEMA = 1
+
+    def to_dict(self) -> dict:
+        """Serialise the machine to a plain, JSON-ready dict."""
+        return {
+            "schema": self.SCHEMA,
+            "name": self.name,
+            "units": [
+                {
+                    "name": unit.name,
+                    "count": unit.count,
+                    "pipelined": unit.pipelined,
+                }
+                for unit in self._classes.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineModel":
+        """Rebuild a machine serialised by :meth:`to_dict`.
+
+        The loader is tolerant: a missing ``schema`` is treated as
+        version 1 and unknown keys are ignored, so envelopes written by
+        future minor revisions stay readable.  A *newer* declared schema
+        is rejected — the fields it adds could change meaning.
+        """
+        if not isinstance(data, dict):
+            raise MachineError(
+                f"machine description must be a dict, got {type(data).__name__}"
+            )
+        schema = data.get("schema", cls.SCHEMA)
+        if not isinstance(schema, int) or not 1 <= schema <= cls.SCHEMA:
+            raise MachineError(f"unsupported machine schema {schema!r}")
+        units = data.get("units")
+        if not units:
+            raise MachineError("machine description declares no unit classes")
+        try:
+            unit_classes = [
+                UnitClass(
+                    name=str(unit["name"]),
+                    count=int(unit.get("count", 1)),
+                    pipelined=bool(unit.get("pipelined", True)),
+                )
+                for unit in units
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MachineError(f"bad unit class description: {exc}") from exc
+        return cls(name=str(data.get("name", "machine")), units=unit_classes)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
             f"{u.name}x{u.count}{'' if u.pipelined else ' (unpipelined)'}"

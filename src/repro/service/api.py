@@ -1,0 +1,409 @@
+"""The HTTP JSON API over the scheduling service.
+
+Built on :mod:`http.server` (no new dependencies).  Endpoints::
+
+    GET  /healthz               liveness probe
+    GET  /metrics               Prometheus text (queue depth, latency
+                                quantiles, store hit rate, counters)
+    POST /v1/jobs               submit one job; body is the request dict
+                                (kind defaults to "schedule") → 202 {id}
+    POST /v1/batch              {"jobs": [request, …]} → 202 {ids}
+    GET  /v1/jobs               {"counts": {...}, "jobs": [summaries]}
+    GET  /v1/jobs/<id>          full job record (status, result, error)
+    GET  /v1/artifacts/<key>    the stored JSON envelope
+
+Malformed requests are 400s with ``{"error": …}``; unknown ids/keys are
+404s.  The server is a :class:`~http.server.ThreadingHTTPServer`
+(thread per connection) in front of the worker pool, so submissions
+return immediately and clients poll ``/v1/jobs/<id>``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import JobError, ReproError
+from repro.service.executor import SchedulingExecutor
+from repro.service.jobs import Job, JobQueue, JobStatus, WorkerPool
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import ArtifactStore
+
+#: Job kinds the API accepts.
+JOB_KINDS = ("schedule", "suite")
+
+#: Per-request fields that configure the job rather than the work.
+_CONTROL_FIELDS = ("kind", "priority", "max_attempts")
+
+
+class SchedulingService:
+    """Store + queue + workers + metrics behind one façade.
+
+    This object is the API the HTTP layer (and in-process callers, e.g.
+    the tests and the perf smoke tier) talk to; it owns no sockets.
+    """
+
+    #: Settled (done/failed) jobs kept for polling before eviction.  The
+    #: artifacts themselves live in the store forever; this only bounds
+    #: the in-memory job records a long-running server accumulates.
+    FINISHED_JOBS_KEPT = 10_000
+
+    def __init__(
+        self,
+        store: ArtifactStore | str | Path,
+        *,
+        workers: int | None = None,
+        max_attempts: int = 2,
+        finished_jobs_kept: int | None = None,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        )
+        self.metrics = ServiceMetrics()
+        self.executor = SchedulingExecutor(self.store, self.metrics)
+        self.queue = JobQueue()
+        self.max_attempts = max_attempts
+        self.finished_jobs_kept = (
+            finished_jobs_kept
+            if finished_jobs_kept is not None
+            else self.FINISHED_JOBS_KEPT
+        )
+        self._jobs: dict[str, Job] = {}
+        self._finished_order: deque[str] = deque()
+        self._jobs_lock = threading.Lock()
+        self.pool = WorkerPool(
+            self.queue,
+            self.executor.execute,
+            workers=workers,
+            on_finish=self._finished,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SchedulingService":
+        self.pool.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        self.pool.stop(wait=wait)
+
+    # ------------------------------------------------------------------
+    def _build_job(self, body: dict) -> Job:
+        """Validate *body* and build (but not enqueue) a job; raises
+        :class:`JobError` on malformed submissions (the HTTP layer maps
+        that to a 400)."""
+        if not isinstance(body, dict):
+            raise JobError("a job submission must be a JSON object")
+        kind = str(body.get("kind", "schedule"))
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"unknown job kind {kind!r}; available: {', '.join(JOB_KINDS)}"
+            )
+        request = {
+            key: value
+            for key, value in body.items()
+            if key not in _CONTROL_FIELDS
+        }
+        if kind == "schedule" and "graph" not in request and "source" not in request:
+            raise JobError(
+                "a schedule request needs either 'graph' (serialized DDG) "
+                "or 'source' (loop-language text)"
+            )
+        try:
+            priority = int(body.get("priority", 0))
+            max_attempts = int(body.get("max_attempts", self.max_attempts))
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"bad control field: {exc}") from exc
+        return Job(
+            kind=kind,
+            request=request,
+            priority=priority,
+            max_attempts=max(1, max_attempts),
+        )
+
+    def _enqueue(self, job: Job) -> Job:
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        self.metrics.inc("jobs_submitted")
+        self.queue.push(job)
+        return job
+
+    def submit(self, body: dict) -> Job:
+        """Validate *body* and enqueue a job."""
+        return self._enqueue(self._build_job(body))
+
+    def submit_batch(self, bodies: list[dict]) -> list[Job]:
+        """Submit a suite of jobs in order; all-or-nothing validation.
+
+        Every entry is fully validated (including control fields) before
+        the first is enqueued, so a bad entry mid-list rejects the whole
+        batch without running anything.
+        """
+        if not isinstance(bodies, list) or not bodies:
+            raise JobError("'jobs' must be a non-empty list of requests")
+        jobs = [self._build_job(body) for body in bodies]
+        return [self._enqueue(job) for job in jobs]
+
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, status: str | None = None) -> list[Job]:
+        with self._jobs_lock:
+            everything = list(self._jobs.values())
+        if status is None:
+            return everything
+        return [job for job in everything if job.status == status]
+
+    def artifact(self, key: str) -> dict | None:
+        return self.store.get(key)
+
+    # ------------------------------------------------------------------
+    def _finished(self, job: Job) -> None:
+        if job.status == JobStatus.DONE:
+            self.metrics.inc("jobs_done")
+        else:
+            self.metrics.inc("jobs_failed")
+        if job.attempts > 1:
+            self.metrics.inc("jobs_retried", job.attempts - 1)
+        if job.latency is not None:
+            self.metrics.observe_latency(job.latency)
+        # Bound the in-memory registry: settled jobs are evicted oldest
+        # first once the retention window is full (queued/running jobs
+        # are never touched — they only enter this path when they settle).
+        with self._jobs_lock:
+            self._finished_order.append(job.id)
+            while len(self._finished_order) > self.finished_jobs_kept:
+                evicted = self._finished_order.popleft()
+                self._jobs.pop(evicted, None)
+
+    def metrics_text(self) -> str:
+        stats = self.store.stats()
+        return self.metrics.render_prometheus(
+            gauges={
+                "queue_depth": self.queue.depth,
+                "store_hits": stats.hits,
+                "store_misses": stats.misses,
+                "store_writes": stats.writes,
+                "store_hit_rate": stats.hit_rate,
+            }
+        )
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto a :class:`SchedulingService`."""
+
+    server_version = "hrms-service/1"
+    protocol_version = "HTTP/1.1"
+    service: SchedulingService  # injected by make_server
+
+    # Silence the default stderr-per-request logging.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # -- helpers -------------------------------------------------------
+    def _reply(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: dict) -> None:
+        self._reply(
+            code,
+            json.dumps(payload).encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _read_body(self) -> dict | list:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise JobError(f"bad Content-Length header: {exc}") from exc
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise JobError("request body is empty")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if url.path == "/healthz":
+                self._json(200, {"ok": True})
+            elif url.path == "/metrics":
+                self._reply(
+                    200,
+                    self.service.metrics_text().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif parts[:2] == ["v1", "jobs"] and len(parts) == 3:
+                job = self.service.job(parts[2])
+                if job is None:
+                    self._error(404, f"no such job {parts[2]!r}")
+                else:
+                    self._json(200, job.to_dict())
+            elif parts == ["v1", "jobs"]:
+                query = parse_qs(url.query)
+                status = query.get("status", [None])[0]
+                if status is not None and status not in JobStatus.ALL:
+                    self._error(400, f"unknown status {status!r}")
+                    return
+                jobs = self.service.jobs(status)
+                counts: dict[str, int] = {}
+                for job in self.service.jobs():
+                    counts[job.status] = counts.get(job.status, 0) + 1
+                self._json(
+                    200,
+                    {
+                        "counts": counts,
+                        "jobs": [
+                            {
+                                "id": job.id,
+                                "kind": job.kind,
+                                "status": job.status,
+                                "priority": job.priority,
+                            }
+                            for job in jobs
+                        ],
+                    },
+                )
+            elif parts[:2] == ["v1", "artifacts"] and len(parts) == 3:
+                envelope = self.service.artifact(parts[2])
+                if envelope is None:
+                    self._error(404, f"no such artifact {parts[2]!r}")
+                else:
+                    self._json(200, envelope)
+            else:
+                self._error(404, f"no route for GET {url.path}")
+        except ReproError as exc:
+            self._error(400, str(exc))
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/v1/jobs":
+                body = self._read_body()
+                if not isinstance(body, dict):
+                    raise JobError("a job submission must be a JSON object")
+                job = self.service.submit(body)
+                self._json(202, {"id": job.id, "status": job.status})
+            elif url.path == "/v1/batch":
+                body = self._read_body()
+                if not isinstance(body, dict):
+                    raise JobError("a batch submission must be a JSON object")
+                jobs = self.service.submit_batch(body.get("jobs"))
+                self._json(
+                    202,
+                    {
+                        "ids": [job.id for job in jobs],
+                        "count": len(jobs),
+                    },
+                )
+            else:
+                self._error(404, f"no route for POST {url.path}")
+        except ReproError as exc:
+            self._error(400, str(exc))
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading server tuned for bursty clients.
+
+    The stdlib default listen backlog of 5 drops (resets) connections
+    when e.g. a batch submitter opens dozens of sockets at once; a
+    deeper backlog just queues them for the accept loop.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+
+def make_server(
+    service: SchedulingService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to *host:port* (0 = ephemeral) serving
+    *service*.  The caller owns ``serve_forever``/``shutdown``."""
+    handler = type("Handler", (_ServiceHandler,), {"service": service})
+    return _ServiceHTTPServer((host, port), handler)
+
+
+class ServiceServer:
+    """Service + HTTP server + serving thread, as one context manager.
+
+    The tests, the quickstart example and the perf smoke tier all want
+    "a live server on localhost, torn down afterwards"::
+
+        with ServiceServer(store_dir) as server:
+            client = ServiceClient(server.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int | None = None,
+        max_attempts: int = 2,
+    ) -> None:
+        self.service = SchedulingService(
+            store, workers=workers, max_attempts=max_attempts
+        )
+        self._host = host
+        self._port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        if self._server is not None:
+            return self
+        self.service.start()
+        self._server = make_server(self.service, self._host, self._port)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="hrms-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.service.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,185 @@
+"""Console entry points: ``hrms-serve`` and ``hrms-submit``.
+
+``hrms-serve`` runs the scheduling service in the foreground::
+
+    hrms-serve --store .hrms-store --port 8157 --workers 4
+
+``hrms-submit`` sends work to a running server and (by default) waits
+for the result::
+
+    hrms-submit daxpy.loop                      # loop-language source
+    hrms-submit graph.json --graph              # serialized DDG
+    echo 'do i = 1, 8 ... end do' | hrms-submit -
+    hrms-submit daxpy.loop --scheduler sms --machine govindarajan
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.service.api import ServiceServer
+from repro.service.client import ServiceClient
+
+DEFAULT_PORT = 8157
+DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hrms-serve",
+        description="Run the scheduling service (HTTP JSON API).",
+    )
+    parser.add_argument(
+        "--store", default=".hrms-store",
+        help="artifact store directory (default: %(default)s)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="listen port (default: %(default)s; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker threads (default: 0 = auto)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=2,
+        help="attempts per job before a transient failure sticks "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    server = ServiceServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers or None,
+        max_attempts=args.max_attempts,
+    )
+    server.start()
+    store_stats = server.service.store.stats
+    print(f"hrms-serve: listening on {server.url}")
+    print(f"hrms-serve: artifact store at {Path(args.store).resolve()}")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        stats = store_stats()
+        print(
+            f"\nhrms-serve: stopped (store hits {stats.hits}, "
+            f"misses {stats.misses}, writes {stats.writes})"
+        )
+    return 0
+
+
+def _read_input(spec: str) -> str:
+    if spec == "-":
+        return sys.stdin.read()
+    return Path(spec).read_text(encoding="utf-8")
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hrms-submit",
+        description="Submit a loop to a running scheduling service.",
+    )
+    parser.add_argument(
+        "input",
+        help="loop-language source file, serialized DDG (--graph), "
+             "or '-' for stdin",
+    )
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="treat the input as a serialized DDG JSON file",
+    )
+    parser.add_argument(
+        "--server", default=DEFAULT_URL,
+        help="service base URL (default: %(default)s)",
+    )
+    parser.add_argument("--name", default=None, help="loop name")
+    parser.add_argument(
+        "--profile", default=None,
+        help="lowering profile for source jobs "
+             "(perfect_club | govindarajan)",
+    )
+    parser.add_argument(
+        "--machine", default=None,
+        help="machine name (e.g. perfect-club) or @file.json wire dict",
+    )
+    parser.add_argument("--scheduler", default="hrms")
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument(
+        "--max-ii", type=int, default=None,
+        help="cap the II search (fails the job beyond it)",
+    )
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of polling",
+    )
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+
+    request: dict = {
+        "kind": "schedule",
+        "scheduler": args.scheduler,
+        "priority": args.priority,
+    }
+    if args.max_ii is not None:
+        request["max_ii"] = args.max_ii
+    if args.machine:
+        if args.machine.startswith("@"):
+            request["machine"] = json.loads(
+                Path(args.machine[1:]).read_text(encoding="utf-8")
+            )
+        else:
+            request["machine"] = args.machine
+
+    try:
+        text = _read_input(args.input)
+        if args.graph:
+            request["graph"] = json.loads(text)
+        else:
+            request["source"] = text
+            if args.name:
+                request["name"] = args.name
+            if args.profile:
+                request["profile"] = args.profile
+
+        client = ServiceClient(args.server)
+        job_id = client.submit(request)
+        if args.no_wait:
+            print(job_id)
+            return 0
+        record = client.wait(job_id, timeout=args.timeout)
+        if record["status"] == "failed":
+            error = record.get("error") or {}
+            print(
+                f"hrms-submit: job {job_id} FAILED: "
+                f"{error.get('type')}: {error.get('message')}",
+                file=sys.stderr,
+            )
+            return 1
+        result = record["result"]
+        print(
+            f"job {job_id}: {result['graph']} scheduled by "
+            f"{result['scheduler']} -> II {result['ii']} "
+            f"(MII {result['mii']}), MaxLive {result['maxlive']}"
+            f"{'  [store hit]' if result['cached'] else ''}"
+        )
+        print(f"artifact {result['artifact']}")
+        return 0
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"hrms-submit: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(submit_main())

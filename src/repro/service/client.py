@@ -1,0 +1,181 @@
+"""Stdlib HTTP client for the scheduling service.
+
+``urllib.request`` only — usable from the ``hrms-submit`` CLI, the
+examples and plain scripts without any dependency.  The client speaks
+the JSON API of :mod:`repro.service.api` and adds the two conveniences
+every caller wants: building a request dict from in-memory objects
+(:meth:`ServiceClient.submit_graph` / :meth:`submit_source`) and
+blocking until a job settles (:meth:`wait` / :meth:`result`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.serialization import graph_to_dict
+from repro.machine.machine import MachineModel
+from repro.service.jobs import JobStatus
+
+#: Default per-request socket timeout (seconds).
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """Talk to a running scheduling service over HTTP."""
+
+    def __init__(
+        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, body: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read()
+                kind = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+        if kind.startswith("application/json"):
+            return json.loads(raw)
+        return raw.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    def health(self) -> bool:
+        """``True`` when the server answers its liveness probe."""
+        try:
+            return bool(self._call("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def metrics(self) -> str:
+        """The raw Prometheus text from ``/metrics``."""
+        return self._call("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    def submit(self, request: dict) -> str:
+        """Submit one raw job request; returns the job id."""
+        return self._call("POST", "/v1/jobs", request)["id"]
+
+    def submit_batch(self, requests: list[dict]) -> list[str]:
+        """Submit a suite of requests; returns the job ids in order."""
+        return self._call("POST", "/v1/batch", {"jobs": requests})["ids"]
+
+    def submit_graph(
+        self,
+        graph: DependenceGraph,
+        *,
+        machine: MachineModel | dict | str | None = None,
+        scheduler: str = "hrms",
+        priority: int = 0,
+        **options,
+    ) -> str:
+        """Serialise *graph* and submit a schedule job for it."""
+        request: dict = {
+            "kind": "schedule",
+            "graph": graph_to_dict(graph),
+            "scheduler": scheduler,
+            "priority": priority,
+            **options,
+        }
+        if machine is not None:
+            request["machine"] = (
+                machine.to_dict()
+                if isinstance(machine, MachineModel)
+                else machine
+            )
+        return self.submit(request)
+
+    def submit_source(
+        self,
+        source: str,
+        *,
+        name: str = "loop",
+        profile: str | None = None,
+        machine: MachineModel | dict | str | None = None,
+        scheduler: str = "hrms",
+        priority: int = 0,
+        **options,
+    ) -> str:
+        """Submit loop-language *source* to be compiled and scheduled."""
+        request: dict = {
+            "kind": "schedule",
+            "source": source,
+            "name": name,
+            "scheduler": scheduler,
+            "priority": priority,
+            **options,
+        }
+        if profile is not None:
+            request["profile"] = profile
+        if machine is not None:
+            request["machine"] = (
+                machine.to_dict()
+                if isinstance(machine, MachineModel)
+                else machine
+            )
+        return self.submit(request)
+
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> dict:
+        """The full job record (status, result, error)."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, *, timeout: float = 60.0, poll: float = 0.02
+    ) -> dict:
+        """Poll until the job settles; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in (JobStatus.DONE, JobStatus.FAILED):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def artifact(self, key: str) -> dict:
+        """The stored JSON envelope for *key*."""
+        return self._call("GET", f"/v1/artifacts/{key}")
+
+    def result(self, job_id: str, *, timeout: float = 60.0) -> dict:
+        """Wait for *job_id* and return its artifact envelope.
+
+        A failed job raises :class:`ServiceError` carrying the captured
+        error, so callers never mistake a failure for an empty result.
+        """
+        record = self.wait(job_id, timeout=timeout)
+        if record["status"] == JobStatus.FAILED:
+            error = record.get("error") or {}
+            raise ServiceError(
+                f"job {job_id} failed: {error.get('type', 'Error')}: "
+                f"{error.get('message', 'unknown error')}"
+            )
+        return self.artifact(record["result"]["artifact"])

@@ -1,0 +1,282 @@
+"""Execute service jobs: resolve inputs, consult the store, schedule.
+
+Two job kinds exist today:
+
+* ``"schedule"`` — one loop (a serialized DDG *or* loop-language
+  source), one machine, one scheduler.  The artifact is the complete
+  schedule: the II, the normalised start map, MaxLive and the MII
+  bookkeeping — everything needed to rebuild a
+  :class:`~repro.schedule.schedule.Schedule` without re-running the
+  scheduler.
+* ``"suite"`` — a named workload population scheduled with several
+  methods through :func:`repro.experiments.runner.run_study_parallel`
+  (which fans out via ``parallel_map`` and shares the store through
+  :func:`~repro.service.store.persistent_study_cache`).  The artifact
+  is the study-row table.
+
+The cache key of an artifact is the canonical request — graph
+fingerprint digest × machine wire dict × scheduler × options — so a
+request is computed at most once per store, across restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.mindist import fingerprint_digest
+from repro.errors import JobError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.serialization import graph_from_dict
+from repro.machine.configs import (
+    govindarajan_machine,
+    machine_from_config,
+    perfect_club_machine,
+)
+from repro.machine.machine import MachineModel
+from repro.mii.analysis import compute_mii
+from repro.schedule.maxlive import max_live
+from repro.schedule.schedule import Schedule, ScheduleStats
+from repro.schedulers.registry import make_scheduler
+from repro.service.jobs import Job
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import ArtifactStore, persistent_study_cache
+
+#: Request schema version embedded in every cache key.
+REQUEST_SCHEMA = 1
+
+#: Machine used when a request does not name one.
+DEFAULT_MACHINE = "perfect-club"
+
+#: Scheduler used when a request does not name one.
+DEFAULT_SCHEDULER = "hrms"
+
+
+def schedule_payload(
+    schedule: Schedule, maxlive: int | None = None
+) -> dict[str, Any]:
+    """The JSON artifact for a computed schedule."""
+    stats = schedule.stats
+    return {
+        "graph": {
+            "name": schedule.graph.name,
+            "digest": fingerprint_digest(schedule.graph),
+            "operations": len(schedule.graph),
+        },
+        "machine": schedule.machine.to_dict(),
+        "scheduler": stats.scheduler,
+        "ii": schedule.ii,
+        "stage_count": schedule.stage_count,
+        "length": schedule.length,
+        "start": dict(schedule.start),
+        "maxlive": maxlive if maxlive is not None else max_live(schedule),
+        "mii": stats.mii,
+        "resmii": stats.resmii,
+        "recmii": stats.recmii,
+        "attempts": stats.attempts,
+        "seconds": stats.total_seconds,
+    }
+
+
+def schedule_from_payload(
+    payload: dict, graph: DependenceGraph, machine: MachineModel | None = None
+) -> Schedule:
+    """Rebuild a :class:`Schedule` from a stored artifact payload.
+
+    The caller supplies the graph (artifacts carry only its digest);
+    a digest mismatch is rejected rather than silently producing a
+    schedule for the wrong loop.
+    """
+    expected = payload.get("graph", {}).get("digest")
+    if expected is not None and expected != fingerprint_digest(graph):
+        raise JobError(
+            f"artifact was computed for graph digest {expected[:12]}…, "
+            f"not for {graph.name!r}"
+        )
+    machine = machine or MachineModel.from_dict(payload["machine"])
+    stats = ScheduleStats(
+        scheduler=payload.get("scheduler", ""),
+        mii=payload.get("mii", 0),
+        resmii=payload.get("resmii", 0),
+        recmii=payload.get("recmii", 0),
+        attempts=payload.get("attempts", 0),
+        total_seconds=payload.get("seconds", 0.0),
+    )
+    return Schedule(
+        graph,
+        machine,
+        ii=int(payload["ii"]),
+        start={name: int(c) for name, c in payload["start"].items()},
+        stats=stats,
+    )
+
+
+class SchedulingExecutor:
+    """Resolve job requests and run them against the artifact store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.store = store
+        self.metrics = metrics or ServiceMetrics()
+        self._study_cache = persistent_study_cache(store)
+
+    # ------------------------------------------------------------------
+    def execute(self, job: Job) -> dict:
+        """Entry point the worker pool calls."""
+        return self.execute_request(job.kind, job.request)
+
+    def execute_request(self, kind: str, request: dict) -> dict:
+        if kind == "schedule":
+            return self._schedule(request)
+        if kind == "suite":
+            return self._suite(request)
+        raise JobError(f"unknown job kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _resolve_graph(self, request: dict) -> DependenceGraph:
+        if "graph" in request:
+            return graph_from_dict(request["graph"])
+        if "source" in request:
+            from repro.frontend.pipeline import compile_source, profile_by_name
+
+            loop = compile_source(
+                str(request["source"]),
+                name=str(request.get("name", "loop")),
+                profile=profile_by_name(request.get("profile")),
+            )
+            return loop.graph
+        raise JobError(
+            "a schedule request needs either 'graph' (serialized DDG) "
+            "or 'source' (loop-language text)"
+        )
+
+    @staticmethod
+    def _options(request: dict) -> dict:
+        options: dict[str, Any] = {}
+        if request.get("max_ii") is not None:
+            options["max_ii"] = int(request["max_ii"])
+        return options
+
+    def _schedule(self, request: dict) -> dict:
+        graph = self._resolve_graph(request)
+        machine = machine_from_config(request.get("machine", DEFAULT_MACHINE))
+        scheduler = str(request.get("scheduler", DEFAULT_SCHEDULER))
+        options = self._options(request)
+
+        cache_request = {
+            "kind": "schedule",
+            "schema": REQUEST_SCHEMA,
+            "graph": fingerprint_digest(graph),
+            "machine": machine.to_dict(),
+            "scheduler": scheduler,
+            "options": options,
+        }
+        key = self.store.key_for(cache_request)
+        envelope = self.store.get(key)
+        cached = envelope is not None
+        if envelope is None:
+            analysis = compute_mii(graph, machine)
+            schedule = make_scheduler(scheduler, **options).schedule(
+                graph, machine, analysis
+            )
+            envelope = self.store.put(
+                key, "schedule", cache_request, schedule_payload(schedule)
+            )
+            self.metrics.inc("schedules_computed")
+        payload = envelope["payload"]
+        return {
+            "kind": "schedule",
+            "artifact": key,
+            "cached": cached,
+            "graph": payload["graph"]["name"],
+            "scheduler": scheduler,
+            "ii": payload["ii"],
+            "mii": payload["mii"],
+            "maxlive": payload["maxlive"],
+        }
+
+    # ------------------------------------------------------------------
+    def _suite(self, request: dict) -> dict:
+        from repro.experiments.runner import run_study_parallel
+        from repro.workloads.govindarajan import govindarajan_suite
+        from repro.workloads.perfectclub import perfect_club_suite
+
+        raw_name = str(request.get("suite", ""))
+        # Canonicalise aliases *before* the cache key is built, so
+        # "perfect_club" and "perfectclub" land on the same artifact.
+        name = {
+            "perfect-club": "perfectclub",
+            "perfect_club": "perfectclub",
+        }.get(raw_name, raw_name)
+        n_loops = request.get("n_loops")
+        if name == "govindarajan":
+            loops = govindarajan_suite()
+            default_machine = govindarajan_machine()
+        elif name == "perfectclub":
+            loops = perfect_club_suite(
+                n_loops=int(n_loops) if n_loops is not None else 1258
+            )
+            default_machine = perfect_club_machine()
+        else:
+            raise JobError(
+                f"unknown suite {raw_name!r}; available: "
+                "govindarajan, perfectclub"
+            )
+        if n_loops is not None:
+            loops = loops[: int(n_loops)]
+        schedulers = tuple(
+            str(s) for s in request.get("schedulers", ("hrms", "topdown"))
+        )
+        machine = (
+            machine_from_config(request["machine"])
+            if "machine" in request
+            else default_machine
+        )
+
+        cache_request = {
+            "kind": "suite",
+            "schema": REQUEST_SCHEMA,
+            "suite": name,
+            "n_loops": len(loops),
+            "schedulers": list(schedulers),
+            "machine": machine.to_dict(),
+        }
+        key = self.store.key_for(cache_request)
+        envelope = self.store.get(key)
+        cached = envelope is not None
+        if envelope is None:
+            study = run_study_parallel(
+                loops=loops,
+                schedulers=schedulers,
+                machine=machine,
+                mode="thread",
+                cache=self._study_cache,
+            )
+            payload = {
+                "suite": name,
+                "schedulers": list(schedulers),
+                "loops": [
+                    {
+                        "name": record.loop.name,
+                        "mii": record.mii,
+                        "rows": {
+                            sched: {"ii": row.ii, "maxlive": row.maxlive}
+                            for sched, row in record.rows.items()
+                        },
+                    }
+                    for record in study.records
+                ],
+            }
+            envelope = self.store.put(key, "suite", cache_request, payload)
+            self.metrics.inc("suites_computed")
+        payload = envelope["payload"]
+        return {
+            "kind": "suite",
+            "artifact": key,
+            "cached": cached,
+            "suite": name,
+            "loops": len(payload["loops"]),
+            "schedulers": list(schedulers),
+        }

@@ -1,0 +1,223 @@
+"""Job model, priority FIFO queue, and thread worker pool.
+
+A :class:`Job` is one unit of service work (schedule a loop, run a
+suite).  Jobs flow ``queued → running → done | failed``; transient
+failures are retried up to ``max_attempts``, while deterministic domain
+failures (:class:`~repro.errors.ReproError` — a malformed graph will be
+exactly as malformed on the second try) fail immediately with the error
+captured on the job.
+
+The queue is a *priority FIFO*: higher ``priority`` pops first, equal
+priorities pop in submission order (a monotonically increasing sequence
+number breaks ties, so the heap never compares jobs).  Workers are
+plain threads — scheduling paper-scale loops is milliseconds of
+NumPy-heavy work, and batch jobs fan out internally through
+:func:`repro.experiments.runner.parallel_map`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+class JobStatus:
+    """String constants for the job lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED)
+
+
+def new_job_id() -> str:
+    """A short, unique, URL-safe job id."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One unit of service work and its full lifecycle record."""
+
+    kind: str
+    request: dict
+    id: str = field(default_factory=new_job_id)
+    priority: int = 0
+    max_attempts: int = 2
+    status: str = JobStatus.QUEUED
+    attempts: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: dict | None = None
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-finish wall time, once the job is finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_dict(self) -> dict:
+        """The public (API) view of the job."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Thread-safe priority FIFO of :class:`Job` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        """Enqueue *job* (higher priority first, FIFO within a level)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Dequeue the next job, blocking; ``None`` on close/timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Wake every blocked consumer; further pushes are errors."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting (the /metrics gauge)."""
+        return len(self)
+
+
+class WorkerPool:
+    """Threads draining a :class:`JobQueue` through an execute callable.
+
+    ``execute(job) -> dict`` produces the job's result.  Exceptions are
+    captured on the job: :class:`~repro.errors.ReproError` fails the job
+    immediately (deterministic), anything else requeues it until
+    ``job.max_attempts`` is exhausted.  ``on_finish(job)`` fires exactly
+    once per job, after it reaches ``done`` or ``failed``.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        execute: Callable[[Job], dict],
+        *,
+        workers: int | None = None,
+        on_finish: Callable[[Job], None] | None = None,
+    ) -> None:
+        import os
+
+        self.queue = queue
+        self._execute = execute
+        self._on_finish = on_finish
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop, name=f"hrms-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, wait: bool = True) -> None:
+        """Close the queue and (optionally) join the workers."""
+        self.queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                return
+            self.run_job(job)
+
+    def run_job(self, job: Job) -> None:
+        """Execute one job with retry + failure capture (synchronous)."""
+        job.attempts += 1
+        job.status = JobStatus.RUNNING
+        job.started_at = time.time()
+        try:
+            result = self._execute(job)
+        except ReproError as exc:
+            # Domain failures are deterministic; retrying cannot help.
+            self._fail(job, exc)
+        except Exception as exc:  # noqa: BLE001 - captured on the job
+            if job.attempts < job.max_attempts:
+                job.status = JobStatus.QUEUED
+                try:
+                    self.queue.push(job)
+                except RuntimeError:
+                    self._fail(job, exc)
+            else:
+                self._fail(job, exc)
+        else:
+            job.result = result
+            job.status = JobStatus.DONE
+            job.finished_at = time.time()
+            if self._on_finish is not None:
+                self._on_finish(job)
+
+    def _fail(self, job: Job, exc: BaseException) -> None:
+        job.error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "attempts": job.attempts,
+        }
+        job.status = JobStatus.FAILED
+        job.finished_at = time.time()
+        if self._on_finish is not None:
+            self._on_finish(job)

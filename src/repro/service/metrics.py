@@ -1,0 +1,87 @@
+"""Thread-safe service counters and latency percentiles.
+
+The service exposes these at ``GET /metrics`` in the Prometheus text
+exposition format (one ``name{labels} value`` line each), which any
+scraper — or ``curl`` — can read without a client library.  Latencies
+are kept in a bounded ring (the most recent :data:`RESERVOIR` job
+durations), which is exact for test- and bench-sized runs and a
+recent-window estimate under sustained load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+#: How many recent job latencies the percentile window keeps.
+RESERVOIR = 4096
+
+#: Quantiles reported on /metrics.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-quantile of *values* by linear interpolation (empty → 0)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class ServiceMetrics:
+    """Monotonic counters plus a latency reservoir."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._latencies: deque[float] = deque(maxlen=RESERVOIR)
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counters + latency quantiles as a plain dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = list(self._latencies)
+        quantiles = {q: percentile(latencies, q) for q in QUANTILES}
+        return {
+            "counters": counters,
+            "latency_quantiles": quantiles,
+            "latency_samples": len(latencies),
+        }
+
+    def render_prometheus(self, gauges: dict[str, float] | None = None) -> str:
+        """The /metrics body.  *gauges* carries point-in-time values the
+        metrics object does not own (queue depth, store hit rate)."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in sorted((gauges or {}).items()):
+            lines.append(f"hrms_{name} {value:g}")
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"hrms_{name}_total {value}")
+        for q, value in snap["latency_quantiles"].items():
+            lines.append(
+                f'hrms_job_latency_seconds{{quantile="{q}"}} {value:.9f}'
+            )
+        lines.append(
+            f"hrms_job_latency_samples {snap['latency_samples']}"
+        )
+        return "\n".join(lines) + "\n"

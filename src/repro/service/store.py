@@ -1,0 +1,248 @@
+"""Content-addressed, on-disk artifact store.
+
+Artifacts (schedules, study rows) are JSON envelopes keyed by the SHA-256
+of a canonical *request* — the complete structural identity of what was
+computed: graph fingerprint × machine description × scheduler × options.
+Identical requests therefore land on the same key no matter which
+process, worker or server run produced them, which is what lets a
+restarted server serve warm results without rescheduling.
+
+Layout on disk (one file per artifact, fanned out by key prefix so a
+directory never holds millions of entries)::
+
+    <root>/
+      objects/
+        ab/
+          ab12…ef.json      # {"schema": 1, "kind": …, "key": …,
+                            #  "request": …, "payload": …}
+
+Envelopes carry a schema version.  Reads are tolerant of *older*
+schemas and of corrupt files (a torn write counts as a miss and is
+overwritten by the next put); a *newer* schema raises
+:class:`~repro.errors.ArtifactError` instead of being misread.  Writes
+are atomic (temp file + ``os.replace``), so concurrent workers racing
+on the same key are harmless — both write the same bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections.abc import MutableMapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ArtifactError
+
+#: Envelope schema written by this version of the store.
+STORE_SCHEMA = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing requests (sorted keys,
+    no whitespace; tuples collapse onto lists)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def request_key(request: dict) -> str:
+    """The content address (SHA-256 hex) of a canonical request dict."""
+    return hashlib.sha256(canonical_json(request).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting since the store object was created."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArtifactStore:
+    """A durable map from request keys to JSON artifact envelopes."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ArtifactError(f"malformed artifact key {key!r}")
+        return self._objects / key[:2] / f"{key}.json"
+
+    def key_for(self, request: dict) -> str:
+        """Content address of *request* (alias of :func:`request_key`)."""
+        return request_key(request)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The envelope stored under *key*, or ``None`` on a miss.
+
+        Unreadable JSON counts as a miss; an envelope declaring a newer
+        schema than this code understands raises
+        :class:`~repro.errors.ArtifactError`.
+        """
+        path = self._path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+            envelope = json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        schema = envelope.get("schema", STORE_SCHEMA)
+        if not isinstance(schema, int) or schema > STORE_SCHEMA:
+            raise ArtifactError(
+                f"artifact {key} has unsupported schema {schema!r} "
+                "(written by a newer version?)"
+            )
+        with self._lock:
+            self._stats.hits += 1
+        return envelope
+
+    def put(self, key: str, kind: str, request: dict, payload: dict) -> dict:
+        """Store *payload* under *key* and return the written envelope."""
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "kind": kind,
+            "key": key,
+            "request": request,
+            "payload": payload,
+        }
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._stats.writes += 1
+        return envelope
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self._path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def iter_keys(self) -> Iterator[str]:
+        """All stored artifact keys (unordered)."""
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def stats(self) -> StoreStats:
+        """A copy of the hit/miss counters."""
+        with self._lock:
+            return StoreStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                writes=self._stats.writes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+class _StudyCache(MutableMapping):
+    """Dict façade over the store for the parallel experiment runner.
+
+    :func:`repro.experiments.runner.run_study_parallel` keys its cache
+    with ``(graph_fingerprint, scheduler_names, machine_fingerprint)``
+    tuples and stores ``(mii, {scheduler: StudyRow})`` values.  This
+    adapter persists those entries as ``"study-row"`` artifacts, so a
+    warm store turns a whole Perfect-Club study into pure reads.
+    """
+
+    KIND = "study-row"
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self.store = store
+        #: Deserialised entries this process already touched; repeated
+        #: lookups of the same loop stay off the disk.
+        self._memo: dict[tuple, tuple] = {}
+
+    @staticmethod
+    def _request(key: tuple) -> dict:
+        return {"kind": _StudyCache.KIND, "study_key": key}
+
+    def __getitem__(self, key: tuple):
+        if key in self._memo:
+            return self._memo[key]
+        envelope = self.store.get(request_key(self._request(key)))
+        if envelope is None:
+            raise KeyError(key)
+        from repro.experiments.stats import StudyRow
+
+        payload = envelope["payload"]
+        rows = {
+            name: StudyRow(**row) for name, row in payload["rows"].items()
+        }
+        value = payload["mii"], rows
+        self._memo[key] = value
+        return value
+
+    def __setitem__(self, key: tuple, value) -> None:
+        mii, rows = value
+        payload = {
+            "mii": mii,
+            "rows": {name: vars(row) for name, row in rows.items()},
+        }
+        request = self._request(key)
+        self.store.put(request_key(request), self.KIND, request, payload)
+        self._memo[key] = value
+
+    def __delitem__(self, key: tuple) -> None:
+        self._memo.pop(key, None)
+        path = self.store._path_for(request_key(self._request(key)))
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._memo or request_key(self._request(key)) in self.store
+
+    def __iter__(self):
+        raise TypeError("a persistent study cache is not enumerable")
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for key in self.store.iter_keys()
+            if (env := self.store.get(key)) and env.get("kind") == self.KIND
+        )
+
+
+def persistent_study_cache(store: ArtifactStore | str | Path) -> MutableMapping:
+    """A drop-in ``cache=`` argument for ``run_study_parallel`` backed by
+    the artifact store, so study rows survive across processes."""
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    return _StudyCache(store)

@@ -1,0 +1,105 @@
+"""Machine wire-format round-trips (service satellite)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.configs import (
+    builtin_machines,
+    govindarajan_machine,
+    machine_from_config,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.machine.machine import MachineModel, UnitClass
+
+
+def machines_equal(a: MachineModel, b: MachineModel) -> bool:
+    return a.name == b.name and [
+        (u.name, u.count, u.pipelined) for u in a.unit_classes()
+    ] == [(u.name, u.count, u.pipelined) for u in b.unit_classes()]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [motivating_machine, govindarajan_machine, perfect_club_machine],
+    )
+    def test_configs_round_trip(self, factory):
+        machine = factory()
+        clone = MachineModel.from_dict(machine.to_dict())
+        assert machines_equal(machine, clone)
+
+    def test_unpipelined_flag_survives(self):
+        machine = perfect_club_machine()
+        clone = MachineModel.from_dict(machine.to_dict())
+        flags = {u.name: u.pipelined for u in clone.unit_classes()}
+        assert flags["fdiv"] is False
+        assert flags["fadd"] is True
+
+    def test_config_helper_round_trip(self):
+        machine = govindarajan_machine()
+        assert machines_equal(
+            machine, machine_from_config(machine.to_dict())
+        )
+
+
+class TestTolerantLoader:
+    def test_missing_schema_means_v1(self):
+        data = perfect_club_machine().to_dict()
+        del data["schema"]
+        assert machines_equal(
+            perfect_club_machine(), MachineModel.from_dict(data)
+        )
+
+    def test_defaults_applied(self):
+        machine = MachineModel.from_dict(
+            {"name": "tiny", "units": [{"name": "generic"}]}
+        )
+        unit = machine.unit_classes()[0]
+        assert (unit.count, unit.pipelined) == (1, True)
+
+    def test_unknown_keys_ignored(self):
+        data = govindarajan_machine().to_dict()
+        data["future_field"] = {"anything": 1}
+        assert machines_equal(
+            govindarajan_machine(), MachineModel.from_dict(data)
+        )
+
+    @pytest.mark.parametrize("schema", [2, 99, "1", None])
+    def test_newer_or_bad_schema_rejected(self, schema):
+        data = govindarajan_machine().to_dict()
+        data["schema"] = schema
+        with pytest.raises(MachineError):
+            MachineModel.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {"name": "x"},
+            {"name": "x", "units": []},
+            {"name": "x", "units": [{"count": 2}]},
+            {"name": "x", "units": [{"name": "g", "count": "many"}]},
+            "perfectly not a dict",
+        ],
+    )
+    def test_malformed_rejected(self, data):
+        with pytest.raises(MachineError):
+            MachineModel.from_dict(data)
+
+
+class TestNamedConfigs:
+    def test_builtin_names_resolve(self):
+        for name in builtin_machines():
+            assert isinstance(machine_from_config(name), MachineModel)
+
+    def test_model_passthrough(self):
+        machine = motivating_machine()
+        assert machine_from_config(machine) is machine
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MachineError, match="unknown machine"):
+            machine_from_config("cray-1")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(MachineError):
+            machine_from_config(42)

@@ -1,0 +1,381 @@
+"""End-to-end tests over a live localhost scheduling server.
+
+Covers the acceptance criteria of the service PR: submissions over
+HTTP yield schedules bit-identical to direct in-process scheduling
+(100 of them, concurrently), and a server restarted onto the same
+store directory serves them as cache hits without rescheduling.
+"""
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.frontend.pipeline import compile_source
+from repro.mii.analysis import compute_mii
+from repro.schedulers.registry import make_scheduler
+from repro.service import ArtifactStore, ServiceClient, ServiceServer
+from repro.workloads.govindarajan import govindarajan_suite
+
+DAXPY = """
+    real a
+    real x(1000), y(1000)
+    do i = 1, 1000
+      y(i) = y(i) + a * x(i)
+    end do
+"""
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ServiceServer(tmp_path / "store", workers=4) as live:
+        yield live
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+def direct_schedule(graph, machine, scheduler="hrms"):
+    analysis = compute_mii(graph, machine)
+    return make_scheduler(scheduler).schedule(graph, machine, analysis)
+
+
+class TestEndToEnd:
+    def test_health_and_metrics(self, client):
+        assert client.health()
+        text = client.metrics()
+        assert "hrms_queue_depth" in text
+        assert "hrms_store_hit_rate" in text
+
+    def test_submit_poll_fetch_graph_job(self, client, gov_machine, gov_suite):
+        loop = gov_suite[0]
+        job_id = client.submit_graph(loop.graph, machine="govindarajan")
+        record = client.wait(job_id, timeout=30)
+        assert record["status"] == "done"
+        result = record["result"]
+        direct = direct_schedule(loop.graph, gov_machine)
+        assert result["ii"] == direct.ii
+        envelope = client.artifact(result["artifact"])
+        assert envelope["schema"] == 1
+        assert envelope["kind"] == "schedule"
+        payload = envelope["payload"]
+        assert payload["start"] == direct.start
+        assert payload["maxlive"] == result["maxlive"]
+
+    def test_submit_source_job(self, client, pc_machine):
+        job_id = client.submit_source(DAXPY, name="daxpy")
+        envelope = client.result(job_id, timeout=30)
+        direct = direct_schedule(
+            compile_source(DAXPY, name="daxpy").graph, pc_machine
+        )
+        assert envelope["payload"]["ii"] == direct.ii
+        assert envelope["payload"]["start"] == direct.start
+
+    def test_machine_over_the_wire(self, client, gov_machine, gov_suite):
+        """A machine sent as a wire dict, not a registered name."""
+        loop = gov_suite[1]
+        job_id = client.submit_graph(loop.graph, machine=gov_machine)
+        record = client.wait(job_id, timeout=30)
+        assert record["status"] == "done"
+        assert record["result"]["ii"] == direct_schedule(
+            loop.graph, gov_machine
+        ).ii
+
+    def test_failed_job_captures_error(self, client):
+        job_id = client.submit({"kind": "schedule", "source": "not a loop"})
+        record = client.wait(job_id, timeout=30)
+        assert record["status"] == "failed"
+        assert record["error"]["type"] == "ParseError"
+        with pytest.raises(ServiceError, match="ParseError"):
+            client.result(job_id)
+
+    def test_suite_job(self, client, gov_machine):
+        job_id = client.submit(
+            {"kind": "suite", "suite": "govindarajan", "n_loops": 5,
+             "schedulers": ["hrms", "topdown"]}
+        )
+        envelope = client.result(job_id, timeout=60)
+        loops = govindarajan_suite()[:5]
+        assert [row["name"] for row in envelope["payload"]["loops"]] == [
+            loop.name for loop in loops
+        ]
+        for loop, row in zip(loops, envelope["payload"]["loops"]):
+            assert row["rows"]["hrms"]["ii"] == direct_schedule(
+                loop.graph, gov_machine
+            ).ii
+
+    def test_batch_submission(self, client, gov_suite):
+        requests = [
+            {"kind": "schedule", "graph": _graph_dict(loop.graph),
+             "machine": "govindarajan"}
+            for loop in gov_suite[:4]
+        ]
+        ids = client.submit_batch(requests)
+        assert len(ids) == 4
+        for job_id in ids:
+            assert client.wait(job_id, timeout=30)["status"] == "done"
+
+
+def _graph_dict(graph):
+    from repro.graph.serialization import graph_to_dict
+
+    return graph_to_dict(graph)
+
+
+class TestConcurrentAndWarmRestart:
+    """The PR's acceptance criteria, verbatim."""
+
+    def _submissions(self):
+        """100 jobs over 48 distinct (graph, scheduler) requests."""
+        graphs = [loop.graph for loop in govindarajan_suite()]  # 24
+        pairs = [
+            (graph, scheduler)
+            for graph in graphs
+            for scheduler in ("hrms", "topdown")
+        ]
+        work = (pairs * 3)[:100]
+        assert len(work) == 100
+        return work
+
+    def test_100_concurrent_jobs_bit_identical_and_warm_restart(
+        self, tmp_path, gov_machine
+    ):
+        work = self._submissions()
+        expected = {}
+        for graph, scheduler in work:
+            key = (graph.name, scheduler)
+            if key not in expected:
+                schedule = direct_schedule(graph, gov_machine, scheduler)
+                expected[key] = (schedule.ii, schedule.start)
+
+        store_dir = tmp_path / "store"
+
+        def run_round(server):
+            client = ServiceClient(server.url)
+            with ThreadPoolExecutor(max_workers=32) as pool:
+                ids = list(
+                    pool.map(
+                        lambda item: client.submit_graph(
+                            item[0],
+                            machine="govindarajan",
+                            scheduler=item[1],
+                        ),
+                        work,
+                    )
+                )
+            records = [client.wait(job_id, timeout=120) for job_id in ids]
+            envelopes = []
+            for (graph, scheduler), record in zip(work, records):
+                assert record["status"] == "done", record
+                envelope = client.artifact(record["result"]["artifact"])
+                payload = envelope["payload"]
+                ii, start = expected[(graph.name, scheduler)]
+                assert payload["ii"] == ii, (graph.name, scheduler)
+                assert payload["start"] == start, (graph.name, scheduler)
+                envelopes.append((record, payload))
+            return envelopes
+
+        # Round 1: cold store, 100 concurrent submissions over HTTP.
+        with ServiceServer(store_dir, workers=4) as server:
+            run_round(server)
+            computed_cold = server.service.metrics.counter(
+                "schedules_computed"
+            )
+            # 48 distinct (graph, scheduler) pairs; duplicates may race
+            # but the store converges on identical bits either way.
+            assert computed_cold >= 48
+
+        # Round 2: a *new* server process-equivalent on the same store
+        # must serve every job from the store without rescheduling.
+        with ServiceServer(store_dir, workers=4) as server:
+            records = run_round(server)
+            assert all(record["result"]["cached"] for record, _ in records)
+            assert server.service.metrics.counter("schedules_computed") == 0
+            assert server.service.store.stats().writes == 0
+
+    def test_restart_preserves_artifacts_on_disk(self, tmp_path, gov_suite):
+        store_dir = tmp_path / "store"
+        with ServiceServer(store_dir, workers=2) as server:
+            client = ServiceClient(server.url)
+            job_id = client.submit_graph(
+                gov_suite[0].graph, machine="govindarajan"
+            )
+            key = client.wait(job_id, timeout=30)["result"]["artifact"]
+        # Server gone; the artifact is plain JSON on disk.
+        envelope = ArtifactStore(store_dir).get(key)
+        assert envelope is not None and envelope["payload"]["ii"] >= 1
+
+
+class TestInProcessService:
+    """Behaviour easier to pin down without the HTTP hop."""
+
+    def test_finished_jobs_evicted(self, tmp_path, gov_suite):
+        from repro.service.api import SchedulingService
+
+        service = SchedulingService(
+            tmp_path / "store", workers=1, finished_jobs_kept=2
+        ).start()
+        try:
+            jobs = [
+                service.submit(
+                    {
+                        "kind": "schedule",
+                        "graph": _graph_dict(loop.graph),
+                        "machine": "govindarajan",
+                    }
+                )
+                for loop in gov_suite[:5]
+            ]
+            deadline = 30
+            import time as time_mod
+
+            began = time_mod.monotonic()
+            while service.metrics.counter("jobs_done") < 5:
+                assert time_mod.monotonic() - began < deadline
+                time_mod.sleep(0.01)
+            assert len(service.jobs()) == 2, "old settled jobs must evict"
+            assert service.job(jobs[0].id) is None
+            assert service.job(jobs[-1].id) is not None
+        finally:
+            service.stop()
+
+    def test_suite_alias_shares_artifact(self, tmp_path):
+        from repro.service.executor import SchedulingExecutor
+        from repro.service.store import ArtifactStore
+
+        executor = SchedulingExecutor(ArtifactStore(tmp_path / "store"))
+        first = executor.execute_request(
+            "suite", {"suite": "perfect_club", "n_loops": 3}
+        )
+        second = executor.execute_request(
+            "suite", {"suite": "perfectclub", "n_loops": 3}
+        )
+        assert second["artifact"] == first["artifact"]
+        assert second["cached"] and not first["cached"]
+
+
+class TestHttpErrors:
+    def _raw(self, server, method, path, body=None):
+        data = None if body is None else body.encode("utf-8")
+        request = urllib.request.Request(
+            server.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_unknown_job_404(self, server):
+        code, body = self._raw(server, "GET", "/v1/jobs/nope")
+        assert code == 404 and "error" in body
+
+    def test_unknown_artifact_404(self, server):
+        code, body = self._raw(server, "GET", "/v1/artifacts/" + "0" * 64)
+        assert code == 404 and "error" in body
+
+    def test_unknown_route_404(self, server):
+        assert self._raw(server, "GET", "/v2/everything")[0] == 404
+
+    def test_bad_json_400(self, server):
+        code, body = self._raw(server, "POST", "/v1/jobs", "{not json")
+        assert code == 400 and "JSON" in body["error"]
+
+    def test_empty_body_400(self, server):
+        assert self._raw(server, "POST", "/v1/jobs", "")[0] == 400
+
+    def test_missing_graph_and_source_400(self, server):
+        code, body = self._raw(
+            server, "POST", "/v1/jobs", json.dumps({"kind": "schedule"})
+        )
+        assert code == 400 and "graph" in body["error"]
+
+    def test_unknown_kind_400(self, server):
+        code, body = self._raw(
+            server, "POST", "/v1/jobs", json.dumps({"kind": "banana"})
+        )
+        assert code == 400 and "unknown job kind" in body["error"]
+
+    def test_batch_is_all_or_nothing(self, server, client, gov_suite):
+        """A bad control field mid-batch enqueues nothing (regression:
+        pre-validation used to skip control fields)."""
+        good = {
+            "kind": "schedule",
+            "graph": _graph_dict(gov_suite[0].graph),
+            "machine": "govindarajan",
+        }
+        bad = dict(good, priority="high")
+        code, body = self._raw(
+            server, "POST", "/v1/batch", json.dumps({"jobs": [good, bad]})
+        )
+        assert code == 400 and "bad control field" in body["error"]
+        assert server.service.metrics.counter("jobs_submitted") == 0
+        assert server.service.jobs() == []
+
+    def test_bad_content_length_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/jobs", data=b"{}", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        request.add_unredirected_header("Content-Length", "abc")
+        try:
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                code = resp.status
+        except urllib.error.HTTPError as exc:
+            code = exc.code
+        assert code == 400
+
+    def test_bad_batch_400(self, server):
+        code, _ = self._raw(
+            server, "POST", "/v1/batch", json.dumps({"jobs": []})
+        )
+        assert code == 400
+        code, _ = self._raw(
+            server, "POST", "/v1/batch",
+            json.dumps({"jobs": [{"kind": "schedule"}]}),
+        )
+        assert code == 400
+
+    def test_malformed_artifact_key_400(self, server):
+        code, _ = self._raw(server, "GET", "/v1/artifacts/NOT-HEX")
+        assert code == 400
+
+    def test_bad_status_filter_400(self, server):
+        code, _ = self._raw(server, "GET", "/v1/jobs?status=limbo")
+        assert code == 400
+
+    def test_jobs_listing(self, server, client, gov_suite):
+        job_id = client.submit_graph(
+            gov_suite[0].graph, machine="govindarajan"
+        )
+        client.wait(job_id, timeout=30)
+        code, body = self._raw(server, "GET", "/v1/jobs")
+        assert code == 200
+        assert body["counts"].get("done", 0) >= 1
+        assert any(job["id"] == job_id for job in body["jobs"])
+        code, body = self._raw(server, "GET", "/v1/jobs?status=done")
+        assert all(job["status"] == "done" for job in body["jobs"])
+
+
+class TestMetricsEndpoint:
+    def test_counters_progress(self, client, gov_suite):
+        job_id = client.submit_graph(
+            gov_suite[0].graph, machine="govindarajan"
+        )
+        client.wait(job_id, timeout=30)
+        text = client.metrics()
+        metrics = {}
+        for line in text.strip().splitlines():
+            name, value = line.rsplit(" ", 1)
+            metrics[name] = float(value)
+        assert metrics["hrms_jobs_submitted_total"] >= 1
+        assert metrics["hrms_jobs_done_total"] >= 1
+        assert metrics["hrms_schedules_computed_total"] >= 1
+        assert metrics["hrms_store_writes"] >= 1
+        assert 'hrms_job_latency_seconds{quantile="0.5"}' in metrics

@@ -1,0 +1,82 @@
+"""The hrms-submit console entry point against a live server."""
+
+import json
+
+import pytest
+
+from repro.graph.serialization import dump_graph
+from repro.service import ServiceServer
+from repro.service.cli import submit_main
+from repro.workloads.govindarajan import govindarajan_suite
+
+DAXPY = """
+    real a
+    real x(1000), y(1000)
+    do i = 1, 1000
+      y(i) = y(i) + a * x(i)
+    end do
+"""
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ServiceServer(tmp_path / "store", workers=2) as live:
+        yield live
+
+
+class TestSubmitMain:
+    def test_source_file(self, tmp_path, server, capsys):
+        path = tmp_path / "daxpy.loop"
+        path.write_text(DAXPY, encoding="utf-8")
+        code = submit_main([str(path), "--server", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "II 2" in out and "artifact " in out
+
+    def test_graph_file(self, tmp_path, server, capsys):
+        path = tmp_path / "graph.json"
+        dump_graph(govindarajan_suite()[0].graph, path)
+        code = submit_main(
+            [str(path), "--graph", "--server", server.url,
+             "--machine", "govindarajan"]
+        )
+        assert code == 0
+        assert "scheduled by hrms" in capsys.readouterr().out
+
+    def test_machine_wire_file(self, tmp_path, server, capsys):
+        graph_path = tmp_path / "graph.json"
+        dump_graph(govindarajan_suite()[0].graph, graph_path)
+        machine_path = tmp_path / "machine.json"
+        from repro.machine.configs import govindarajan_machine
+
+        machine_path.write_text(
+            json.dumps(govindarajan_machine().to_dict()), encoding="utf-8"
+        )
+        code = submit_main(
+            [str(graph_path), "--graph", "--server", server.url,
+             "--machine", f"@{machine_path}"]
+        )
+        assert code == 0
+
+    def test_no_wait_prints_job_id(self, tmp_path, server, capsys):
+        path = tmp_path / "daxpy.loop"
+        path.write_text(DAXPY, encoding="utf-8")
+        code = submit_main([str(path), "--server", server.url, "--no-wait"])
+        assert code == 0
+        assert len(capsys.readouterr().out.strip()) == 12  # a job id
+
+    def test_failed_job_reports_error(self, tmp_path, server, capsys):
+        path = tmp_path / "bad.loop"
+        path.write_text("not a loop", encoding="utf-8")
+        code = submit_main([str(path), "--server", server.url])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_unreachable_server(self, tmp_path, capsys):
+        path = tmp_path / "daxpy.loop"
+        path.write_text(DAXPY, encoding="utf-8")
+        code = submit_main(
+            [str(path), "--server", "http://127.0.0.1:1", "--timeout", "1"]
+        )
+        assert code == 1
+        assert "hrms-submit:" in capsys.readouterr().err

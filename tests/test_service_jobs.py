@@ -1,0 +1,129 @@
+"""Job queue ordering, worker-pool retry, and failure capture."""
+
+import threading
+
+import pytest
+
+from repro.errors import GraphError
+from repro.service.jobs import Job, JobQueue, JobStatus, WorkerPool
+
+
+def make_job(tag, priority=0, max_attempts=2):
+    return Job(kind="schedule", request={"tag": tag}, priority=priority,
+               max_attempts=max_attempts)
+
+
+class TestJobQueue:
+    def test_priority_order(self):
+        queue = JobQueue()
+        for tag, priority in (("low", 0), ("high", 5), ("mid", 2)):
+            queue.push(make_job(tag, priority))
+        popped = [queue.pop().request["tag"] for _ in range(3)]
+        assert popped == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        for tag in "abc":
+            queue.push(make_job(tag))
+        assert [queue.pop().request["tag"] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_pop_timeout(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_close_wakes_blocked_pop(self):
+        queue = JobQueue()
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.pop()))
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert results == [None]
+
+    def test_push_after_close_rejected(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.push(make_job("late"))
+
+    def test_depth(self):
+        queue = JobQueue()
+        queue.push(make_job("a"))
+        queue.push(make_job("b"))
+        assert queue.depth == 2
+
+
+class TestWorkerPool:
+    def _drain(self, execute, jobs, workers=2):
+        queue = JobQueue()
+        done = threading.Event()
+        remaining = [len(jobs)]
+        lock = threading.Lock()
+        finished = []
+
+        def count(job):
+            with lock:
+                finished.append(job)
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.set()
+
+        pool = WorkerPool(queue, execute, workers=workers, on_finish=count)
+        for job in jobs:
+            queue.push(job)
+        pool.start()
+        assert done.wait(timeout=10), "jobs did not drain"
+        pool.stop()
+        return finished
+
+    def test_success_path(self):
+        jobs = [make_job(str(i)) for i in range(5)]
+        self._drain(lambda job: {"tag": job.request["tag"]}, jobs)
+        assert all(job.status == JobStatus.DONE for job in jobs)
+        assert all(job.result == {"tag": job.request["tag"]} for job in jobs)
+        assert all(job.latency is not None and job.latency >= 0 for job in jobs)
+
+    def test_transient_failure_retries(self):
+        attempts = {}
+        lock = threading.Lock()
+
+        def flaky(job):
+            with lock:
+                attempts[job.id] = attempts.get(job.id, 0) + 1
+                if attempts[job.id] == 1:
+                    raise RuntimeError("transient")
+            return {"ok": True}
+
+        job = make_job("flaky", max_attempts=3)
+        self._drain(flaky, [job])
+        assert job.status == JobStatus.DONE
+        assert job.attempts == 2
+
+    def test_transient_failure_exhausts_attempts(self):
+        def always_fails(job):
+            raise RuntimeError("still down")
+
+        job = make_job("doomed", max_attempts=2)
+        self._drain(always_fails, [job])
+        assert job.status == JobStatus.FAILED
+        assert job.error == {
+            "type": "RuntimeError",
+            "message": "still down",
+            "attempts": 2,
+        }
+
+    def test_domain_error_fails_without_retry(self):
+        def domain(job):
+            raise GraphError("malformed forever")
+
+        job = make_job("bad", max_attempts=5)
+        self._drain(domain, [job])
+        assert job.status == JobStatus.FAILED
+        assert job.attempts == 1, "deterministic failures must not retry"
+        assert job.error["type"] == "GraphError"
+
+    def test_to_dict_shape(self):
+        job = make_job("x", priority=3)
+        view = job.to_dict()
+        assert view["status"] == JobStatus.QUEUED
+        assert view["priority"] == 3
+        assert view["result"] is None and view["error"] is None

@@ -1,0 +1,151 @@
+"""Artifact store: content addressing, durability, runner cache backing."""
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError, GraphError
+from repro.experiments.runner import run_study_parallel
+from repro.experiments.stats import run_study
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.service.store import (
+    ArtifactStore,
+    canonical_json,
+    persistent_study_cache,
+    request_key,
+)
+from repro.workloads.govindarajan import govindarajan_suite
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestContentAddressing:
+    def test_key_is_order_insensitive(self):
+        assert request_key({"a": 1, "b": 2}) == request_key({"b": 2, "a": 1})
+
+    def test_key_distinguishes_values(self):
+        assert request_key({"a": 1}) != request_key({"a": 2})
+
+    def test_canonical_json_collapses_tuples(self):
+        assert canonical_json((1, ("x", 2))) == canonical_json([1, ["x", 2]])
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ArtifactError):
+            store.get("../escape")
+
+
+class TestPutGet:
+    def test_round_trip(self, store):
+        request = {"kind": "schedule", "graph": "abc"}
+        key = store.key_for(request)
+        store.put(key, "schedule", request, {"ii": 3})
+        envelope = store.get(key)
+        assert envelope["payload"] == {"ii": 3}
+        assert envelope["kind"] == "schedule"
+        assert envelope["key"] == key
+        assert key in store
+
+    def test_survives_reopen(self, tmp_path):
+        first = ArtifactStore(tmp_path / "s")
+        key = first.key_for({"x": 1})
+        first.put(key, "schedule", {"x": 1}, {"ii": 9})
+        second = ArtifactStore(tmp_path / "s")
+        assert second.get(key)["payload"]["ii"] == 9
+        assert list(second.iter_keys()) == [key]
+        assert len(second) == 1
+
+    def test_miss_and_hit_accounting(self, store):
+        key = store.key_for({"x": 1})
+        assert store.get(key) is None
+        store.put(key, "schedule", {"x": 1}, {})
+        store.get(key)
+        stats = store.stats()
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_corrupt_file_is_a_miss(self, store):
+        key = store.key_for({"x": 1})
+        store.put(key, "schedule", {"x": 1}, {"ii": 1})
+        store._path_for(key).write_text("{torn wr", encoding="utf-8")
+        assert store.get(key) is None
+        # ...and the next put heals it.
+        store.put(key, "schedule", {"x": 1}, {"ii": 1})
+        assert store.get(key)["payload"]["ii"] == 1
+
+    def test_newer_schema_rejected(self, store):
+        key = store.key_for({"x": 1})
+        store.put(key, "schedule", {"x": 1}, {})
+        path = store._path_for(key)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ArtifactError):
+            store.get(key)
+
+
+class TestStudyCacheBacking:
+    """The store backs run_study_parallel's per-loop cache."""
+
+    def test_rows_match_serial_study(self, tmp_path, gov_machine, gov_suite):
+        loops = gov_suite[:6]
+        cache = persistent_study_cache(tmp_path / "s")
+        study = run_study_parallel(
+            loops=loops, machine=gov_machine, mode="serial", cache=cache
+        )
+        direct = run_study(loops=loops, machine=gov_machine)
+        for ours, theirs in zip(study.records, direct.records):
+            assert ours.mii == theirs.mii
+            for name in ("hrms", "topdown"):
+                assert ours.rows[name].ii == theirs.rows[name].ii
+                assert ours.rows[name].maxlive == theirs.rows[name].maxlive
+
+    def test_second_run_is_pure_reads(self, tmp_path, gov_machine):
+        loops = govindarajan_suite()[:6]
+        root = tmp_path / "s"
+        run_study_parallel(
+            loops=loops,
+            machine=gov_machine,
+            mode="serial",
+            cache=persistent_study_cache(root),
+        )
+        store = ArtifactStore(root)
+        study = run_study_parallel(
+            loops=loops,
+            machine=gov_machine,
+            mode="serial",
+            cache=persistent_study_cache(store),
+        )
+        stats = store.stats()
+        assert stats.writes == 0, "warm study must not recompute rows"
+        assert stats.hits >= len(loops)
+        assert len(study.records) == len(loops)
+
+
+class TestGraphEnvelopeVersioning:
+    """The graph JSON envelope carries a tolerant schema version."""
+
+    def test_schema_key_written(self, gov_suite):
+        data = graph_to_dict(gov_suite[0].graph)
+        assert data["schema"] == 1
+        assert data["format"] == 1  # historical alias kept
+
+    def test_seed_envelope_still_loads(self, gov_suite):
+        data = graph_to_dict(gov_suite[0].graph)
+        del data["schema"]  # what the seed wrote
+        assert graph_from_dict(data).name == gov_suite[0].graph.name
+
+    def test_versionless_envelope_loads(self, gov_suite):
+        data = graph_to_dict(gov_suite[0].graph)
+        del data["schema"]
+        del data["format"]
+        assert len(graph_from_dict(data)) == len(gov_suite[0].graph)
+
+    @pytest.mark.parametrize("key", ["schema", "format"])
+    def test_newer_version_rejected(self, gov_suite, key):
+        data = graph_to_dict(gov_suite[0].graph)
+        data[key] = 2
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
