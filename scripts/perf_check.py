@@ -141,6 +141,65 @@ def measure_service(jobs: int = 48, workers: int = 4) -> dict:
     }
 
 
+def measure_portfolio(size: int = 160) -> dict:
+    """Portfolio tier: race 5 heuristics on the 160-op workload.
+
+    Guards the racing engine's overhead (thread fan-out, scoring,
+    verification) and — via the winner's II/MaxLive — the determinism
+    of policy selection.  Uses the same seeded graph as the size tiers
+    so the member schedules themselves are covered by the II guard
+    there.
+    """
+    from repro.portfolio import race_portfolio
+
+    members = ("hrms", "topdown", "bottomup", "slack", "sms")
+    machine = perfect_club_machine()
+    graph = random_ddg(random.Random(size), size, name=f"scale{size}")
+    analysis = compute_mii(graph, machine)
+    default_solver().clear()
+    began = time.perf_counter()
+    result = race_portfolio(
+        graph, machine, analysis, members=members, member_budget=300.0
+    )
+    wall = time.perf_counter() - began
+    completed = sum(1 for o in result.outcomes if o.status == "ok")
+    score = result.winner_score
+    return {
+        "size": size,
+        "members": list(members),
+        "completed": completed,
+        "wall_s": wall,
+        "winner": result.winner,
+        "ii": score.ii,
+        "maxlive": score.maxlive,
+    }
+
+
+def compare_portfolio(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Portfolio regressions: wall time by ratio; winner identity,
+    achieved II/MaxLive and completion count must not change at all."""
+    problems = []
+    for key in ("winner", "ii", "maxlive"):
+        if key in baseline and current[key] != baseline[key]:
+            problems.append(
+                f"portfolio: {key} changed "
+                f"{baseline[key]!r} -> {current[key]!r} "
+                "(selection is no longer identical!)"
+            )
+    if "completed" in baseline and current["completed"] != baseline["completed"]:
+        problems.append(
+            f"portfolio: members completing changed "
+            f"{baseline['completed']} -> {current['completed']}"
+        )
+    base_wall = baseline.get("wall_s")
+    if base_wall and current["wall_s"] > base_wall * threshold:
+        problems.append(
+            f"portfolio: race wall time regressed "
+            f"{base_wall:.4f}s -> {current['wall_s']:.4f}s"
+        )
+    return problems
+
+
 def compare_service(current: dict, baseline: dict, threshold: float) -> list[str]:
     """Service regressions: throughput is higher-is-better, latency
     lower-is-better; both gated by the same ratio threshold."""
@@ -222,6 +281,10 @@ def main(argv=None) -> int:
         "--no-service", action="store_true",
         help="skip the service smoke tier (HTTP batch over a live server)",
     )
+    parser.add_argument(
+        "--no-portfolio", action="store_true",
+        help="skip the portfolio tier (5-heuristic race on 160 ops)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -242,6 +305,16 @@ def main(argv=None) -> int:
             f"  ({service['throughput_jobs_per_s']:.1f} jobs/s, "
             f"p95 {service['p95_latency_s'] * 1e3:.1f} ms)"
         )
+    portfolio = None
+    if not args.no_portfolio:
+        print("perf_check: portfolio tier (5-heuristic race, 160 ops) ...")
+        portfolio = measure_portfolio()
+        print(
+            f"  portfolio: {portfolio['completed']}/"
+            f"{len(portfolio['members'])} members in "
+            f"{portfolio['wall_s']:.2f}s; winner {portfolio['winner']} "
+            f"(II {portfolio['ii']}, MaxLive {portfolio['maxlive']})"
+        )
 
     document = {
         "meta": {
@@ -254,6 +327,8 @@ def main(argv=None) -> int:
     }
     if service is not None:
         document["service"] = service
+    if portfolio is not None:
+        document["portfolio"] = portfolio
 
     if args.baseline.exists():
         baseline_doc = json.loads(args.baseline.read_text())
@@ -268,6 +343,8 @@ def main(argv=None) -> int:
             document["sizes"] = merged
             if service is None and "service" in baseline_doc:
                 document["service"] = baseline_doc["service"]
+            if portfolio is None and "portfolio" in baseline_doc:
+                document["portfolio"] = baseline_doc["portfolio"]
             args.baseline.write_text(json.dumps(document, indent=2) + "\n")
             print(f"perf_check: baseline updated -> {args.baseline}")
             return 0
@@ -276,6 +353,10 @@ def main(argv=None) -> int:
         if service is not None and "service" in baseline_doc:
             problems += compare_service(
                 service, baseline_doc["service"], args.threshold
+            )
+        if portfolio is not None and "portfolio" in baseline_doc:
+            problems += compare_portfolio(
+                portfolio, baseline_doc["portfolio"], args.threshold
             )
         if problems:
             print("\nperf_check: PERFORMANCE REGRESSION")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import weakref
 from dataclasses import dataclass, field
 
@@ -51,6 +52,9 @@ _DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 #: Entries every graph may keep regardless of the byte budget (the
 #: current II's second directional pass and its close neighbours).
 _MIN_CACHED_IIS = 4
+
+#: Cache-miss sentinel (``None`` is a valid cached value: infeasible II).
+_MISSING = object()
 
 
 def graph_fingerprint(graph: DependenceGraph) -> tuple:
@@ -158,6 +162,11 @@ class MinDistSolver:
             weakref.WeakKeyDictionary()
         )
         self._cache_bytes = cache_bytes
+        # Guards the cache bookkeeping (lookup/insert/evict, counters,
+        # byte accounting): the portfolio racer solves the *same* graph
+        # from several threads at once.  The O(n^3) solve itself runs
+        # outside the lock.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -172,22 +181,38 @@ class MinDistSolver:
         is read-only and shared; ``matrix[i, j] <= NO_PATH / 2`` means
         "no constraint".
         """
-        factors = self._factors(graph)
-        if ii in factors.cache:
-            self.hits += 1
-            result = factors.cache.pop(ii)  # LRU: move to the young end
-            factors.cache[ii] = result
-            return result
-        self.misses += 1
+        # The fingerprint is O(ops+edges) and touches no shared state;
+        # computing it outside the lock keeps unrelated graphs (service
+        # workers, the parallel runner) from serializing on it.
+        fingerprint = graph_fingerprint(graph)
+        sentinel = _MISSING
+        with self._lock:
+            factors = self._factors(graph, fingerprint)
+            cached = factors.cache.get(ii, sentinel)
+            if cached is not sentinel:
+                self.hits += 1
+                factors.cache.pop(ii)  # LRU: move to the young end
+                factors.cache[ii] = cached
+                return cached
+            self.misses += 1
+        # Solve outside the lock; concurrent first requests for the same
+        # (graph, II) may duplicate this work, but the results are
+        # identical and only the first writer charges the byte budget.
         result = self._solve_uncached(factors, ii)
-        factors.cache[ii] = result
-        factors.cached_bytes += 0 if result is None else result[0].nbytes
-        while (
-            factors.cached_bytes > self._cache_bytes
-            and len(factors.cache) > _MIN_CACHED_IIS
-        ):
-            evicted = factors.cache.pop(next(iter(factors.cache)))
-            factors.cached_bytes -= 0 if evicted is None else evicted[0].nbytes
+        with self._lock:
+            if ii not in factors.cache:
+                factors.cache[ii] = result
+                factors.cached_bytes += (
+                    0 if result is None else result[0].nbytes
+                )
+                while (
+                    factors.cached_bytes > self._cache_bytes
+                    and len(factors.cache) > _MIN_CACHED_IIS
+                ):
+                    evicted = factors.cache.pop(next(iter(factors.cache)))
+                    factors.cached_bytes -= (
+                        0 if evicted is None else evicted[0].nbytes
+                    )
         return result
 
     def cyclic_asap(
@@ -208,9 +233,10 @@ class MinDistSolver:
 
     def clear(self) -> None:
         """Drop every cached factorisation and matrix."""
-        self._graphs.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._graphs.clear()
+            self.hits = 0
+            self.misses = 0
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters plus the number of live graph entries."""
@@ -221,8 +247,11 @@ class MinDistSolver:
         }
 
     # ------------------------------------------------------------------
-    def _factors(self, graph: DependenceGraph) -> _GraphFactors:
-        fingerprint = graph_fingerprint(graph)
+    def _factors(
+        self, graph: DependenceGraph, fingerprint: tuple | None = None
+    ) -> _GraphFactors:
+        if fingerprint is None:
+            fingerprint = graph_fingerprint(graph)
         factors = self._graphs.get(graph)
         if factors is None or factors.fingerprint != fingerprint:
             factors = _factorise(graph, fingerprint)

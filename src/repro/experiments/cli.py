@@ -11,7 +11,13 @@ Regenerates any table or figure of the paper::
     hrms-experiments fig12 | fig13 | fig14
     hrms-experiments ablations
     hrms-experiments frontend
+    hrms-experiments portfolio [--loops 4] [--policy min_regs]
     hrms-experiments all [--quick]
+
+``portfolio`` is not a paper artefact: it races the scheduler
+portfolio (:mod:`repro.portfolio`) for a sample of loops across every
+built-in machine configuration and prints each loop's Pareto front
+over the winners' (II, MaxLive).
 
 ``--quick`` shrinks the Perfect-Club population and SPILP's time limit so
 the whole run finishes in about a minute (useful for CI).
@@ -56,8 +62,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "motivating", "table1", "table2", "table3", "stats",
             "fig11", "fig12", "fig13", "fig14", "ablations",
-            "frontend", "all",
+            "frontend", "portfolio", "all",
         ],
+    )
+    from repro.portfolio.policies import policy_names
+
+    parser.add_argument(
+        "--policy", choices=policy_names(), default=None,
+        help="portfolio selection policy (portfolio artefact only)",
     )
     parser.add_argument(
         "--loops", type=int, default=1258,
@@ -83,6 +95,8 @@ def main(argv: list[str] | None = None) -> int:
              "(shared with hrms-serve)",
     )
     args = parser.parse_args(argv)
+    if args.policy is not None and args.artefact != "portfolio":
+        parser.error("--policy only applies to the portfolio artefact")
 
     if args.quick:
         args.loops = min(args.loops, 150)
@@ -156,6 +170,27 @@ def main(argv: list[str] | None = None) -> int:
             print(render_figure14(result))
         elif artefact == "frontend":
             print(render_frontend_suite(run_frontend_suite()))
+        elif artefact == "portfolio":
+            from repro.portfolio import render_sweep, sweep_portfolio
+
+            # A small, capped sample: sweeps race every heuristic on
+            # every machine config, so size is loops x machines x members.
+            suite = govindarajan_suite()
+            sample = suite[: max(1, min(args.loops, 8))]
+            print(
+                f"sweeping {len(sample)} of {len(suite)} loops "
+                f"(capped at 8; each loop races the portfolio on every "
+                f"built-in machine)\n"
+            )
+            for loop in sample:
+                sweep = sweep_portfolio(loop.graph, policy=args.policy)
+                print(render_sweep(sweep))
+                front = ", ".join(
+                    f"{entry.machine} (II {entry.result.winner_score.ii}, "
+                    f"MaxLive {entry.result.winner_score.maxlive})"
+                    for entry in sweep.front()
+                )
+                print(f"  pareto front: {front}\n")
         elif artefact == "ablations":
             machine = govindarajan_machine()
             sample = govindarajan_suite()[:8]

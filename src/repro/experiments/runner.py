@@ -32,6 +32,7 @@ from repro.experiments.stats import PerfectStudy, StudyRecord, StudyRow, _row_of
 from repro.machine.configs import perfect_club_machine
 from repro.machine.machine import MachineModel
 from repro.mii.analysis import compute_mii
+from repro.schedulers import registry
 from repro.schedulers.registry import make_scheduler
 from repro.workloads.loops import Loop
 from repro.workloads.perfectclub import perfect_club_suite
@@ -102,7 +103,7 @@ def _study_worker(
 
 def run_study_parallel(
     loops: list[Loop] | None = None,
-    schedulers: tuple[str, ...] = ("hrms", "topdown"),
+    schedulers: tuple[str, ...] | None = None,
     machine: MachineModel | None = None,
     n_loops: int | None = None,
     *,
@@ -112,14 +113,19 @@ def run_study_parallel(
 ) -> PerfectStudy:
     """Parallel drop-in for :func:`repro.experiments.stats.run_study`.
 
-    Structurally identical loops are scheduled once (keyed by graph
-    fingerprint + machine + scheduler set); pass the same *cache*
-    mapping to successive calls to reuse results across studies.  Any
-    mutable mapping works — a plain dict for in-process reuse, or
+    ``schedulers=None`` means the registry-derived
+    :data:`repro.schedulers.registry.DEFAULT_BATCH_SCHEDULERS` (the
+    baseline and its primary comparator).  Structurally identical loops
+    are scheduled once (keyed by graph fingerprint + machine +
+    scheduler set); pass the same *cache* mapping to successive calls
+    to reuse results across studies.  Any mutable mapping works — a
+    plain dict for in-process reuse, or
     :func:`repro.service.store.persistent_study_cache` to persist rows
     in the on-disk artifact store across runs and processes
     (``hrms-experiments --store DIR``).
     """
+    if schedulers is None:
+        schedulers = registry.DEFAULT_BATCH_SCHEDULERS
     if loops is None:
         loops = perfect_club_suite(
             n_loops=n_loops if n_loops is not None else 1258

@@ -22,6 +22,7 @@ from repro.machine.configs import perfect_club_machine
 from repro.mii.analysis import compute_mii
 from repro.schedule.maxlive import max_live
 from repro.schedule.schedule import Schedule
+from repro.schedulers import registry
 from repro.schedulers.registry import make_scheduler
 from repro.workloads.loops import Loop
 from repro.workloads.perfectclub import perfect_club_suite
@@ -60,11 +61,17 @@ class PerfectStudy:
 
 def run_study(
     loops: list[Loop] | None = None,
-    schedulers: tuple[str, ...] = ("hrms", "topdown"),
+    schedulers: tuple[str, ...] | None = None,
     machine=None,
     n_loops: int | None = None,
 ) -> PerfectStudy:
-    """Schedule the population with every scheduler."""
+    """Schedule the population with every scheduler.
+
+    ``schedulers=None`` means the registry-derived
+    :data:`repro.schedulers.registry.DEFAULT_BATCH_SCHEDULERS`.
+    """
+    if schedulers is None:
+        schedulers = registry.DEFAULT_BATCH_SCHEDULERS
     if loops is None:
         loops = perfect_club_suite(
             n_loops=n_loops if n_loops is not None else 1258

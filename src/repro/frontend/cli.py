@@ -74,6 +74,16 @@ def main(argv: list[str] | None = None) -> int:
         "--scheduler",
         choices=available_schedulers(),
         default="hrms",
+        help="scheduling method; 'portfolio' races the registry and "
+             "keeps the policy winner",
+    )
+    from repro.portfolio.policies import policy_names
+
+    parser.add_argument(
+        "--policy",
+        choices=policy_names(),
+        default=None,
+        help="portfolio selection policy (--scheduler portfolio only)",
     )
     parser.add_argument(
         "--machine",
@@ -86,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         help="override the loop trip count",
     )
     args = parser.parse_args(argv)
+    if args.policy is not None and args.scheduler != "portfolio":
+        parser.error("--policy only applies with --scheduler portfolio")
 
     if args.kernel:
         source = kernel_source(args.kernel)
@@ -109,9 +121,9 @@ def main(argv: list[str] | None = None) -> int:
             print(graph_to_dot(loop.graph), end="")
             return 0
         analysis = compute_mii(loop.graph, machine)
-        schedule = make_scheduler(args.scheduler).schedule(
-            loop.graph, machine, analysis
-        )
+        kwargs = {"policy": args.policy} if args.policy is not None else {}
+        scheduler = make_scheduler(args.scheduler, **kwargs)
+        schedule = scheduler.schedule(loop.graph, machine, analysis)
         verify_schedule(schedule)
     except ReproError as error:
         print(f"hrms-compile: {error}", file=sys.stderr)
@@ -130,6 +142,17 @@ def main(argv: list[str] | None = None) -> int:
             f"MaxLive = {max_live(schedule)}, "
             f"buffers = {buffer_requirements(schedule)}"
         )
+        race = getattr(scheduler, "last_result", None)
+        if race is not None:
+            scoreboard = ", ".join(
+                f"{o.name} {o.status}"
+                + (f" (II {o.score.ii}, ML {o.score.maxlive})" if o.score else "")
+                for o in race.outcomes
+            )
+            print(
+                f"portfolio winner = {race.winner} "
+                f"(policy {race.policy}): {scoreboard}"
+            )
     elif args.emit == "schedule":
         print(schedule_table(schedule))
     elif args.emit == "lifetimes":

@@ -55,17 +55,34 @@ def govindarajan_machine() -> MachineModel:
     )
 
 
+#: Wire-name aliases the paper's sections use for the canonical configs.
+MACHINE_ALIASES = {
+    "motivating": "generic4",
+    "perfect_club": "perfect-club",
+}
+
+
+def canonical_machines() -> dict[str, "MachineModel"]:
+    """Fresh instances of every distinct machine configuration.
+
+    One entry per *structure* (no aliases) — what a portfolio sweep
+    iterates so no configuration is raced twice under two names.
+    """
+    return {
+        "generic4": motivating_machine(),
+        "govindarajan": govindarajan_machine(),
+        "perfect-club": perfect_club_machine(),
+    }
+
+
 #: Machines addressable by name over the wire (service requests, CLIs).
 #: Keys are the canonical names plus the aliases the paper's sections use.
 def builtin_machines() -> dict[str, "MachineModel"]:
     """Fresh instances of every named machine configuration."""
-    return {
-        "generic4": motivating_machine(),
-        "motivating": motivating_machine(),
-        "govindarajan": govindarajan_machine(),
-        "perfect-club": perfect_club_machine(),
-        "perfect_club": perfect_club_machine(),
-    }
+    machines = canonical_machines()
+    for alias, target in MACHINE_ALIASES.items():
+        machines[alias] = machines[target]
+    return machines
 
 
 def machine_from_config(spec) -> MachineModel:

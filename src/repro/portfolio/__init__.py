@@ -1,0 +1,71 @@
+"""Scheduler portfolio racing.
+
+The paper evaluates HRMS by racing it against the other schedulers of
+its era; this package makes that race a first-class subsystem.  Give it
+a loop and a machine and it runs any subset of the registered
+schedulers concurrently under a per-member time budget, scores every
+finished schedule on (II, MaxLive, kernel length, spills), picks a
+winner under a pluggable policy, and verifies the winner before
+returning it:
+
+* :mod:`~repro.portfolio.score` — the multi-objective
+  :class:`~repro.portfolio.score.ScheduleScore`;
+* :mod:`~repro.portfolio.policies` — winner-selection policies
+  (``lexicographic``, ``min_ii``, ``min_regs``, ``weighted``);
+* :mod:`~repro.portfolio.racer` — the budgeted racing engine,
+  :func:`~repro.portfolio.racer.race_portfolio`;
+* :mod:`~repro.portfolio.scheduler` — the virtual ``"portfolio"``
+  registry entry, so every registry consumer (service executor,
+  experiment runner, CLIs) can name it like a concrete method;
+* :mod:`~repro.portfolio.sweep` — race one loop across machine
+  configurations and report the Pareto front.
+"""
+
+from repro.portfolio.policies import (
+    DEFAULT_POLICY,
+    Policy,
+    make_policy,
+    policy_names,
+)
+from repro.portfolio.racer import (
+    DEFAULT_MEMBER_BUDGET,
+    EXACT_OP_LIMIT,
+    MemberOutcome,
+    MemberStatus,
+    PortfolioResult,
+    default_members,
+    race_portfolio,
+    resolve_members,
+)
+from repro.portfolio.scheduler import PortfolioScheduler
+from repro.portfolio.score import ScheduleScore, score_schedule
+from repro.portfolio.sweep import (
+    PortfolioSweep,
+    SweepEntry,
+    pareto_front,
+    render_sweep,
+    sweep_portfolio,
+)
+
+__all__ = [
+    "DEFAULT_MEMBER_BUDGET",
+    "DEFAULT_POLICY",
+    "EXACT_OP_LIMIT",
+    "MemberOutcome",
+    "MemberStatus",
+    "Policy",
+    "PortfolioResult",
+    "PortfolioScheduler",
+    "PortfolioSweep",
+    "ScheduleScore",
+    "SweepEntry",
+    "default_members",
+    "make_policy",
+    "pareto_front",
+    "policy_names",
+    "race_portfolio",
+    "render_sweep",
+    "resolve_members",
+    "score_schedule",
+    "sweep_portfolio",
+]

@@ -1,0 +1,126 @@
+"""Pluggable winner-selection policies for the portfolio racer.
+
+A policy maps a :class:`~repro.portfolio.score.ScheduleScore` onto a
+sort key; the racer picks the member whose key is smallest, breaking
+exact ties by member order (earlier-listed members win), so selection is
+deterministic regardless of racing timing.
+
+Built-in policies::
+
+    lexicographic   (II, MaxLive, length, spills)   -- the paper's framing:
+                    II first, then register pressure    (the default)
+    min_ii          II above all, pressure only as a tie-break
+    min_regs        MaxLive above all, II only as a tie-break
+    weighted        one scalar: w_ii*II + w_maxlive*MaxLive
+                    + w_length*length + w_spills*spills
+
+``make_policy`` accepts a name, a ``{"name": …, …params}`` wire dict
+(how the service passes policies around), or an already-built
+:class:`Policy` (returned unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.portfolio.score import ScheduleScore
+
+#: Policy used when a caller does not name one.
+DEFAULT_POLICY = "lexicographic"
+
+#: Default objective weights of the ``weighted`` policy: an II cycle is
+#: the unit, a register is worth a quarter cycle, kernel length is a
+#: light tie-break, a spill costs as much as an II cycle (it becomes
+#: one or more memory operations).
+DEFAULT_WEIGHTS = {"ii": 1.0, "maxlive": 0.25, "length": 0.01, "spills": 1.0}
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named scoring rule: lower key wins."""
+
+    name: str
+    key: Callable[[ScheduleScore], tuple] = field(compare=False)
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _lexicographic(score: ScheduleScore) -> tuple:
+    return (score.ii, score.maxlive, score.length, score.spills)
+
+
+def _min_ii(score: ScheduleScore) -> tuple:
+    return (score.ii, score.spills, score.maxlive, score.length)
+
+
+def _min_regs(score: ScheduleScore) -> tuple:
+    return (score.maxlive, score.spills, score.ii, score.length)
+
+
+def _weighted_key(weights: dict[str, float]) -> Callable[[ScheduleScore], tuple]:
+    def key(score: ScheduleScore) -> tuple:
+        total = (
+            weights["ii"] * score.ii
+            + weights["maxlive"] * score.maxlive
+            + weights["length"] * score.length
+            + weights["spills"] * score.spills
+        )
+        # Round away float-noise, then fall back to the lexicographic
+        # tuple so equal-cost members still order deterministically.
+        return (round(total, 9), *_lexicographic(score))
+
+    return key
+
+
+def _make_weighted(**params) -> Policy:
+    unknown = set(params) - set(DEFAULT_WEIGHTS)
+    if unknown:
+        raise ReproError(
+            f"weighted policy has no weight(s) {sorted(unknown)}; "
+            f"available: {', '.join(sorted(DEFAULT_WEIGHTS))}"
+        )
+    weights = {**DEFAULT_WEIGHTS, **{k: float(v) for k, v in params.items()}}
+    return Policy(name="weighted", key=_weighted_key(weights))
+
+
+_BUILTIN: dict[str, Callable[..., Policy]] = {
+    "lexicographic": lambda: Policy("lexicographic", _lexicographic),
+    "min_ii": lambda: Policy("min_ii", _min_ii),
+    "min_regs": lambda: Policy("min_regs", _min_regs),
+    "weighted": _make_weighted,
+}
+
+
+def policy_names() -> tuple[str, ...]:
+    """The registered policy names, stable order."""
+    return tuple(_BUILTIN)
+
+
+def make_policy(spec: "str | dict | Policy | None" = None, **params) -> Policy:
+    """Resolve *spec* (name, wire dict, Policy, or None) into a policy."""
+    if spec is None:
+        spec = DEFAULT_POLICY
+    if isinstance(spec, Policy):
+        return spec
+    if isinstance(spec, dict):
+        spec = dict(spec)
+        name = str(spec.pop("name", DEFAULT_POLICY))
+        params = {**spec, **params}
+    else:
+        name = str(spec)
+    try:
+        factory = _BUILTIN[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown portfolio policy {name!r}; available: "
+            f"{', '.join(policy_names())}"
+        ) from None
+    try:
+        return factory(**params)
+    except TypeError:
+        raise ReproError(
+            f"policy {name!r} does not take parameters {sorted(params)}"
+        ) from None

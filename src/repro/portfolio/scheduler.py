@@ -1,0 +1,85 @@
+"""The registry-facing ``"portfolio"`` virtual scheduler.
+
+Everything that speaks the registry protocol — the service executor,
+the experiments runner, ``hrms-compile``, suite jobs — can name
+``"portfolio"`` like any concrete method and transparently get the race
+winner.  The returned schedule keeps the winning member's own stats
+(its name, attempts and timings), and the full scoreboard stays
+available on :attr:`PortfolioScheduler.last_result`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+from repro.mii.analysis import MIIResult
+from repro.portfolio.policies import DEFAULT_POLICY, Policy
+from repro.portfolio.racer import (
+    DEFAULT_MEMBER_BUDGET,
+    EXACT_OP_LIMIT,
+    PortfolioResult,
+    race_portfolio,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedulers.base import ModuloScheduler
+
+
+class PortfolioScheduler(ModuloScheduler):
+    """Race the registered schedulers and return the policy winner."""
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        max_ii: int | None = None,
+        *,
+        members: Iterable[str] | None = None,
+        policy: "str | dict | Policy | None" = DEFAULT_POLICY,
+        member_budget: float | None = DEFAULT_MEMBER_BUDGET,
+        include_exact: bool = False,
+        exact_op_limit: int = EXACT_OP_LIMIT,
+        register_budget: int | None = None,
+    ) -> None:
+        super().__init__(max_ii=max_ii)
+        self._members = tuple(members) if members is not None else None
+        self._policy = policy
+        self._member_budget = member_budget
+        self._include_exact = include_exact
+        self._exact_op_limit = exact_op_limit
+        self._register_budget = register_budget
+        #: Scoreboard of the most recent race (None before the first).
+        self.last_result: PortfolioResult | None = None
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult | None = None,
+    ) -> Schedule:
+        """Race the portfolio; the winner is already verified."""
+        result = race_portfolio(
+            graph,
+            machine,
+            analysis,
+            members=self._members,
+            policy=self._policy,
+            member_budget=self._member_budget,
+            include_exact=self._include_exact,
+            exact_op_limit=self._exact_op_limit,
+            max_ii=self._max_ii,
+            register_budget=self._register_budget,
+        )
+        self.last_result = result
+        return result.schedule
+
+    # ------------------------------------------------------------------
+    # The template hooks never run: schedule() is fully overridden (the
+    # members own their II searches).
+    def prepare(self, graph, machine, analysis) -> Any:  # pragma: no cover
+        raise NotImplementedError("the portfolio delegates to its members")
+
+    def attempt(self, graph, machine, ii, context):  # pragma: no cover
+        raise NotImplementedError("the portfolio delegates to its members")

@@ -1,0 +1,81 @@
+"""Multi-objective scoring of a schedule for portfolio selection.
+
+Every racing member produces a :class:`~repro.schedule.schedule.Schedule`;
+the racer compares them on one :class:`ScheduleScore` — the objectives the
+paper's evaluation tables rank schedulers by:
+
+* ``ii`` — the achieved initiation interval (Tables 1/2, Figs 11-12);
+* ``maxlive`` — the register-pressure lower bound of
+  :func:`repro.schedule.maxlive.max_live` (Section 4.2, Fig 13);
+* ``length`` — cycles from first issue to last result of one iteration
+  (shorter kernels drain faster and need fewer epilogue stages);
+* ``spills`` — how far MaxLive overshoots an optional register budget,
+  i.e. the values a real allocator would have to spill (Fig 14's regime).
+
+``seconds`` rides along for reporting but never participates in
+comparisons (two racers must pick the same winner regardless of machine
+load), which is why it is excluded from equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.schedule.maxlive import max_live
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ScheduleScore:
+    """The objective vector one member's schedule achieved."""
+
+    ii: int
+    maxlive: int
+    length: int
+    spills: int = 0
+    seconds: float = field(default=0.0, compare=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe view (stored in portfolio decision records)."""
+        return {
+            "ii": self.ii,
+            "maxlive": self.maxlive,
+            "length": self.length,
+            "spills": self.spills,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScheduleScore":
+        return cls(
+            ii=int(payload["ii"]),
+            maxlive=int(payload["maxlive"]),
+            length=int(payload["length"]),
+            spills=int(payload.get("spills", 0)),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+def score_schedule(
+    schedule: Schedule, register_budget: int | None = None
+) -> ScheduleScore:
+    """Score *schedule* on the portfolio objectives.
+
+    ``register_budget`` turns the spill objective on: the score counts
+    the values by which MaxLive exceeds the budget (0 when it fits or
+    when no budget applies).
+    """
+    maxlive = max_live(schedule)
+    spills = (
+        max(0, maxlive - register_budget)
+        if register_budget is not None
+        else 0
+    )
+    return ScheduleScore(
+        ii=schedule.ii,
+        maxlive=maxlive,
+        length=schedule.length,
+        spills=spills,
+        seconds=schedule.stats.total_seconds,
+    )

@@ -1,0 +1,156 @@
+"""Portfolio sweeps: race one loop across machine configurations.
+
+Where :func:`~repro.portfolio.racer.race_portfolio` answers "which
+scheduler wins on this machine", the sweep answers "which machine is
+worth having": it races the portfolio on every configuration in
+:func:`repro.machine.configs.canonical_machines` (or a caller-supplied
+set) and reports the Pareto front over the winners' (II, MaxLive) —
+the configurations no other configuration beats on both objectives.
+
+Machines that cannot execute the loop at all (a missing functional-unit
+class, an infeasible II search) stay in the report as error entries
+rather than disappearing silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.configs import canonical_machines
+from repro.machine.machine import MachineModel
+from repro.portfolio.racer import PortfolioResult, race_portfolio
+
+
+def pareto_front(
+    items: Sequence[Any], key: Callable[[Any], tuple]
+) -> list[Any]:
+    """The non-dominated subset of *items* under minimisation of *key*.
+
+    ``a`` dominates ``b`` when ``key(a)`` is no worse in every component
+    and strictly better in at least one.  Input order is preserved;
+    items with identical keys all survive (they dominate nobody and
+    nobody strictly beats them).
+    """
+    keys = [tuple(key(item)) for item in items]
+
+    def dominates(a: tuple, b: tuple) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and a != b
+
+    return [
+        item
+        for item, own in zip(items, keys)
+        if not any(dominates(other, own) for other in keys)
+    ]
+
+
+@dataclass
+class SweepEntry:
+    """One machine configuration's race result (or failure)."""
+
+    machine: str
+    result: PortfolioResult | None = None
+    error: str | None = None
+    on_front: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "machine": self.machine,
+            "on_front": self.on_front,
+            "error": self.error,
+        }
+        if self.result is not None:
+            record["decision"] = self.result.decision_record()
+        return record
+
+
+@dataclass
+class PortfolioSweep:
+    """The sweep of one loop across machine configurations."""
+
+    graph: str
+    policy: str
+    entries: list[SweepEntry] = field(default_factory=list)
+
+    def front(self) -> list[SweepEntry]:
+        """The Pareto-optimal entries, input order."""
+        return [entry for entry in self.entries if entry.on_front]
+
+
+def sweep_portfolio(
+    graph: DependenceGraph,
+    machines: Mapping[str, MachineModel] | Iterable[str] | None = None,
+    **race_kwargs,
+) -> PortfolioSweep:
+    """Race the portfolio on every machine; mark the Pareto front.
+
+    *machines* may be a name → model mapping, an iterable of registered
+    configuration names, or ``None`` for every canonical built-in.
+    Remaining keyword arguments go to :func:`race_portfolio` verbatim.
+    """
+    if machines is None:
+        resolved = canonical_machines()
+    elif isinstance(machines, Mapping):
+        resolved = dict(machines)
+    else:
+        builtin = canonical_machines()
+        resolved = {}
+        for name in machines:
+            try:
+                resolved[str(name)] = builtin[str(name)]
+            except KeyError:
+                raise ReproError(
+                    f"unknown machine configuration {name!r}; available: "
+                    f"{', '.join(sorted(builtin))}"
+                ) from None
+
+    entries: list[SweepEntry] = []
+    policy_name = ""
+    for name, machine in resolved.items():
+        try:
+            result = race_portfolio(graph, machine, **race_kwargs)
+        except ReproError as exc:
+            entries.append(SweepEntry(machine=name, error=str(exc)))
+            continue
+        policy_name = result.policy
+        entries.append(SweepEntry(machine=name, result=result))
+
+    scored = [entry for entry in entries if entry.ok]
+    for entry in pareto_front(
+        scored,
+        key=lambda e: (e.result.winner_score.ii, e.result.winner_score.maxlive),
+    ):
+        entry.on_front = True
+    return PortfolioSweep(
+        graph=graph.name, policy=policy_name, entries=entries
+    )
+
+
+def render_sweep(sweep: PortfolioSweep) -> str:
+    """Fixed-width text table of a sweep (the experiments CLI output)."""
+    lines = [
+        f"{sweep.graph}: portfolio sweep "
+        f"(policy {sweep.policy or '-'})",
+        f"  {'machine':14s} {'winner':10s} {'II':>4s} {'MaxLive':>8s} "
+        f"{'length':>7s} {'pareto':>7s}",
+    ]
+    for entry in sweep.entries:
+        if not entry.ok:
+            lines.append(
+                f"  {entry.machine:14s} {'-':10s}"
+                f"    infeasible: {entry.error}"
+            )
+            continue
+        score = entry.result.winner_score
+        lines.append(
+            f"  {entry.machine:14s} {entry.result.winner:10s} "
+            f"{score.ii:4d} {score.maxlive:8d} {score.length:7d} "
+            f"{'*' if entry.on_front else '':>7s}"
+        )
+    return "\n".join(lines)

@@ -17,9 +17,10 @@ from repro.schedulers.topdown import TopDownScheduler
 
 
 def _factories() -> dict[str, Callable[..., ModuloScheduler]]:
-    # HRMS lives in repro.core, which itself imports the scheduler base
-    # module; resolving it lazily keeps the import graph acyclic.
+    # HRMS lives in repro.core and the portfolio races this registry;
+    # resolving both lazily keeps the import graph acyclic.
     from repro.core.scheduler import HRMSScheduler
+    from repro.portfolio.scheduler import PortfolioScheduler
 
     return {
         HRMSScheduler.name: HRMSScheduler,
@@ -31,6 +32,7 @@ def _factories() -> dict[str, Callable[..., ModuloScheduler]]:
         FRLCScheduler.name: FRLCScheduler,
         SPILPScheduler.name: SPILPScheduler,
         OptRegScheduler.name: OptRegScheduler,
+        PortfolioScheduler.name: PortfolioScheduler,
     }
 
 
@@ -39,10 +41,41 @@ def _factories() -> dict[str, Callable[..., ModuloScheduler]]:
 #: time limits or skip them on large loops.
 EXACT_SCHEDULERS = ("spilp", "optreg")
 
+#: Virtual methods that delegate to other registry entries (the
+#: portfolio races concrete members, so it cannot be one itself).
+VIRTUAL_SCHEDULERS = ("portfolio",)
+
 
 def available_schedulers() -> list[str]:
     """Registered scheduler names, stable order."""
     return list(_factories())
+
+
+def scheduler_catalog() -> list[dict]:
+    """Wire-safe registry description: one dict per scheduler.
+
+    Served by ``GET /v1/schedulers`` so clients discover names and
+    flags (``exact`` — MILP-backed, slow; ``virtual`` — delegates to
+    other entries) instead of hardcoding them.
+    """
+    return [
+        {
+            "name": name,
+            "exact": name in EXACT_SCHEDULERS,
+            "virtual": name in VIRTUAL_SCHEDULERS,
+        }
+        for name in available_schedulers()
+    ]
+
+
+def __getattr__(name: str):
+    # DEFAULT_BATCH_SCHEDULERS is derived from the registry order (the
+    # paper's baseline plus its primary comparator — the first two
+    # entries), but resolving factories at import time would close the
+    # repro.core import cycle, so it materialises lazily (PEP 562).
+    if name == "DEFAULT_BATCH_SCHEDULERS":
+        return tuple(available_schedulers()[:2])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def make_scheduler(name: str, **kwargs) -> ModuloScheduler:

@@ -5,6 +5,9 @@ Built on :mod:`http.server` (no new dependencies).  Endpoints::
     GET  /healthz               liveness probe
     GET  /metrics               Prometheus text (queue depth, latency
                                 quantiles, store hit rate, counters)
+    GET  /v1/schedulers         registry catalog: names + exact/virtual
+                                flags, defaults — clients discover
+                                schedulers instead of hardcoding them
     POST /v1/jobs               submit one job; body is the request dict
                                 (kind defaults to "schedule") → 202 {id}
     POST /v1/batch              {"jobs": [request, …]} → 202 {ids}
@@ -28,7 +31,11 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import JobError, ReproError
-from repro.service.executor import SchedulingExecutor
+from repro.schedulers import registry
+from repro.service.executor import (
+    DEFAULT_SCHEDULER,
+    SchedulingExecutor,
+)
 from repro.service.jobs import Job, JobQueue, JobStatus, WorkerPool
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import ArtifactStore
@@ -248,6 +255,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     200,
                     self.service.metrics_text().encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif parts == ["v1", "schedulers"]:
+                self._json(
+                    200,
+                    {
+                        "schedulers": registry.scheduler_catalog(),
+                        "default": DEFAULT_SCHEDULER,
+                        "batch_default": list(
+                            registry.DEFAULT_BATCH_SCHEDULERS
+                        ),
+                    },
                 )
             elif parts[:2] == ["v1", "jobs"] and len(parts) == 3:
                 job = self.service.job(parts[2])

@@ -11,6 +11,12 @@ for the result::
     hrms-submit graph.json --graph              # serialized DDG
     echo 'do i = 1, 8 ... end do' | hrms-submit -
     hrms-submit daxpy.loop --scheduler sms --machine govindarajan
+    hrms-submit daxpy.loop --scheduler portfolio --policy min_regs
+    hrms-submit --list-schedulers               # ask the server
+
+Scheduler names are discovered from the server (``GET
+/v1/schedulers``), not hardcoded; ``--scheduler portfolio`` races the
+registered methods and returns the policy winner.
 """
 
 from __future__ import annotations
@@ -92,9 +98,13 @@ def submit_main(argv: list[str] | None = None) -> int:
         description="Submit a loop to a running scheduling service.",
     )
     parser.add_argument(
-        "input",
+        "input", nargs="?", default=None,
         help="loop-language source file, serialized DDG (--graph), "
              "or '-' for stdin",
+    )
+    parser.add_argument(
+        "--list-schedulers", action="store_true",
+        help="print the server's scheduler catalog and exit",
     )
     parser.add_argument(
         "--graph", action="store_true",
@@ -114,11 +124,40 @@ def submit_main(argv: list[str] | None = None) -> int:
         "--machine", default=None,
         help="machine name (e.g. perfect-club) or @file.json wire dict",
     )
-    parser.add_argument("--scheduler", default="hrms")
+    parser.add_argument(
+        "--scheduler", default=None,
+        help="scheduler name from the server's catalog (default: the "
+             "server default; 'portfolio' races the registry)",
+    )
     parser.add_argument("--priority", type=int, default=0)
     parser.add_argument(
         "--max-ii", type=int, default=None,
         help="cap the II search (fails the job beyond it)",
+    )
+    from repro.portfolio.policies import policy_names
+
+    parser.add_argument(
+        "--policy", choices=policy_names(), default=None,
+        help="portfolio selection policy",
+    )
+    parser.add_argument(
+        "--members", default=None,
+        help="comma-separated portfolio member names "
+             "(default: every non-exact scheduler)",
+    )
+    parser.add_argument(
+        "--member-budget", type=float, default=None,
+        help="per-member wall-time budget in seconds for portfolio races",
+    )
+    parser.add_argument(
+        "--register-budget", type=int, default=None,
+        help="register budget for the portfolio spill objective "
+             "(MaxLive above it counts as spills)",
+    )
+    parser.add_argument(
+        "--include-exact", action="store_true",
+        help="let the MILP-backed schedulers join the portfolio race "
+             "(small loops only)",
     )
     parser.add_argument(
         "--no-wait", action="store_true",
@@ -127,13 +166,57 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=120.0)
     args = parser.parse_args(argv)
 
+    client = ServiceClient(args.server)
+    if args.list_schedulers:
+        try:
+            for entry in client.schedulers():
+                flags = [
+                    flag
+                    for flag in ("exact", "virtual")
+                    if entry.get(flag)
+                ]
+                suffix = f"  [{', '.join(flags)}]" if flags else ""
+                print(f"{entry['name']}{suffix}")
+            return 0
+        except ReproError as exc:
+            print(f"hrms-submit: {exc}", file=sys.stderr)
+            return 1
+    if args.input is None:
+        parser.error("an input file (or '-') is required when submitting")
+    portfolio_flags = {
+        "--policy": args.policy,
+        "--members": args.members,
+        "--member-budget": args.member_budget,
+        "--register-budget": args.register_budget,
+        "--include-exact": args.include_exact or None,
+    }
+    misused = [flag for flag, value in portfolio_flags.items()
+               if value is not None]
+    if misused and args.scheduler != "portfolio":
+        parser.error(
+            f"{', '.join(misused)} only apply with --scheduler portfolio"
+        )
+
     request: dict = {
         "kind": "schedule",
-        "scheduler": args.scheduler,
         "priority": args.priority,
     }
+    if args.scheduler is not None:
+        request["scheduler"] = args.scheduler
     if args.max_ii is not None:
         request["max_ii"] = args.max_ii
+    if args.policy is not None:
+        request["policy"] = args.policy
+    if args.members is not None:
+        request["members"] = [
+            name.strip() for name in args.members.split(",") if name.strip()
+        ]
+    if args.member_budget is not None:
+        request["member_budget"] = args.member_budget
+    if args.register_budget is not None:
+        request["register_budget"] = args.register_budget
+    if args.include_exact:
+        request["include_exact"] = True
     if args.machine:
         if args.machine.startswith("@"):
             request["machine"] = json.loads(
@@ -153,7 +236,22 @@ def submit_main(argv: list[str] | None = None) -> int:
             if args.profile:
                 request["profile"] = args.profile
 
-        client = ServiceClient(args.server)
+        if args.scheduler is not None:
+            # The server owns the registry; validate against its catalog
+            # instead of a hardcoded name list.  A server too old to
+            # have the endpoint just skips the pre-flight — the job
+            # itself still fails cleanly on an unknown name.
+            try:
+                known = client.scheduler_names()
+            except ReproError:
+                known = None
+            if known is not None and args.scheduler not in known:
+                print(
+                    f"hrms-submit: unknown scheduler {args.scheduler!r}; "
+                    f"server offers: {', '.join(known)}",
+                    file=sys.stderr,
+                )
+                return 1
         job_id = client.submit(request)
         if args.no_wait:
             print(job_id)
@@ -168,9 +266,15 @@ def submit_main(argv: list[str] | None = None) -> int:
             )
             return 1
         result = record["result"]
+        described = result["scheduler"]
+        if result.get("winner"):
+            described = (
+                f"{described} (winner {result['winner']}, "
+                f"policy {result['policy']})"
+            )
         print(
             f"job {job_id}: {result['graph']} scheduled by "
-            f"{result['scheduler']} -> II {result['ii']} "
+            f"{described} -> II {result['ii']} "
             f"(MII {result['mii']}), MaxLive {result['maxlive']}"
             f"{'  [store hit]' if result['cached'] else ''}"
         )

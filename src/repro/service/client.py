@@ -78,6 +78,20 @@ class ServiceClient:
         return self._call("GET", "/metrics")
 
     # ------------------------------------------------------------------
+    def schedulers(self) -> list[dict]:
+        """The server's scheduler catalog (name + exact/virtual flags).
+
+        Clients should discover scheduler names here instead of
+        hardcoding them; the ``hrms-submit`` CLI validates its
+        ``--scheduler`` argument against this list.
+        """
+        return self._call("GET", "/v1/schedulers")["schedulers"]
+
+    def scheduler_names(self) -> list[str]:
+        """Just the names from :meth:`schedulers`."""
+        return [entry["name"] for entry in self.schedulers()]
+
+    # ------------------------------------------------------------------
     def submit(self, request: dict) -> str:
         """Submit one raw job request; returns the job id."""
         return self._call("POST", "/v1/jobs", request)["id"]

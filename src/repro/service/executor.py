@@ -7,7 +7,10 @@ Two job kinds exist today:
   schedule: the II, the normalised start map, MaxLive and the MII
   bookkeeping — everything needed to rebuild a
   :class:`~repro.schedule.schedule.Schedule` without re-running the
-  scheduler.
+  scheduler.  Naming the virtual ``"portfolio"`` scheduler races the
+  registered methods (:mod:`repro.portfolio`) instead: member schedules
+  are cached under their own individual keys, and the portfolio
+  artifact carries the decision record plus the winning schedule.
 * ``"suite"`` — a named workload population scheduled with several
   methods through :func:`repro.experiments.runner.run_study_parallel`
   (which fans out via ``parallel_map`` and shares the store through
@@ -36,6 +39,7 @@ from repro.machine.machine import MachineModel
 from repro.mii.analysis import compute_mii
 from repro.schedule.maxlive import max_live
 from repro.schedule.schedule import Schedule, ScheduleStats
+from repro.schedulers import registry
 from repro.schedulers.registry import make_scheduler
 from repro.service.jobs import Job
 from repro.service.metrics import ServiceMetrics
@@ -159,13 +163,20 @@ class SchedulingExecutor:
             options["max_ii"] = int(request["max_ii"])
         return options
 
-    def _schedule(self, request: dict) -> dict:
-        graph = self._resolve_graph(request)
-        machine = machine_from_config(request.get("machine", DEFAULT_MACHINE))
-        scheduler = str(request.get("scheduler", DEFAULT_SCHEDULER))
-        options = self._options(request)
+    @staticmethod
+    def _schedule_cache_request(
+        graph: DependenceGraph,
+        machine: MachineModel,
+        scheduler: str,
+        options: dict,
+    ) -> dict:
+        """The canonical identity of one schedule request.
 
-        cache_request = {
+        Portfolio member artifacts are keyed through here too, so a
+        member schedule computed during a race is the *same* artifact a
+        later individual request for that scheduler hits.
+        """
+        return {
             "kind": "schedule",
             "schema": REQUEST_SCHEMA,
             "graph": fingerprint_digest(graph),
@@ -173,6 +184,18 @@ class SchedulingExecutor:
             "scheduler": scheduler,
             "options": options,
         }
+
+    def _schedule(self, request: dict) -> dict:
+        graph = self._resolve_graph(request)
+        machine = machine_from_config(request.get("machine", DEFAULT_MACHINE))
+        scheduler = str(request.get("scheduler", DEFAULT_SCHEDULER))
+        options = self._options(request)
+        if scheduler in registry.VIRTUAL_SCHEDULERS:
+            return self._portfolio(request, graph, machine, options)
+
+        cache_request = self._schedule_cache_request(
+            graph, machine, scheduler, options
+        )
         key = self.store.key_for(cache_request)
         envelope = self.store.get(key)
         cached = envelope is not None
@@ -195,6 +218,163 @@ class SchedulingExecutor:
             "ii": payload["ii"],
             "mii": payload["mii"],
             "maxlive": payload["maxlive"],
+        }
+
+    # ------------------------------------------------------------------
+    def _portfolio(
+        self,
+        request: dict,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        options: dict,
+    ) -> dict:
+        """Race the scheduler portfolio for one loop.
+
+        Member schedules are cached under their *own* individual request
+        keys (a later ``scheduler: "hrms"`` request is a store hit, and
+        a member already scheduled individually is not re-raced); the
+        portfolio request itself caches the decision record plus the
+        winning schedule, so a resubmit is a single store read.
+        """
+        from repro.portfolio import (
+            DEFAULT_MEMBER_BUDGET,
+            race_portfolio,
+            resolve_members,
+        )
+
+        try:
+            policy = request.get("policy")
+            include_exact = bool(request.get("include_exact", False))
+            member_budget = float(
+                request.get("member_budget", DEFAULT_MEMBER_BUDGET)
+            )
+            register_budget = (
+                int(request["register_budget"])
+                if request.get("register_budget") is not None
+                else None
+            )
+            members = resolve_members(
+                request.get("members"), include_exact=include_exact
+            )
+        except (TypeError, ValueError) as exc:
+            raise JobError(f"bad portfolio request: {exc}") from exc
+
+        from repro.portfolio.policies import make_policy
+
+        policy_name = make_policy(policy).name
+        # Canonical policy spec for the cache key: a parameterless dict
+        # collapses onto the bare name, so {"name": "lexicographic"} and
+        # "lexicographic" land on the same artifact.
+        if isinstance(policy, dict):
+            params = {k: v for k, v in policy.items() if k != "name"}
+            policy_spec: Any = (
+                {"name": policy_name, **params} if params else policy_name
+            )
+        else:
+            policy_spec = policy_name
+        cache_request = self._schedule_cache_request(
+            graph,
+            machine,
+            "portfolio",
+            {
+                **options,
+                "policy": policy_spec,
+                "members": list(members),
+                "include_exact": include_exact,
+                "member_budget": member_budget,
+                "register_budget": register_budget,
+            },
+        )
+        key = self.store.key_for(cache_request)
+        envelope = self.store.get(key)
+        cached = envelope is not None
+        if envelope is None:
+            # Exact members race under the member budget as their MILP
+            # time limit; that option is part of their request identity,
+            # so a budget-limited result never masquerades as the
+            # artifact an unlimited direct request would compute.
+            member_requests = {
+                name: self._schedule_cache_request(
+                    graph,
+                    machine,
+                    name,
+                    {**options, "time_limit": member_budget}
+                    if name in registry.EXACT_SCHEDULERS
+                    else options,
+                )
+                for name in members
+            }
+            precomputed: dict[str, Schedule] = {}
+            for name, member_request in member_requests.items():
+                member_envelope = self.store.get(
+                    self.store.key_for(member_request)
+                )
+                if member_envelope is not None:
+                    precomputed[name] = schedule_from_payload(
+                        member_envelope["payload"], graph, machine
+                    )
+            result = race_portfolio(
+                graph,
+                machine,
+                members=members,
+                policy=policy,
+                member_budget=member_budget,
+                include_exact=include_exact,
+                register_budget=register_budget,
+                precomputed=precomputed,
+                **options,
+            )
+            member_artifacts: dict[str, str] = {}
+            for outcome in result.outcomes:
+                # Only verified-usable schedules are cached; an
+                # "invalid" member (failed verification) must not become
+                # a servable individual artifact.
+                if outcome.schedule is None or outcome.status != "ok":
+                    continue
+                member_key = self.store.key_for(member_requests[outcome.name])
+                member_artifacts[outcome.name] = member_key
+                if outcome.source == "raced":
+                    self.store.put(
+                        member_key,
+                        "schedule",
+                        member_requests[outcome.name],
+                        schedule_payload(
+                            outcome.schedule, maxlive=outcome.score.maxlive
+                        ),
+                    )
+                    self.metrics.inc("schedules_computed")
+            decision = result.decision_record()
+            for member in decision["members"]:
+                member["artifact"] = member_artifacts.get(member["name"])
+            payload = {
+                **decision,
+                "schedule": schedule_payload(
+                    result.schedule, maxlive=result.winner_score.maxlive
+                ),
+            }
+            envelope = self.store.put(key, "portfolio", cache_request, payload)
+            self.metrics.inc("portfolios_computed")
+        payload = envelope["payload"]
+        schedule_part = payload["schedule"]
+        return {
+            "kind": "schedule",
+            "artifact": key,
+            "cached": cached,
+            "graph": schedule_part["graph"]["name"],
+            "scheduler": "portfolio",
+            "winner": payload["winner"],
+            "policy": payload["policy"],
+            "members": [
+                {
+                    "name": member["name"],
+                    "status": member["status"],
+                    "source": member["source"],
+                }
+                for member in payload["members"]
+            ],
+            "ii": schedule_part["ii"],
+            "mii": schedule_part["mii"],
+            "maxlive": schedule_part["maxlive"],
         }
 
     # ------------------------------------------------------------------
@@ -227,7 +407,10 @@ class SchedulingExecutor:
         if n_loops is not None:
             loops = loops[: int(n_loops)]
         schedulers = tuple(
-            str(s) for s in request.get("schedulers", ("hrms", "topdown"))
+            str(s)
+            for s in request.get(
+                "schedulers", registry.DEFAULT_BATCH_SCHEDULERS
+            )
         )
         machine = (
             machine_from_config(request["machine"])

@@ -206,8 +206,10 @@ class WorkerPool:
                 self._fail(job, exc)
         else:
             job.result = result
-            job.status = JobStatus.DONE
             job.finished_at = time.time()
+            # Status flips last: pollers return on a settled status, so
+            # result/finished_at must already be visible by then.
+            job.status = JobStatus.DONE
             if self._on_finish is not None:
                 self._on_finish(job)
 
@@ -217,7 +219,9 @@ class WorkerPool:
             "message": str(exc),
             "attempts": job.attempts,
         }
-        job.status = JobStatus.FAILED
         job.finished_at = time.time()
+        # Status flips last (see run_job): a "failed" observer must
+        # already see the captured error and timestamp.
+        job.status = JobStatus.FAILED
         if self._on_finish is not None:
             self._on_finish(job)

@@ -87,6 +87,17 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "hrms" in out
 
+    def test_portfolio_artefact(self, capsys):
+        assert main(["portfolio", "--loops", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio sweep" in out
+        assert "pareto front:" in out
+
+    def test_portfolio_artefact_honours_policy(self, capsys):
+        assert main(["portfolio", "--loops", "1", "--policy", "min_regs"]) == 0
+        out = capsys.readouterr().out
+        assert "policy min_regs" in out
+
     def test_rejects_unknown_artefact(self):
         with pytest.raises(SystemExit):
             main(["not-a-thing"])

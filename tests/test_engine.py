@@ -69,6 +69,40 @@ class TestMinDistSolverCache:
         info = solver.cache_info()
         assert info["misses"] == 1 and info["hits"] == 1
 
+    def test_concurrent_same_graph_solves_are_safe(self):
+        """The portfolio racer solves one graph from many threads; the
+        cache bookkeeping (LRU moves, eviction, byte budget) must stay
+        consistent under that concurrency."""
+        import threading
+
+        graph = random_ddg(random.Random(3), 60, name="stress")
+        # A budget small enough that eviction runs constantly.
+        solver = MinDistSolver(cache_bytes=200_000)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(150):
+                    solver.solve(graph, rng.randint(60, 90))
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        factors = solver._graphs[graph]
+        actual = sum(
+            0 if entry is None else entry[0].nbytes
+            for entry in factors.cache.values()
+        )
+        assert factors.cached_bytes == actual
+
     def test_mutation_invalidates_cache(self):
         solver = MinDistSolver()
         b = GraphBuilder("mut")

@@ -87,6 +87,24 @@ class TestCompileCli:
         assert code == 0
         assert "7 iterations" in out
 
+    def test_policy_requires_portfolio_scheduler(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--kernel", "daxpy", "--policy", "min_regs"])
+        err = capsys.readouterr().err
+        assert "only applies with --scheduler portfolio" in err
+
+    def test_portfolio_scheduler_prints_scoreboard(self, capsys):
+        code, out, _ = _run(
+            capsys,
+            "--kernel", "daxpy",
+            "--scheduler", "portfolio",
+            "--policy", "min_regs",
+        )
+        assert code == 0
+        assert "portfolio II" in out
+        assert "portfolio winner = " in out
+        assert "(policy min_regs)" in out
+
     def test_kernel_and_path_mutually_exclusive(self, capsys):
         with pytest.raises(SystemExit):
             main(["--kernel", "daxpy", "somefile"])

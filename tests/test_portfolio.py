@@ -1,0 +1,409 @@
+"""Tests for the scheduler portfolio racing subsystem."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, SchedulingError
+from repro.machine.configs import (
+    canonical_machines,
+    govindarajan_machine,
+    perfect_club_machine,
+)
+from repro.mii.analysis import compute_mii
+from repro.portfolio import (
+    MemberStatus,
+    PortfolioScheduler,
+    ScheduleScore,
+    default_members,
+    make_policy,
+    pareto_front,
+    policy_names,
+    race_portfolio,
+    render_sweep,
+    resolve_members,
+    score_schedule,
+    sweep_portfolio,
+)
+from repro.schedule.maxlive import max_live
+from repro.schedule.verify import verify_schedule
+from repro.schedulers.registry import (
+    EXACT_SCHEDULERS,
+    VIRTUAL_SCHEDULERS,
+    available_schedulers,
+    make_scheduler,
+)
+from repro.sim.simulator import simulate
+from repro.workloads.govindarajan import govindarajan_suite
+from repro.workloads.synthetic import random_ddg
+
+
+class TestScore:
+    def test_score_matches_schedule_metrics(self, gov_machine):
+        loop = govindarajan_suite()[0]
+        schedule = make_scheduler("hrms").schedule(loop.graph, gov_machine)
+        score = score_schedule(schedule)
+        assert score.ii == schedule.ii
+        assert score.maxlive == max_live(schedule)
+        assert score.length == schedule.length
+        assert score.spills == 0
+
+    def test_register_budget_counts_spills(self, gov_machine):
+        loop = govindarajan_suite()[0]
+        schedule = make_scheduler("hrms").schedule(loop.graph, gov_machine)
+        pressure = max_live(schedule)
+        assert score_schedule(schedule, pressure).spills == 0
+        assert score_schedule(schedule, pressure - 2).spills == 2
+
+    def test_seconds_excluded_from_equality(self):
+        a = ScheduleScore(ii=3, maxlive=5, length=9, spills=0, seconds=0.1)
+        b = ScheduleScore(ii=3, maxlive=5, length=9, spills=0, seconds=9.9)
+        assert a == b
+
+    def test_round_trips_through_dict(self):
+        score = ScheduleScore(ii=3, maxlive=5, length=9, spills=1, seconds=0.2)
+        assert ScheduleScore.from_dict(score.as_dict()) == score
+
+
+class TestPolicies:
+    LOW_II = ScheduleScore(ii=2, maxlive=9, length=10)
+    LOW_REGS = ScheduleScore(ii=4, maxlive=3, length=10)
+
+    def test_min_ii_prefers_low_ii(self):
+        policy = make_policy("min_ii")
+        assert policy.key(self.LOW_II) < policy.key(self.LOW_REGS)
+
+    def test_min_regs_prefers_low_pressure(self):
+        policy = make_policy("min_regs")
+        assert policy.key(self.LOW_REGS) < policy.key(self.LOW_II)
+
+    def test_lexicographic_orders_ii_first(self):
+        policy = make_policy("lexicographic")
+        assert policy.key(self.LOW_II) < policy.key(self.LOW_REGS)
+        a = ScheduleScore(ii=3, maxlive=4, length=9)
+        b = ScheduleScore(ii=3, maxlive=5, length=7)
+        assert policy.key(a) < policy.key(b)
+
+    def test_weighted_default_and_custom(self):
+        default = make_policy("weighted")
+        assert default.key(self.LOW_II) < default.key(self.LOW_REGS)
+        reg_heavy = make_policy({"name": "weighted", "maxlive": 10.0})
+        assert reg_heavy.key(self.LOW_REGS) < reg_heavy.key(self.LOW_II)
+
+    def test_wire_dict_and_policy_passthrough(self):
+        policy = make_policy({"name": "min_regs"})
+        assert policy.name == "min_regs"
+        assert make_policy(policy) is policy
+        assert make_policy(None).name == "lexicographic"
+
+    def test_unknown_policy_and_params_raise(self):
+        with pytest.raises(ReproError, match="unknown portfolio policy"):
+            make_policy("fastest")
+        with pytest.raises(ReproError, match="no weight"):
+            make_policy({"name": "weighted", "karma": 2.0})
+        with pytest.raises(ReproError, match="parameters"):
+            make_policy("min_ii", karma=2.0)
+
+    def test_names_listed(self):
+        assert set(policy_names()) == {
+            "lexicographic", "min_ii", "min_regs", "weighted",
+        }
+
+
+class TestMembers:
+    def test_default_excludes_exact_and_virtual(self):
+        members = default_members()
+        assert set(members).isdisjoint(EXACT_SCHEDULERS)
+        assert set(members).isdisjoint(VIRTUAL_SCHEDULERS)
+        assert "hrms" in members
+
+    def test_include_exact_adds_milp_members(self):
+        members = default_members(include_exact=True)
+        assert set(EXACT_SCHEDULERS) <= set(members)
+
+    def test_resolve_validates_and_dedupes(self):
+        assert resolve_members(["hrms", "sms", "hrms"]) == ("hrms", "sms")
+        with pytest.raises(SchedulingError, match="unknown portfolio member"):
+            resolve_members(["hrms", "quantum"])
+        with pytest.raises(SchedulingError, match="race itself"):
+            resolve_members(["portfolio"])
+        with pytest.raises(SchedulingError, match="at least one"):
+            resolve_members([])
+
+
+class TestRacer:
+    def test_winner_is_best_under_policy(self, gov_machine):
+        loop = govindarajan_suite()[0]
+        result = race_portfolio(loop.graph, gov_machine)
+        policy = make_policy(result.policy)
+        winner_key = policy.key(result.winner_score)
+        completed = [o for o in result.outcomes if o.status == MemberStatus.OK]
+        assert completed, "no member finished"
+        for outcome in completed:
+            assert winner_key <= policy.key(outcome.score), outcome.name
+        verify_schedule(result.schedule)
+
+    def test_scoreboard_covers_every_member(self, gov_machine):
+        loop = govindarajan_suite()[1]
+        members = ("hrms", "topdown", "slack")
+        result = race_portfolio(loop.graph, gov_machine, members=members)
+        assert tuple(o.name for o in result.outcomes) == members
+        record = result.decision_record()
+        assert record["winner"] == result.winner
+        assert [m["name"] for m in record["members"]] == list(members)
+
+    def test_tie_breaks_by_member_order(self, gov_machine):
+        loop = govindarajan_suite()[0]
+        canned = make_scheduler("hrms").schedule(loop.graph, gov_machine)
+
+        class Canned:
+            def schedule(self, *args, **kwargs):
+                return canned
+
+        make = lambda name, **kw: Canned()  # noqa: E731 - tiny test stub
+        first = race_portfolio(
+            loop.graph, gov_machine, members=("topdown", "hrms"), make=make
+        )
+        assert first.winner == "topdown"
+        flipped = race_portfolio(
+            loop.graph, gov_machine, members=("hrms", "topdown"), make=make
+        )
+        assert flipped.winner == "hrms"
+
+    def test_budget_expiry_times_out_slow_member(self, gov_machine):
+        loop = govindarajan_suite()[0]
+
+        def slow_make(name, **kwargs):
+            real = make_scheduler(name, **kwargs)
+            if name != "topdown":
+                return real
+
+            class Slow:
+                def schedule(self, *args, **inner):
+                    time.sleep(1.0)
+                    return real.schedule(*args, **inner)
+
+            return Slow()
+
+        result = race_portfolio(
+            loop.graph,
+            gov_machine,
+            members=("hrms", "topdown"),
+            member_budget=0.2,
+            make=slow_make,
+        )
+        assert result.winner == "hrms"
+        timed_out = result.outcome("topdown")
+        assert timed_out.status == MemberStatus.TIMEOUT
+        assert "budget" in timed_out.error
+
+    def test_all_members_failing_raises(self, gov_machine):
+        loop = govindarajan_suite()[0]
+
+        class Broken:
+            def schedule(self, *args, **kwargs):
+                raise SchedulingError("boom")
+
+        with pytest.raises(SchedulingError, match="no valid schedule"):
+            race_portfolio(
+                loop.graph,
+                gov_machine,
+                members=("hrms", "topdown"),
+                make=lambda name, **kw: Broken(),
+            )
+
+    def test_failed_member_recorded_but_race_survives(self, gov_machine):
+        loop = govindarajan_suite()[0]
+
+        def flaky_make(name, **kwargs):
+            if name == "slack":
+                class Broken:
+                    def schedule(self, *args, **inner):
+                        raise SchedulingError("boom")
+
+                return Broken()
+            return make_scheduler(name, **kwargs)
+
+        result = race_portfolio(
+            loop.graph,
+            gov_machine,
+            members=("hrms", "slack"),
+            make=flaky_make,
+        )
+        assert result.winner == "hrms"
+        failed = result.outcome("slack")
+        assert failed.status == MemberStatus.FAILED
+        assert "boom" in failed.error
+
+    def test_exact_members_skipped_on_large_loops(self):
+        machine = perfect_club_machine()
+        graph = random_ddg(random.Random(7), 40, name="large40")
+        result = race_portfolio(
+            graph,
+            machine,
+            members=("hrms", "spilp"),
+            include_exact=True,
+        )
+        skipped = result.outcome("spilp")
+        assert skipped.status == MemberStatus.SKIPPED
+        assert "exact scheduler" in skipped.error
+        assert result.winner == "hrms"
+
+    def test_invalid_member_demoted_even_when_it_would_win(
+        self, gov_machine
+    ):
+        from repro.schedule.schedule import Schedule
+
+        loop = govindarajan_suite()[0]
+
+        def bogus_make(name, **kwargs):
+            if name != "topdown":
+                return make_scheduler(name, **kwargs)
+
+            class Bogus:
+                def schedule(self, graph, machine, analysis=None):
+                    # II=1 with everything at cycle 0 looks unbeatable
+                    # but violates every dependence and resource.
+                    return Schedule(
+                        graph, machine, 1,
+                        {op: 0 for op in graph.node_names()},
+                    )
+
+            return Bogus()
+
+        result = race_portfolio(
+            loop.graph,
+            gov_machine,
+            members=("hrms", "topdown"),
+            make=bogus_make,
+        )
+        assert result.winner == "hrms"
+        demoted = result.outcome("topdown")
+        assert demoted.status == MemberStatus.INVALID
+        assert demoted.error
+
+    def test_precomputed_members_are_not_raced(self, gov_machine):
+        loop = govindarajan_suite()[0]
+        known = make_scheduler("hrms").schedule(loop.graph, gov_machine)
+
+        def exploding_make(name, **kwargs):
+            assert name != "hrms", "precomputed member was re-raced"
+            return make_scheduler(name, **kwargs)
+
+        result = race_portfolio(
+            loop.graph,
+            gov_machine,
+            members=("hrms", "topdown"),
+            precomputed={"hrms": known},
+            make=exploding_make,
+        )
+        assert result.outcome("hrms").source == "store"
+        assert result.outcome("topdown").source == "raced"
+
+
+class TestPortfolioScheduler:
+    def test_registry_constructs_portfolio(self, gov_machine):
+        scheduler = make_scheduler("portfolio", policy="min_regs")
+        assert isinstance(scheduler, PortfolioScheduler)
+        loop = govindarajan_suite()[0]
+        schedule = scheduler.schedule(loop.graph, gov_machine)
+        verify_schedule(schedule)
+        assert scheduler.last_result is not None
+        assert scheduler.last_result.policy == "min_regs"
+        assert schedule is scheduler.last_result.schedule
+
+    def test_portfolio_listed_in_registry(self):
+        assert "portfolio" in available_schedulers()
+        assert "portfolio" in VIRTUAL_SCHEDULERS
+
+
+class TestWinnerNeverWorseThanHRMS:
+    """The portfolio's core guarantee: with HRMS in the line-up, the
+    winner is at least as good as HRMS-alone on the policy objective."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_ops=st.integers(min_value=4, max_value=14),
+        policy=st.sampled_from(policy_names()),
+    )
+    def test_property(self, seed, n_ops, policy):
+        graph = random_ddg(random.Random(seed), n_ops, name=f"prop{seed}")
+        machine = perfect_club_machine()
+        result = race_portfolio(
+            graph,
+            machine,
+            members=("hrms", "topdown", "bottomup", "slack"),
+            policy=policy,
+        )
+        hrms = result.outcome("hrms")
+        assert hrms.status == MemberStatus.OK
+        selected = make_policy(policy)
+        assert selected.key(result.winner_score) <= selected.key(hrms.score)
+
+
+class TestSimulatorSmoke:
+    """Satellite: the winner's *executed* II matches the scored II."""
+
+    def test_executed_ii_and_pressure_match_score(self, gov_machine):
+        loop = govindarajan_suite()[2]
+        result = race_portfolio(loop.graph, gov_machine)
+        schedule = result.schedule
+        score = result.winner_score
+        base = 3 * schedule.stage_count
+        one_more = simulate(schedule, iterations=base + 1)
+        report = simulate(schedule, iterations=base)
+        # One extra overlapped iteration costs exactly the scored II.
+        assert one_more.total_cycles - report.total_cycles == score.ii
+        # Steady-state pressure equals the scored MaxLive.
+        assert report.peak_live_steady == score.maxlive
+
+
+class TestSweep:
+    def test_pareto_front_drops_dominated_points(self):
+        points = [(2, 8), (3, 6), (4, 5), (4, 9), (2, 8)]
+        front = pareto_front(points, key=lambda p: p)
+        assert (4, 9) not in front
+        assert front.count((2, 8)) == 2  # equal points both survive
+        assert (3, 6) in front and (4, 5) in front
+
+    def test_sweep_covers_canonical_machines(self):
+        loop = govindarajan_suite()[0]
+        sweep = sweep_portfolio(loop.graph)
+        assert [e.machine for e in sweep.entries] == list(canonical_machines())
+        assert all(entry.ok for entry in sweep.entries)
+        assert sweep.front(), "no entry on the pareto front"
+        text = render_sweep(sweep)
+        for entry in sweep.entries:
+            assert entry.machine in text
+
+    def test_sweep_records_infeasible_machines(self):
+        from repro.graph.builder import GraphBuilder
+
+        # A square-root loop cannot run on the Section-4.1 machine (it
+        # has no fsqrt class) — the sweep must keep the failure visible.
+        graph = (
+            GraphBuilder()
+            .load("x")
+            .sqrt("r", deps=["x", ("r", 1)])
+            .store("s", deps=["r"])
+            .build()
+        )
+        sweep = sweep_portfolio(
+            graph, machines=("govindarajan", "perfect-club")
+        )
+        by_name = {entry.machine: entry for entry in sweep.entries}
+        assert not by_name["govindarajan"].ok
+        assert by_name["govindarajan"].error
+        assert by_name["perfect-club"].ok
+        assert "infeasible" in render_sweep(sweep)
+
+    def test_sweep_rejects_unknown_machine_names(self):
+        loop = govindarajan_suite()[0]
+        with pytest.raises(ReproError, match="unknown machine"):
+            sweep_portfolio(loop.graph, machines=("warp-drive",))
