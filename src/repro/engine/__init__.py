@@ -29,6 +29,7 @@ from repro.engine.mindist import (
     fingerprint_digest,
     graph_fingerprint,
     mindist_matrix,
+    warm_start,
 )
 from repro.engine.windows import StartBounds
 
@@ -41,4 +42,5 @@ __all__ = [
     "fingerprint_digest",
     "graph_fingerprint",
     "mindist_matrix",
+    "warm_start",
 ]

@@ -285,6 +285,34 @@ class MinDistSolver:
         return dist, factors.names
 
 
+def warm_start() -> None:
+    """Exercise the engine's hot code paths once, in this process.
+
+    Process-pool backends (:mod:`repro.service.procpool`,
+    :mod:`repro.experiments.procmap`) call this from their worker
+    initializers so the first *real* request does not pay the one-time
+    costs: importing the scheduler stack, materialising the lazy
+    registry, and the first NumPy ufunc dispatch of the Floyd–Warshall
+    sweep.  The probe graph is local to this function, so its weakly
+    referenced cache entry evaporates as soon as the warm-up returns —
+    the shared solver stays empty of persistent state.
+    """
+    from repro.graph.builder import GraphBuilder
+    from repro.schedulers.registry import _factories
+
+    _factories()  # import every scheduler (incl. the lazy HRMS/portfolio)
+    graph = (
+        GraphBuilder("engine-warmup")
+        .op("a")
+        .op("b", deps=("a",))
+        .edge("b", "a", distance=1)
+        .build()
+    )
+    solver = MinDistSolver()
+    solver.solve(graph, 1)
+    solver.cyclic_asap(graph, 2)
+
+
 #: Process-wide solver every scheduler shares by default.
 _DEFAULT_SOLVER = MinDistSolver()
 

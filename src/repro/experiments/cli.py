@@ -6,7 +6,7 @@ Regenerates any table or figure of the paper::
     hrms-experiments table1 [--spilp-time-limit 30]
     hrms-experiments table2
     hrms-experiments table3
-    hrms-experiments stats  [--loops 1258] [--jobs 8]
+    hrms-experiments stats  [--loops 1258] [--jobs 8] [--backend process]
     hrms-experiments fig11  [--loops 1258] [--jobs 8]
     hrms-experiments fig12 | fig13 | fig14
     hrms-experiments ablations
@@ -84,9 +84,16 @@ def main(argv: list[str] | None = None) -> int:
         help="small population + tight solver limits",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the Perfect-Club study "
-             "(default: 1 = serial; 0 = all cores)",
+        "--jobs", type=int, default=None,
+        help="workers for the Perfect-Club study (default: 1 = serial, "
+             "or all cores when a parallel --backend is named; "
+             "0 = all cores)",
+    )
+    parser.add_argument(
+        "--backend", choices=("process", "thread", "serial"), default=None,
+        help="executor for the Perfect-Club study fan-out (default: "
+             "process when --jobs > 1, serial otherwise); 'process' "
+             "runs GIL-free with warm-started workers",
     )
     parser.add_argument(
         "--store", default=None, metavar="DIR",
@@ -124,6 +131,13 @@ def main(argv: list[str] | None = None) -> int:
         nonlocal study
         if study is None:
             loops = perfect_club_suite(n_loops=args.loops)
+            # An explicit parallel backend with no --jobs means "use the
+            # cores" — not the serial default, which would silently
+            # short-circuit the pool the user just asked for.
+            jobs = args.jobs
+            if jobs is None:
+                jobs = 0 if args.backend in ("process", "thread") else 1
+            mode = args.backend or ("serial" if jobs == 1 else "process")
             if args.store is not None:
                 # The persistent store makes warm re-runs pure reads, so
                 # route through the cache-aware runner even single-worker.
@@ -132,18 +146,19 @@ def main(argv: list[str] | None = None) -> int:
 
                 study = run_study_parallel(
                     loops=loops,
-                    max_workers=args.jobs if args.jobs > 0 else None,
-                    mode="serial" if args.jobs == 1 else "process",
+                    max_workers=jobs if jobs > 0 else None,
+                    mode=mode,
                     cache=persistent_study_cache(args.store),
                 )
-            elif args.jobs == 1:
+            elif jobs == 1 and args.backend is None:
                 study = stats_mod.run_study(loops=loops)
             else:
                 from repro.experiments.runner import run_study_parallel
 
                 study = run_study_parallel(
                     loops=loops,
-                    max_workers=args.jobs if args.jobs > 0 else None,
+                    max_workers=jobs if jobs > 0 else None,
+                    mode=mode,
                 )
         return study
 

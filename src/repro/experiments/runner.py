@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import os
 from collections.abc import MutableMapping
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
 
 from repro.engine.mindist import graph_fingerprint
 from repro.experiments.stats import PerfectStudy, StudyRecord, StudyRow, _row_of
@@ -65,27 +65,24 @@ def parallel_map(
 ) -> list[Any]:
     """Map *fn* over *items*, preserving order.
 
-    ``mode`` picks the executor: ``"process"`` (CPU-bound work),
-    ``"thread"`` (cheap to spawn; fine for NumPy-heavy work that
-    releases the GIL), or ``"serial"`` (no executor at all).  A single
-    item, a single worker, or ``mode="serial"`` short-circuits to a
-    plain loop.
+    ``mode`` picks the executor: ``"process"`` (CPU-bound work, runs
+    GIL-free through :func:`repro.experiments.procmap.process_map`
+    with warm-started workers), ``"thread"`` (cheap to spawn; fine for
+    NumPy-heavy work that releases the GIL), or ``"serial"`` (no
+    executor at all).  A single item, a single worker, or
+    ``mode="serial"`` short-circuits to a plain loop.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     workers = max_workers if max_workers is not None else _default_workers()
     if mode == "serial" or workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    executor_class: type[Executor] = (
-        ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
-    )
-    chunksize = max(1, len(items) // (workers * 4))
-    with executor_class(max_workers=min(workers, len(items))) as pool:
-        if executor_class is ProcessPoolExecutor:
-            results = pool.map(fn, items, chunksize=chunksize)
-        else:
-            results = pool.map(fn, items)
-        return list(results)
+    if mode == "process":
+        from repro.experiments.procmap import process_map
+
+        return process_map(fn, items, max_workers=workers)
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 def _study_worker(

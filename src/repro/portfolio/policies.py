@@ -45,6 +45,7 @@ class Policy:
     key: Callable[[ScheduleScore], tuple] = field(compare=False)
 
     def describe(self) -> str:
+        """Human-readable policy identity (currently just the name)."""
         return self.name
 
 

@@ -109,6 +109,7 @@ class PortfolioResult:
     outcomes: list[MemberOutcome] = field(default_factory=list)
 
     def outcome(self, name: str) -> MemberOutcome:
+        """The outcome of member *name* (:class:`KeyError` if absent)."""
         for outcome in self.outcomes:
             if outcome.name == name:
                 return outcome

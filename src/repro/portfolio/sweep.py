@@ -60,6 +60,7 @@ class SweepEntry:
         return self.result is not None
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe view of this sweep entry (decision record included)."""
         record: dict[str, Any] = {
             "machine": self.machine,
             "on_front": self.on_front,

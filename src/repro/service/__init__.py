@@ -11,6 +11,11 @@ times:
   cache (``hrms-experiments --store DIR``).
 * :mod:`~repro.service.jobs` — the job model, a priority FIFO queue and
   a thread worker pool with retry + failure capture.
+* :mod:`~repro.service.procpool` — the multi-process execution backend
+  (:class:`~repro.service.procpool.ProcessWorkerPool`, selected via
+  :class:`~repro.service.procpool.ExecutorConfig` or ``hrms-serve
+  --backend process``): GIL-free scheduling with per-process warm
+  caches over the shared store.
 * :mod:`~repro.service.executor` — job execution: resolve a graph
   (serialized DDG or loop source), a machine (name or wire dict) and a
   scheduler, consult the store, schedule on miss.
@@ -28,13 +33,16 @@ from repro.service.client import ServiceClient
 from repro.service.executor import SchedulingExecutor
 from repro.service.jobs import Job, JobQueue, JobStatus, WorkerPool
 from repro.service.metrics import ServiceMetrics
+from repro.service.procpool import ExecutorConfig, ProcessWorkerPool
 from repro.service.store import ArtifactStore, persistent_study_cache
 
 __all__ = [
     "ArtifactStore",
+    "ExecutorConfig",
     "Job",
     "JobQueue",
     "JobStatus",
+    "ProcessWorkerPool",
     "SchedulingExecutor",
     "SchedulingService",
     "ServiceClient",

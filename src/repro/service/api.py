@@ -36,8 +36,9 @@ from repro.service.executor import (
     DEFAULT_SCHEDULER,
     SchedulingExecutor,
 )
-from repro.service.jobs import Job, JobQueue, JobStatus, WorkerPool
+from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.metrics import ServiceMetrics
+from repro.service.procpool import ExecutorConfig, make_worker_pool
 from repro.service.store import ArtifactStore
 
 #: Job kinds the API accepts.
@@ -66,14 +67,21 @@ class SchedulingService:
         workers: int | None = None,
         max_attempts: int = 2,
         finished_jobs_kept: int | None = None,
+        backend: str = "thread",
+        config: ExecutorConfig | None = None,
     ) -> None:
         self.store = (
             store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         )
+        # An explicit ExecutorConfig wins; the loose kwargs exist for
+        # callers (and older code) that only care about one knob.
+        self.config = config or ExecutorConfig(
+            backend=backend, workers=workers, max_attempts=max_attempts
+        )
         self.metrics = ServiceMetrics()
         self.executor = SchedulingExecutor(self.store, self.metrics)
         self.queue = JobQueue()
-        self.max_attempts = max_attempts
+        self.max_attempts = self.config.max_attempts
         self.finished_jobs_kept = (
             finished_jobs_kept
             if finished_jobs_kept is not None
@@ -82,19 +90,23 @@ class SchedulingService:
         self._jobs: dict[str, Job] = {}
         self._finished_order: deque[str] = deque()
         self._jobs_lock = threading.Lock()
-        self.pool = WorkerPool(
+        self.pool = make_worker_pool(
             self.queue,
-            self.executor.execute,
-            workers=workers,
+            config=self.config,
+            execute=self.executor.execute,
+            store_root=self.store.root,
+            metrics=self.metrics,
             on_finish=self._finished,
         )
 
     # ------------------------------------------------------------------
     def start(self) -> "SchedulingService":
+        """Start the worker pool; returns ``self`` for chaining."""
         self.pool.start()
         return self
 
     def stop(self, wait: bool = True) -> None:
+        """Close the queue and (optionally) wait for the workers."""
         self.pool.stop(wait=wait)
 
     # ------------------------------------------------------------------
@@ -156,10 +168,12 @@ class SchedulingService:
 
     # ------------------------------------------------------------------
     def job(self, job_id: str) -> Job | None:
+        """The job record for *job_id*, or ``None`` if unknown/evicted."""
         with self._jobs_lock:
             return self._jobs.get(job_id)
 
     def jobs(self, status: str | None = None) -> list[Job]:
+        """Every known job record, optionally filtered by status."""
         with self._jobs_lock:
             everything = list(self._jobs.values())
         if status is None:
@@ -167,6 +181,7 @@ class SchedulingService:
         return [job for job in everything if job.status == status]
 
     def artifact(self, key: str) -> dict | None:
+        """The stored envelope for *key* (a store read)."""
         return self.store.get(key)
 
     # ------------------------------------------------------------------
@@ -189,6 +204,7 @@ class SchedulingService:
                 self._jobs.pop(evicted, None)
 
     def metrics_text(self) -> str:
+        """The Prometheus exposition text ``GET /metrics`` serves."""
         stats = self.store.stats()
         return self.metrics.render_prometheus(
             gauges={
@@ -249,7 +265,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         try:
             if url.path == "/healthz":
-                self._json(200, {"ok": True})
+                self._json(
+                    200,
+                    {"ok": True, "backend": self.service.config.backend},
+                )
             elif url.path == "/metrics":
                 self._reply(
                     200,
@@ -380,9 +399,15 @@ class ServiceServer:
         port: int = 0,
         workers: int | None = None,
         max_attempts: int = 2,
+        backend: str = "thread",
+        config: ExecutorConfig | None = None,
     ) -> None:
         self.service = SchedulingService(
-            store, workers=workers, max_attempts=max_attempts
+            store,
+            workers=workers,
+            max_attempts=max_attempts,
+            backend=backend,
+            config=config,
         )
         self._host = host
         self._port = port
@@ -398,6 +423,7 @@ class ServiceServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "ServiceServer":
+        """Start the service and the HTTP serving thread (idempotent)."""
         if self._server is not None:
             return self
         self.service.start()
@@ -411,6 +437,7 @@ class ServiceServer:
         return self
 
     def stop(self) -> None:
+        """Shut down the HTTP server, then the service workers."""
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()

@@ -3,6 +3,7 @@
 ``hrms-serve`` runs the scheduling service in the foreground::
 
     hrms-serve --store .hrms-store --port 8157 --workers 4
+    hrms-serve --backend process --workers 4   # GIL-free scheduling
 
 ``hrms-submit`` sends work to a running server and (by default) waits
 for the result::
@@ -50,7 +51,15 @@ def serve_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=0,
-        help="worker threads (default: 0 = auto)",
+        help="workers (default: 0 = auto)",
+    )
+    from repro.service.procpool import BACKENDS, ExecutorConfig
+
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="execution backend: 'thread' shares one interpreter (best "
+             "for warm stores), 'process' runs workers in separate "
+             "processes for GIL-free scheduling (default: %(default)s)",
     )
     parser.add_argument(
         "--max-attempts", type=int, default=2,
@@ -63,12 +72,18 @@ def serve_main(argv: list[str] | None = None) -> int:
         args.store,
         host=args.host,
         port=args.port,
-        workers=args.workers or None,
-        max_attempts=args.max_attempts,
+        config=ExecutorConfig(
+            backend=args.backend,
+            workers=args.workers or None,
+            max_attempts=args.max_attempts,
+        ),
     )
     server.start()
     store_stats = server.service.store.stats
-    print(f"hrms-serve: listening on {server.url}")
+    print(
+        f"hrms-serve: listening on {server.url} "
+        f"({args.backend} backend)"
+    )
     print(f"hrms-serve: artifact store at {Path(args.store).resolve()}")
     try:
         import threading

@@ -10,6 +10,7 @@ blocking until a job settles (:meth:`wait` / :meth:`result`).
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -35,7 +36,24 @@ class ServiceClient:
         self.timeout = timeout
 
     # ------------------------------------------------------------------
-    def _call(self, method: str, path: str, body: dict | None = None):
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        expect: str = "json",
+    ):
+        """One HTTP round-trip; every failure surfaces as a clear
+        :class:`~repro.errors.ServiceError`.
+
+        ``expect="json"`` (everything but ``/metrics``) parses and
+        returns the JSON body; a non-JSON content type or an
+        unparseable body — a proxy error page, a wrong port, a
+        truncated response — raises instead of leaking a raw
+        ``TypeError``/``JSONDecodeError`` traceback to the caller.
+        ``expect="text"`` returns the decoded body as-is.
+        """
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -59,11 +77,32 @@ class ServiceClient:
             ) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
+                f"cannot reach service at {self.base_url}: {exc.reason} "
+                "(is hrms-serve running there?)"
             ) from exc
-        if kind.startswith("application/json"):
+        except (http.client.HTTPException, OSError) as exc:
+            # Truncated bodies (IncompleteRead), protocol violations,
+            # timeouts mid-read, connection resets, …
+            raise ServiceError(
+                f"{method} {path} to {self.base_url} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        if expect == "text":
+            return raw.decode("utf-8", "replace")
+        if not kind.startswith("application/json"):
+            raise ServiceError(
+                f"{method} {path} returned a non-JSON response "
+                f"(Content-Type {kind or 'missing'!r}) — is "
+                f"{self.base_url} really an hrms scheduling service?"
+            )
+        try:
             return json.loads(raw)
-        return raw.decode("utf-8")
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{method} {path} returned an unparseable JSON body "
+                f"({exc}) — is {self.base_url} really an hrms "
+                "scheduling service?"
+            ) from exc
 
     # ------------------------------------------------------------------
     def health(self) -> bool:
@@ -75,7 +114,7 @@ class ServiceClient:
 
     def metrics(self) -> str:
         """The raw Prometheus text from ``/metrics``."""
-        return self._call("GET", "/metrics")
+        return self._call("GET", "/metrics", expect="text")
 
     # ------------------------------------------------------------------
     def schedulers(self) -> list[dict]:

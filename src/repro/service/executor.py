@@ -132,6 +132,7 @@ class SchedulingExecutor:
         return self.execute_request(job.kind, job.request)
 
     def execute_request(self, kind: str, request: dict) -> dict:
+        """Execute one request dict (the wire form of a job)."""
         if kind == "schedule":
             return self._schedule(request)
         if kind == "suite":

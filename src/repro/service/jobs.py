@@ -160,6 +160,7 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
+        """Launch the worker threads (idempotent)."""
         if self._threads:
             return
         for index in range(self.workers):

@@ -44,14 +44,17 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (created at 0)."""
         with self._lock:
             self._counters[name] += amount
 
     def observe_latency(self, seconds: float) -> None:
+        """Record one job latency in the percentile reservoir."""
         with self._lock:
             self._latencies.append(seconds)
 
     def counter(self, name: str) -> int:
+        """The current value of counter *name* (0 if never incremented)."""
         with self._lock:
             return self._counters[name]
 

@@ -1,0 +1,335 @@
+"""Multi-process execution backend for the scheduling service.
+
+The thread :class:`~repro.service.jobs.WorkerPool` is enough for warm
+stores and I/O-heavy traffic, but a *cold* store is pure-Python
+CPU-bound scheduling work: the HRMS/SMS/IMS inner loops hold the GIL,
+so thread workers cap at ~1 core no matter how many there are.  This
+module provides the drop-in process equivalent:
+
+* :class:`ExecutorConfig` — which backend (``"thread"`` or
+  ``"process"``), how many workers, retry policy, warm start.  The one
+  object ``hrms-serve --backend`` and in-process callers configure.
+* a **pickle-safe wire protocol** — a job crosses the process boundary
+  as the same canonical ``{"kind", "request"}`` dict the store key is
+  hashed from (:func:`job_wire`), and comes back as a result envelope
+  (:func:`run_wire_job`) carrying either the executor's result dict or
+  a captured error.  Nothing but plain JSON-shaped dicts is pickled.
+* **per-process warm caches** — each worker process runs
+  :func:`_init_worker` once: it opens its own
+  :class:`~repro.service.store.ArtifactStore` on the shared root,
+  builds a :class:`~repro.service.executor.SchedulingExecutor` (whose
+  MinDist memo then lives for the worker's lifetime), instantiates the
+  machine-config catalog, and runs :func:`repro.engine.warm_start`.
+* :class:`ProcessWorkerPool` — same interface, queue discipline, retry
+  semantics and ``on_finish`` contract as the thread pool.  Dispatcher
+  threads in the parent pop the priority queue and block on the
+  process pool, so ordering and job bookkeeping stay in one place
+  while the scheduling itself runs GIL-free.  A worker that dies
+  mid-job breaks only that attempt: the pool is replaced and the job
+  retried as a transient failure.
+
+Workers coordinate *through the store*: concurrent processes computing
+the same key write identical bits atomically, so no cross-process cache
+coherence protocol is needed — content addressing is the protocol.
+"""
+
+from __future__ import annotations
+
+import builtins
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import repro.errors as errors_module
+from repro.errors import JobError, ReproError, ServiceError
+from repro.service.jobs import Job, JobQueue, WorkerPool
+from repro.service.metrics import ServiceMetrics
+
+#: Execution backends a service can run on.
+BACKENDS = ("thread", "process")
+
+#: Executor counters forwarded from worker processes to the parent's
+#: :class:`ServiceMetrics` (via the result envelope, not shared memory).
+WIRE_COUNTERS = ("schedules_computed", "portfolios_computed", "suites_computed")
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How a :class:`~repro.service.api.SchedulingService` executes jobs.
+
+    ``backend`` selects the worker pool: ``"thread"`` (shared-memory,
+    best for warm stores and tiny jobs) or ``"process"`` (GIL-free,
+    best for cold CPU-bound scheduling).  ``workers=None`` means auto
+    (:class:`~repro.service.jobs.WorkerPool`'s core-count default).
+    ``warm_start`` controls whether process workers pre-warm the engine
+    and machine-config caches in their initializer.
+    """
+
+    backend: str = "thread"
+    workers: int | None = None
+    max_attempts: int = 2
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ServiceError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(BACKENDS)}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.
+# ----------------------------------------------------------------------
+
+#: Per-process executor state, built once by :func:`_init_worker`.
+_WORKER_EXECUTOR = None
+_WORKER_METRICS: ServiceMetrics | None = None
+
+
+def _init_worker(store_root: str, warm_start: bool) -> None:
+    """Build this worker process's executor and warm its caches.
+
+    Runs exactly once per worker process (the pool initializer).  The
+    executor — and with it the MinDistSolver memo, the study cache memo
+    and the machine catalog — lives for the whole worker lifetime, so
+    repeated jobs over the same graphs hit warm per-process caches.
+    """
+    global _WORKER_EXECUTOR, _WORKER_METRICS
+    from repro.service.executor import SchedulingExecutor
+    from repro.service.store import ArtifactStore
+
+    _WORKER_METRICS = ServiceMetrics()
+    _WORKER_EXECUTOR = SchedulingExecutor(
+        ArtifactStore(store_root), _WORKER_METRICS
+    )
+    if warm_start:
+        from repro.engine import warm_start as warm_engine
+        from repro.machine.configs import canonical_machines
+
+        canonical_machines()
+        warm_engine()
+
+
+def job_wire(job: Job) -> dict:
+    """The pickle-safe wire form of *job*: exactly the canonical
+    ``{"kind", "request"}`` envelope its store key is derived from."""
+    return {"kind": job.kind, "request": job.request}
+
+
+def run_wire_job(wire: dict) -> dict:
+    """Execute one wire-encoded job inside a worker process.
+
+    Never raises: the result envelope is either ``{"ok": True,
+    "result": …, "computed": {counter: delta}}`` or ``{"ok": False,
+    "permanent": bool, "error_type": …, "message": …}`` —
+    ``permanent`` mirrors the thread pool's rule that
+    :class:`~repro.errors.ReproError` is deterministic (no retry) while
+    anything else may be transient.
+    """
+    if _WORKER_EXECUTOR is None or _WORKER_METRICS is None:
+        return {
+            "ok": False,
+            "permanent": False,
+            "error_type": "RuntimeError",
+            "message": "worker process was not initialized",
+        }
+    before = {name: _WORKER_METRICS.counter(name) for name in WIRE_COUNTERS}
+    try:
+        result = _WORKER_EXECUTOR.execute_request(
+            str(wire["kind"]), dict(wire["request"])
+        )
+    except ReproError as exc:
+        return {
+            "ok": False,
+            "permanent": True,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+    except Exception as exc:  # noqa: BLE001 - crosses the process boundary
+        return {
+            "ok": False,
+            "permanent": False,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+    computed = {
+        name: _WORKER_METRICS.counter(name) - before[name]
+        for name in WIRE_COUNTERS
+        if _WORKER_METRICS.counter(name) - before[name]
+    }
+    return {"ok": True, "result": result, "computed": computed}
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+
+def _rebuild_error(
+    error_type: str, message: str, permanent: bool
+) -> BaseException:
+    """Reconstruct a worker failure with its original type and message.
+
+    Permanent failures come back as the :mod:`repro.errors` class of
+    the same name (so ``job.error["type"]`` matches the thread backend
+    exactly); transient ones as the named builtin exception.  Unknown
+    types degrade to :class:`JobError` / :class:`RuntimeError` with the
+    type name folded into the message.
+    """
+    if permanent:
+        cls = getattr(errors_module, error_type, None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            exc = cls.__new__(cls)
+            Exception.__init__(exc, message)
+            return exc
+        return JobError(f"{error_type}: {message}")
+    cls = getattr(builtins, error_type, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, Exception)
+        and not issubclass(cls, ReproError)
+    ):
+        try:
+            return cls(message)
+        except TypeError:
+            pass
+    return RuntimeError(f"{error_type}: {message}")
+
+
+class ProcessWorkerPool(WorkerPool):
+    """A :class:`WorkerPool` whose jobs execute in worker *processes*.
+
+    The parent keeps one dispatcher thread per worker: each pops the
+    shared :class:`~repro.service.jobs.JobQueue` and blocks on the
+    process pool, so priority order, retry-with-capture and the
+    ``on_finish`` callback behave byte-for-byte like the thread pool —
+    only the ``execute`` step crosses a process boundary.
+
+    The pool is a :class:`~concurrent.futures.ProcessPoolExecutor`
+    deliberately: when a worker process dies mid-job (OOM kill,
+    segfault), the in-flight future raises ``BrokenProcessPool``
+    instead of blocking forever the way ``multiprocessing.Pool.apply``
+    would.  The broken executor is replaced and the failure surfaces
+    as a *transient* error, so the standard retry path gets the job a
+    fresh pool.  Each new worker runs the warm-cache initializer once
+    before its first job.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store_root: str | Path,
+        *,
+        workers: int | None = None,
+        on_finish: Callable[[Job], None] | None = None,
+        metrics: ServiceMetrics | None = None,
+        warm_start: bool = True,
+    ) -> None:
+        super().__init__(
+            queue, self._proxy, workers=workers, on_finish=on_finish
+        )
+        self._store_root = str(store_root)
+        self._metrics = metrics
+        self._warm_start = warm_start
+        self._executor: ProcessPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._stopping = False
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self._store_root, self._warm_start),
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Create the process pool, then the dispatcher threads."""
+        if self._threads:
+            return
+        with self._executor_lock:
+            self._stopping = False
+            if self._executor is None:
+                self._executor = self._make_executor()
+        super().start()
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain the dispatchers, then shut the worker processes down."""
+        with self._executor_lock:
+            self._stopping = True
+        super().stop(wait=wait)
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait, cancel_futures=not wait)
+                self._executor = None
+
+    # ------------------------------------------------------------------
+    def _proxy(self, job: Job) -> dict:
+        """The ``execute`` callable: ship the job out, unwrap the reply."""
+        with self._executor_lock:
+            executor = self._executor
+        if executor is None:
+            raise ServiceError("process worker pool is not running")
+        try:
+            envelope = executor.submit(run_wire_job, job_wire(job)).result()
+        except BrokenProcessPool as exc:
+            # A worker died mid-job.  Replace the broken pool (unless
+            # we are shutting down) and surface a *transient* failure:
+            # the standard retry path re-runs the job on the new pool.
+            with self._executor_lock:
+                if self._executor is executor:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = (
+                        None if self._stopping else self._make_executor()
+                    )
+            raise RuntimeError(
+                f"worker process died while executing job {job.id}: {exc}"
+            ) from exc
+        if envelope.get("ok"):
+            if self._metrics is not None:
+                for name, amount in envelope.get("computed", {}).items():
+                    self._metrics.inc(name, amount)
+            return envelope["result"]
+        raise _rebuild_error(
+            str(envelope.get("error_type", "RuntimeError")),
+            str(envelope.get("message", "worker process failed")),
+            bool(envelope.get("permanent")),
+        )
+
+
+def make_worker_pool(
+    queue: JobQueue,
+    *,
+    config: ExecutorConfig,
+    execute: Callable[[Job], dict],
+    store_root: str | Path,
+    metrics: ServiceMetrics | None = None,
+    on_finish: Callable[[Job], None] | None = None,
+) -> WorkerPool:
+    """Build the worker pool *config* asks for.
+
+    ``execute`` drives the thread backend (in-process executor);
+    ``store_root`` drives the process backend (each worker opens its
+    own executor over the shared store).
+    """
+    if config.backend == "process":
+        return ProcessWorkerPool(
+            queue,
+            store_root,
+            workers=config.workers,
+            on_finish=on_finish,
+            metrics=metrics,
+            warm_start=config.warm_start,
+        )
+    return WorkerPool(
+        queue, execute, workers=config.workers, on_finish=on_finish
+    )

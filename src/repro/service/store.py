@@ -7,14 +7,22 @@ Identical requests therefore land on the same key no matter which
 process, worker or server run produced them, which is what lets a
 restarted server serve warm results without rescheduling.
 
-Layout on disk (one file per artifact, fanned out by key prefix so a
-directory never holds millions of entries)::
+Layout on disk (one file per artifact, fanned out **two levels** by key
+prefix so no directory ever holds more than a few hundred entries even
+with millions of artifacts)::
 
     <root>/
       objects/
         ab/
-          ab12…ef.json      # {"schema": 1, "kind": …, "key": …,
+          cd/
+            abcd12…ef.json  # {"schema": 1, "kind": …, "key": …,
                             #  "request": …, "payload": …}
+
+Two legacy layouts are read transparently and migrated on first touch
+(an ``os.replace`` into the sharded location, so the migration is atomic
+and idempotent): the single-level ``objects/ab/<key>.json`` fan-out of
+earlier versions, and the original flat ``objects/<key>.json``.  Reads
+prefer the sharded path; writes only ever produce it.
 
 Envelopes carry a schema version.  Reads are tolerant of *older*
 schemas and of corrupt files (a torn write counts as a miss and is
@@ -79,9 +87,50 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Path:
-        if not key or any(c not in "0123456789abcdef" for c in key):
+        """The canonical (two-level sharded) location of *key*."""
+        if len(key) < 4 or any(c not in "0123456789abcdef" for c in key):
             raise ArtifactError(f"malformed artifact key {key!r}")
-        return self._objects / key[:2] / f"{key}.json"
+        return self._objects / key[:2] / key[2:4] / f"{key}.json"
+
+    def _legacy_paths(self, key: str) -> tuple[Path, Path]:
+        """Where older store versions put *key* (read-only shim)."""
+        return (
+            self._objects / key[:2] / f"{key}.json",  # one-level fan-out
+            self._objects / f"{key}.json",  # original flat layout
+        )
+
+    def _locate(self, key: str) -> Path | None:
+        """The on-disk file currently holding *key*, canonical first."""
+        path = self._path_for(key)
+        if path.exists():
+            return path
+        for legacy in self._legacy_paths(key):
+            if legacy.exists():
+                return legacy
+        return None
+
+    def _migrate(self, legacy: Path, key: str) -> None:
+        """Best-effort atomic move of a legacy file to the sharded path.
+
+        Concurrent readers may race on the same legacy file; whoever
+        loses the ``os.replace`` simply finds the file already gone —
+        the content is equivalent either way (a key's envelope is
+        determined by its request), so errors are swallowed.  A
+        canonical file that already exists is left alone: a concurrent
+        ``put`` must not be clobbered by a stale legacy copy.
+        """
+        path = self._path_for(key)
+        if path.exists():
+            try:
+                legacy.unlink()
+            except OSError:
+                pass
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, path)
+        except OSError:
+            pass
 
     def key_for(self, request: dict) -> str:
         """Content address of *request* (alias of :func:`request_key`)."""
@@ -93,9 +142,10 @@ class ArtifactStore:
 
         Unreadable JSON counts as a miss; an envelope declaring a newer
         schema than this code understands raises
-        :class:`~repro.errors.ArtifactError`.
+        :class:`~repro.errors.ArtifactError`.  A hit under a legacy
+        layout is migrated to the sharded path as a side effect.
         """
-        path = self._path_for(key)
+        path = self._locate(key) or self._path_for(key)
         try:
             text = path.read_text(encoding="utf-8")
             envelope = json.loads(text)
@@ -103,6 +153,8 @@ class ArtifactStore:
             with self._lock:
                 self._stats.misses += 1
             return None
+        if path != self._path_for(key):
+            self._migrate(path, key)
         schema = envelope.get("schema", STORE_SCHEMA)
         if not isinstance(schema, int) or schema > STORE_SCHEMA:
             raise ArtifactError(
@@ -138,23 +190,44 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        # A fresh write supersedes any legacy copy of the same key.
+        for legacy in self._legacy_paths(key):
+            try:
+                legacy.unlink()
+            except OSError:
+                pass
         with self._lock:
             self._stats.writes += 1
         return envelope
 
+    def delete(self, key: str) -> bool:
+        """Remove *key* from whichever layout holds it; ``True`` if it
+        existed.  Real I/O failures (e.g. a read-only mount) propagate
+        — only "already gone" is silent."""
+        removed = False
+        for path in (self._path_for(key), *self._legacy_paths(key)):
+            try:
+                path.unlink()
+                removed = True
+            except FileNotFoundError:
+                pass
+        return removed
+
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
-        return self._path_for(key).exists()
+        return self._locate(key) is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_keys())
 
     def iter_keys(self) -> Iterator[str]:
-        """All stored artifact keys (unordered)."""
-        for shard in sorted(self._objects.iterdir()):
-            if not shard.is_dir():
-                continue
-            for entry in sorted(shard.glob("*.json")):
+        """All stored artifact keys (unordered), across every layout."""
+        seen: set[str] = set()
+        for entry in sorted(self._objects.rglob("*.json")):
+            if entry.name.startswith(".tmp-"):
+                continue  # a torn concurrent write, not an artifact
+            if entry.stem not in seen:
+                seen.add(entry.stem)
                 yield entry.stem
 
     def stats(self) -> StoreStats:
@@ -220,11 +293,8 @@ class _StudyCache(MutableMapping):
 
     def __delitem__(self, key: tuple) -> None:
         self._memo.pop(key, None)
-        path = self.store._path_for(request_key(self._request(key)))
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            raise KeyError(key) from None
+        if not self.store.delete(request_key(self._request(key))):
+            raise KeyError(key)
 
     def __contains__(self, key: object) -> bool:
         return key in self._memo or request_key(self._request(key)) in self.store

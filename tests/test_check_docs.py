@@ -1,0 +1,82 @@
+"""The documentation consistency gate (scripts/check_docs.py)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from check_docs import check_docs, console_scripts, local_link_targets  # noqa: E402
+
+
+class TestRepoDocs:
+    def test_repo_docs_are_in_sync(self):
+        assert check_docs(REPO_ROOT) == []
+
+    def test_console_scripts_parsed_from_setup(self):
+        names = console_scripts(REPO_ROOT / "setup.py")
+        assert set(names) == {
+            "hrms-experiments", "hrms-compile", "hrms-serve", "hrms-submit",
+        }
+
+
+class TestGateTrips:
+    def _repo(self, tmp_path, readme: str) -> Path:
+        (tmp_path / "setup.py").write_text(
+            '"hrms-serve = repro.service.cli:serve_main"',
+            encoding="utf-8",
+        )
+        (tmp_path / "README.md").write_text(readme, encoding="utf-8")
+        return tmp_path
+
+    def test_missing_readme_is_fatal(self, tmp_path):
+        problems = check_docs(tmp_path)
+        assert problems and "README.md is missing" in problems[0]
+
+    def test_missing_entry_point_reported(self, tmp_path):
+        repo = self._repo(tmp_path, "Schedulers: hrms topdown bottomup "
+                                    "slack sms ims frlc spilp optreg "
+                                    "portfolio")
+        problems = check_docs(repo)
+        assert any("hrms-serve" in p for p in problems)
+
+    def test_missing_scheduler_reported(self, tmp_path):
+        repo = self._repo(
+            tmp_path,
+            "hrms-serve. Schedulers: hrms topdown bottomup slack sms ims "
+            "frlc spilp optreg",  # no portfolio
+        )
+        problems = check_docs(repo)
+        assert any("'portfolio'" in p for p in problems)
+
+    def test_dead_link_reported(self, tmp_path):
+        repo = self._repo(
+            tmp_path,
+            "hrms-serve hrms topdown bottomup slack sms ims frlc spilp "
+            "optreg portfolio [gone](docs/NOPE.md)",
+        )
+        problems = check_docs(repo)
+        assert any("NOPE.md" in p for p in problems)
+
+    def test_substring_does_not_satisfy_scheduler_mention(self, tmp_path):
+        # "hrms-serve" must not count as a mention of scheduler "hrms"...
+        # it does contain it as a word-boundary token, so use a harder
+        # case: "imsfoo" must not satisfy "ims".
+        repo = self._repo(
+            tmp_path,
+            "hrms-serve hrms topdown bottomup slack sms imsfoo frlc "
+            "spilp optreg portfolio",
+        )
+        problems = check_docs(repo)
+        assert any("'ims'" in p for p in problems)
+
+
+def test_link_targets_skip_external_urls(tmp_path):
+    md = tmp_path / "x.md"
+    md.write_text(
+        "[a](https://x.org) [b](#anchor) [c](local.md) [d](mailto:x@y.z)",
+        encoding="utf-8",
+    )
+    assert local_link_targets(md) == ["local.md"]

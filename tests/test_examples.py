@@ -1,0 +1,47 @@
+"""Every example in examples/ must actually run.
+
+The README points newcomers at these scripts, so each one is executed
+in a subprocess exactly the way a user would run it (``python
+examples/<name>.py``).  Service examples boot their own server on an
+ephemeral port and create their stores under a per-test TMPDIR, so
+nothing leaks between tests or into the repo.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ has no scripts — the README quickstart lies"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script, tmp_path):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["TMPDIR"] = str(tmp_path)  # tempfile.mkdtemp in examples lands here
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"

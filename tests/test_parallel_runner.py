@@ -69,3 +69,29 @@ class TestRunStudyParallel:
         assert [r.loop.name for r in study.records] == [
             loop.name for loop in loops
         ]
+
+
+class TestProcessMap:
+    """The warm-start process mapper behind parallel_map's process mode."""
+
+    def test_order_preserved_with_warm_workers(self):
+        from repro.experiments.procmap import process_map
+
+        items = list(range(17))
+        assert process_map(_squared, items, max_workers=2) == [
+            x * x for x in items
+        ]
+
+    def test_single_item_short_circuits_without_pool(self):
+        from repro.experiments.procmap import process_map
+
+        # A lambda is unpicklable: only a pool-free path can map it.
+        assert process_map(lambda x: x + 1, [41], max_workers=8) == [42]
+
+    def test_explicit_chunksize_accepted(self):
+        from repro.experiments.procmap import process_map
+
+        items = list(range(10))
+        assert process_map(
+            _squared, items, max_workers=2, chunksize=3
+        ) == [x * x for x in items]

@@ -1,0 +1,294 @@
+"""The multi-process execution backend (repro.service.procpool).
+
+The acceptance bar: the process backend must produce artifacts
+bit-identical to the thread backend for the same requests (timing
+fields excepted — wall time is not part of a schedule's identity),
+across plain schedulers *and* the virtual portfolio.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graph.serialization import graph_to_dict
+from repro.service import ExecutorConfig, SchedulingService, ServiceServer
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobQueue
+from repro.service.procpool import (
+    ProcessWorkerPool,
+    _rebuild_error,
+    job_wire,
+    run_wire_job,
+)
+from repro.workloads.govindarajan import govindarajan_suite
+
+#: Fields whose values legitimately differ between two runs of the same
+#: request: wall-clock timings.  Everything else must match exactly.
+TIMING_FIELDS = ("seconds",)
+
+
+def _normalized(envelope: dict) -> dict:
+    """An artifact envelope with wall-clock timing fields removed."""
+
+    def scrub(value):
+        if isinstance(value, dict):
+            return {
+                key: scrub(item)
+                for key, item in value.items()
+                if key not in TIMING_FIELDS
+            }
+        if isinstance(value, list):
+            return [scrub(item) for item in value]
+        return value
+
+    return scrub(envelope)
+
+
+def _settle(jobs: list[Job], timeout: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout
+    while any(job.status not in ("done", "failed") for job in jobs):
+        assert time.monotonic() < deadline, "jobs did not settle in time"
+        time.sleep(0.01)
+
+
+def _run_requests(store, requests: list[dict], config: ExecutorConfig):
+    """Submit *requests* to a fresh service over *store*; return the
+    settled jobs and the service (stopped)."""
+    service = SchedulingService(store, config=config).start()
+    try:
+        jobs = [service.submit(request) for request in requests]
+        _settle(jobs)
+    finally:
+        service.stop()
+    return jobs, service
+
+
+class TestExecutorConfig:
+    def test_defaults(self):
+        config = ExecutorConfig()
+        assert config.backend == "thread"
+        assert config.workers is None
+        assert config.max_attempts == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServiceError, match="unknown backend"):
+            ExecutorConfig(backend="gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ServiceError, match="workers"):
+            ExecutorConfig(workers=0)
+
+    def test_bad_max_attempts_rejected(self):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            ExecutorConfig(max_attempts=0)
+
+
+class TestWireProtocol:
+    def test_job_wire_is_pickle_safe(self, gov_suite):
+        job = Job(
+            kind="schedule",
+            request={
+                "graph": graph_to_dict(gov_suite[0].graph),
+                "machine": "govindarajan",
+            },
+        )
+        wire = job_wire(job)
+        assert pickle.loads(pickle.dumps(wire)) == wire
+        assert wire == {"kind": job.kind, "request": job.request}
+
+    def test_uninitialized_worker_reports_transient_error(self):
+        # run_wire_job in *this* process, where no initializer ran.
+        envelope = run_wire_job({"kind": "schedule", "request": {}})
+        assert envelope["ok"] is False
+        assert envelope["permanent"] is False
+
+    def test_rebuild_error_restores_repro_class(self):
+        exc = _rebuild_error("ParseError", "line 1: nope", permanent=True)
+        from repro.errors import ParseError, ReproError
+
+        assert isinstance(exc, ParseError)
+        assert isinstance(exc, ReproError)
+        assert str(exc) == "line 1: nope"
+
+    def test_rebuild_error_unknown_type_degrades_to_joberror(self):
+        from repro.errors import JobError
+
+        exc = _rebuild_error("WeirdError", "boom", permanent=True)
+        assert isinstance(exc, JobError)
+        assert "WeirdError" in str(exc) and "boom" in str(exc)
+
+    def test_rebuild_error_transient_builtin(self):
+        exc = _rebuild_error("ValueError", "bad", permanent=False)
+        assert type(exc) is ValueError
+        assert str(exc) == "bad"
+
+
+class TestProcessWorkerPool:
+    def test_schedules_end_to_end(self, tmp_path, gov_suite):
+        requests = [
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(loop.graph),
+                "machine": "govindarajan",
+            }
+            for loop in gov_suite[:3]
+        ]
+        jobs, service = _run_requests(
+            tmp_path / "store",
+            requests,
+            ExecutorConfig(backend="process", workers=2),
+        )
+        assert all(job.status == "done" for job in jobs)
+        assert service.metrics.counter("schedules_computed") == 3
+        for job in jobs:
+            envelope = service.store.get(job.result["artifact"])
+            assert envelope is not None
+            assert envelope["payload"]["ii"] == job.result["ii"]
+
+    def test_repro_error_fails_without_retry(self, tmp_path):
+        jobs, _ = _run_requests(
+            tmp_path / "store",
+            [{"kind": "schedule", "source": "not a loop"}],
+            ExecutorConfig(backend="process", workers=1),
+        )
+        (job,) = jobs
+        assert job.status == "failed"
+        assert job.attempts == 1  # deterministic failure: no retry
+        assert job.error["type"] == "ParseError"
+
+    def test_proxy_requires_running_pool(self, tmp_path):
+        pool = ProcessWorkerPool(JobQueue(), tmp_path / "store")
+        with pytest.raises(ServiceError, match="not running"):
+            pool._proxy(Job(kind="schedule", request={}))
+
+    def test_dead_worker_is_transient_and_pool_is_replaced(self, tmp_path):
+        """A worker crash (BrokenProcessPool) must surface as a
+        *transient* error — so the retry path runs — and leave a fresh,
+        working pool behind instead of a wedged dispatcher."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = ProcessWorkerPool(
+            JobQueue(), tmp_path / "store", workers=1
+        )
+
+        class _BrokenExecutor:
+            def submit(self, *args, **kwargs):
+                raise BrokenProcessPool("worker died")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        pool._executor = _BrokenExecutor()
+        job = Job(kind="schedule", request={})
+        with pytest.raises(RuntimeError, match="worker process died") as info:
+            pool._proxy(job)
+        # Not a ReproError: the jobs layer will classify it transient.
+        from repro.errors import ReproError
+
+        assert not isinstance(info.value, ReproError)
+        # The broken executor was swapped for a real one.
+        assert pool._executor is not None
+        assert not isinstance(pool._executor, _BrokenExecutor)
+        pool._executor.shutdown(wait=True)
+
+    def test_http_service_on_process_backend(self, tmp_path, gov_suite):
+        with ServiceServer(
+            tmp_path / "store",
+            config=ExecutorConfig(backend="process", workers=2),
+        ) as server:
+            client = ServiceClient(server.url)
+            health = client._call("GET", "/healthz")
+            assert health == {"ok": True, "backend": "process"}
+            job_id = client.submit_graph(
+                gov_suite[0].graph, machine="govindarajan"
+            )
+            record = client.wait(job_id, timeout=60)
+            assert record["status"] == "done"
+            assert client.artifact(record["result"]["artifact"])
+
+
+class TestBackendParity:
+    """Thread and process backends must converge on identical bits."""
+
+    SCHEDULERS = ("hrms", "sms", "topdown", "portfolio")
+
+    def _requests(self, gov_suite):
+        return [
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(loop.graph),
+                "machine": "govindarajan",
+                "scheduler": scheduler,
+            }
+            for loop in gov_suite[:2]
+            for scheduler in self.SCHEDULERS
+        ]
+
+    def _run_waved(self, store, requests, config):
+        """Run plain schedulers first, portfolios second, so a member's
+        decision-record ``source`` ("store" vs "raced") is deterministic
+        instead of depending on worker completion order."""
+        plain = [r for r in requests if r["scheduler"] != "portfolio"]
+        races = [r for r in requests if r["scheduler"] == "portfolio"]
+        jobs, _ = _run_requests(store, plain, config)
+        race_jobs, service = _run_requests(store, races, config)
+        return jobs + race_jobs, service
+
+    def test_artifacts_bit_identical_across_backends(
+        self, tmp_path, gov_suite
+    ):
+        requests = self._requests(gov_suite)
+        thread_jobs, thread_service = self._run_waved(
+            tmp_path / "thread-store",
+            requests,
+            ExecutorConfig(backend="thread", workers=2),
+        )
+        process_jobs, process_service = self._run_waved(
+            tmp_path / "process-store",
+            requests,
+            ExecutorConfig(backend="process", workers=2),
+        )
+        assert all(job.status == "done" for job in thread_jobs)
+        assert all(job.status == "done" for job in process_jobs)
+        for thread_job, process_job in zip(thread_jobs, process_jobs):
+            # Same request => same content address, on both backends.
+            assert (
+                thread_job.result["artifact"]
+                == process_job.result["artifact"]
+            )
+            thread_envelope = thread_service.store.get(
+                thread_job.result["artifact"]
+            )
+            process_envelope = process_service.store.get(
+                process_job.result["artifact"]
+            )
+            assert _normalized(thread_envelope) == _normalized(
+                process_envelope
+            )
+        # The portfolio races also cached their members under their own
+        # keys — those artifacts must agree between the stores too.
+        thread_keys = set(thread_service.store.iter_keys())
+        process_keys = set(process_service.store.iter_keys())
+        assert thread_keys == process_keys
+        for key in sorted(thread_keys):
+            assert _normalized(thread_service.store.get(key)) == _normalized(
+                process_service.store.get(key)
+            )
+
+    def test_process_backend_serves_warm_store_without_computing(
+        self, tmp_path, gov_suite
+    ):
+        store = tmp_path / "store"
+        requests = self._requests(gov_suite)[:3]
+        _run_requests(
+            store, requests, ExecutorConfig(backend="process", workers=2)
+        )
+        jobs, service = _run_requests(
+            store, requests, ExecutorConfig(backend="process", workers=2)
+        )
+        assert all(job.result["cached"] for job in jobs)
+        assert service.metrics.counter("schedules_computed") == 0

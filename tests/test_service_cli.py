@@ -80,3 +80,97 @@ class TestSubmitMain:
         )
         assert code == 1
         assert "hrms-submit:" in capsys.readouterr().err
+
+
+class TestClientErrorSurface:
+    """Unreachable servers and non-JSON bodies must surface as clear
+    ServiceErrors (never raw tracebacks) — on the client and the CLI."""
+
+    @pytest.fixture
+    def imposter(self):
+        """A live HTTP server that is *not* an hrms service: every
+        response is 200 text/html."""
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class Handler(BaseHTTPRequestHandler):
+            def _reply(self):
+                body = b"<html>totally not a scheduling service</html>"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            do_GET = do_POST = _reply
+
+            def log_message(self, *args):
+                pass
+
+        server = HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+        server.shutdown()
+        server.server_close()
+
+    def test_client_unreachable_raises_service_error(self):
+        from repro.errors import ServiceError
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient("http://127.0.0.1:1", timeout=1.0)
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.submit({"kind": "schedule", "source": "x"})
+
+    def test_client_non_json_body_raises_service_error(self, imposter):
+        from repro.errors import ServiceError
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(imposter, timeout=5.0)
+        with pytest.raises(ServiceError, match="non-JSON response"):
+            client.submit({"kind": "schedule", "source": "x"})
+        # health() maps the same failure to False instead of raising.
+        assert client.health() is False
+
+    def test_client_unparseable_json_raises_service_error(self):
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        from repro.errors import ServiceError
+        from repro.service.client import ServiceClient
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                body = b'{"id": truncated'
+                self.send_response(202)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        server = HTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}", timeout=5.0
+            )
+            with pytest.raises(ServiceError, match="unparseable JSON"):
+                client.submit({"kind": "schedule", "source": "x"})
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_submit_cli_non_json_server_exits_cleanly(
+        self, tmp_path, imposter, capsys
+    ):
+        path = tmp_path / "daxpy.loop"
+        path.write_text(DAXPY, encoding="utf-8")
+        code = submit_main([str(path), "--server", imposter])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "hrms-submit:" in err
+        assert "Traceback" not in err
+        assert "non-JSON" in err

@@ -149,3 +149,89 @@ class TestGraphEnvelopeVersioning:
         data[key] = 2
         with pytest.raises(GraphError):
             graph_from_dict(data)
+
+
+class TestShardedLayout:
+    """Two-level fan-out plus transparent legacy-layout migration."""
+
+    def _write_at(self, store, key, path):
+        """Plant an envelope for *key* at an arbitrary (legacy) path."""
+        envelope = {
+            "schema": 1,
+            "kind": "schedule",
+            "key": key,
+            "request": {"probe": key},
+            "payload": {"marker": key},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        return envelope
+
+    def test_put_writes_two_level_sharded_path(self, store):
+        request = {"kind": "schedule", "probe": 1}
+        key = store.key_for(request)
+        store.put(key, "schedule", request, {"x": 1})
+        expected = (
+            store.root / "objects" / key[:2] / key[2:4] / f"{key}.json"
+        )
+        assert expected.exists()
+
+    def test_reads_and_migrates_one_level_legacy_file(self, store):
+        key = request_key({"legacy": "one-level"})
+        legacy = store.root / "objects" / key[:2] / f"{key}.json"
+        envelope = self._write_at(store, key, legacy)
+        assert store.get(key) == envelope
+        assert not legacy.exists()  # migrated on first touch
+        sharded = store.root / "objects" / key[:2] / key[2:4] / f"{key}.json"
+        assert sharded.exists()
+        assert store.get(key) == envelope  # still served post-migration
+
+    def test_reads_and_migrates_flat_legacy_file(self, store):
+        key = request_key({"legacy": "flat"})
+        legacy = store.root / "objects" / f"{key}.json"
+        envelope = self._write_at(store, key, legacy)
+        assert key in store
+        assert store.get(key) == envelope
+        assert not legacy.exists()
+        assert store.get(key) == envelope
+
+    def test_iter_keys_spans_every_layout(self, store):
+        sharded_request = {"layout": "sharded"}
+        sharded_key = store.key_for(sharded_request)
+        store.put(sharded_key, "schedule", sharded_request, {})
+        one_level_key = request_key({"layout": "one-level"})
+        self._write_at(
+            store,
+            one_level_key,
+            store.root / "objects" / one_level_key[:2] / f"{one_level_key}.json",
+        )
+        flat_key = request_key({"layout": "flat"})
+        self._write_at(
+            store, flat_key, store.root / "objects" / f"{flat_key}.json"
+        )
+        assert set(store.iter_keys()) == {
+            sharded_key, one_level_key, flat_key,
+        }
+        assert len(store) == 3
+
+    def test_put_supersedes_legacy_copy(self, store):
+        request = {"layout": "superseded"}
+        key = store.key_for(request)
+        legacy = store.root / "objects" / key[:2] / f"{key}.json"
+        self._write_at(store, key, legacy)
+        store.put(key, "schedule", request, {"fresh": True})
+        assert not legacy.exists()
+        assert store.get(key)["payload"] == {"fresh": True}
+
+    def test_delete_reaches_legacy_layouts(self, store):
+        key = request_key({"layout": "doomed"})
+        self._write_at(
+            store, key, store.root / "objects" / f"{key}.json"
+        )
+        assert store.delete(key) is True
+        assert key not in store
+        assert store.delete(key) is False
+
+    def test_short_key_rejected(self, store):
+        with pytest.raises(ArtifactError):
+            store.get("abc")
