@@ -5,8 +5,10 @@ Measures the scalability hot paths (MinDist cold solve, MinDist cache
 hit, full HRMS schedule cold/warm) on the same seeded synthetic loops
 ``benchmarks/bench_scalability.py`` uses, plus the service smoke tier
 (live HTTP batch), the portfolio tier (5-heuristic race), the procpool
-tier (thread-vs-process backend throughput + artifact parity) and the
-documentation consistency gate (``scripts/check_docs.py``).  Writes
+tier (thread-vs-process backend throughput + artifact parity), the qa
+tier (fixed-seed mini fuzzing campaign, zero oracle failures gated —
+see ``hrms-fuzz`` for the full-strength version) and the documentation
+consistency gate (``scripts/check_docs.py``).  Writes
 the numbers to ``BENCH_scalability.json``, and **fails loudly** when
 any measurement regresses more than ``--threshold`` (default 2x)
 against the committed baseline — or when the achieved II changes at
@@ -304,6 +306,61 @@ def compare_procpool(current: dict, baseline: dict, threshold: float) -> list[st
     return problems
 
 
+def measure_qa(seeds: int = 100) -> dict:
+    """QA tier: a fixed-seed mini fuzzing campaign, gated on zero
+    oracle failures.
+
+    Sweeps *seeds* cases (every diversity profile, every canonical
+    machine, every registered heuristic scheduler + the portfolio race)
+    through the oracle battery — the ~30-second standing guarantee that
+    the differential verification layer stays green.  The exact (MILP)
+    schedulers and the backend-parity phase are left to full
+    ``hrms-fuzz`` runs; this tier guards determinism and the oracles.
+    """
+    from repro.qa.campaign import CampaignConfig, run_campaign
+
+    began = time.perf_counter()
+    report = run_campaign(
+        CampaignConfig(seeds=seeds, include_exact=False, shrink=False)
+    )
+    return {
+        "seeds": seeds,
+        "cases": report.cases,
+        "schedules": report.schedules,
+        "checks": report.checks,
+        "skipped": report.skipped,
+        "failures": len(report.failures),
+        "failure_descriptions": [
+            failure.describe() for failure in report.failures
+        ],
+        "wall_s": time.perf_counter() - began,
+    }
+
+
+def compare_qa(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """QA regressions: oracle failures are absolute (zero, always);
+    the campaign shape must be deterministic; wall time by ratio."""
+    problems = []
+    if current["failures"]:
+        problems.append(
+            f"qa: {current['failures']} oracle failure(s): "
+            + "; ".join(current["failure_descriptions"][:3])
+        )
+    for key in ("cases", "schedules", "checks", "skipped"):
+        if key in baseline and current[key] != baseline[key]:
+            problems.append(
+                f"qa: {key} changed {baseline[key]} -> {current[key]} "
+                "(the campaign is no longer deterministic!)"
+            )
+    base_wall = baseline.get("wall_s")
+    if base_wall and current["wall_s"] > base_wall * threshold:
+        problems.append(
+            f"qa: campaign wall time regressed "
+            f"{base_wall:.2f}s -> {current['wall_s']:.2f}s"
+        )
+    return problems
+
+
 def measure_portfolio(size: int = 160) -> dict:
     """Portfolio tier: race 5 heuristics on the 160-op workload.
 
@@ -458,6 +515,11 @@ def main(argv=None) -> int:
         help="skip the documentation consistency gate "
              "(scripts/check_docs.py)",
     )
+    parser.add_argument(
+        "--no-qa", action="store_true",
+        help="skip the QA tier (fixed-seed mini fuzzing campaign, "
+             "zero oracle failures gated)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -500,6 +562,15 @@ def main(argv=None) -> int:
             f"({procpool['speedup']:.2f}x), artifacts identical: "
             f"{procpool['identical_artifacts']}"
         )
+    qa = None
+    if not args.no_qa:
+        print("perf_check: qa tier (fixed-seed mini fuzzing campaign) ...")
+        qa = measure_qa()
+        print(
+            f"  qa: {qa['cases']} cases, {qa['schedules']} schedules, "
+            f"{qa['checks']} oracle checks, {qa['skipped']} skipped, "
+            f"{qa['failures']} failure(s) in {qa['wall_s']:.1f}s"
+        )
     docs_problems: list[str] = []
     if not args.no_docs:
         print("perf_check: documentation consistency gate ...")
@@ -527,6 +598,8 @@ def main(argv=None) -> int:
         document["portfolio"] = portfolio
     if procpool is not None:
         document["procpool"] = procpool
+    if qa is not None:
+        document["qa"] = qa
 
     if args.baseline.exists():
         baseline_doc = json.loads(args.baseline.read_text())
@@ -545,6 +618,8 @@ def main(argv=None) -> int:
                 document["portfolio"] = baseline_doc["portfolio"]
             if procpool is None and "procpool" in baseline_doc:
                 document["procpool"] = baseline_doc["procpool"]
+            if qa is None and "qa" in baseline_doc:
+                document["qa"] = baseline_doc["qa"]
             args.baseline.write_text(json.dumps(document, indent=2) + "\n")
             print(f"perf_check: baseline updated -> {args.baseline}")
             return 0
@@ -561,6 +636,10 @@ def main(argv=None) -> int:
         if procpool is not None and "procpool" in baseline_doc:
             problems += compare_procpool(
                 procpool, baseline_doc["procpool"], args.threshold
+            )
+        if qa is not None:
+            problems += compare_qa(
+                qa, baseline_doc.get("qa", {}), args.threshold
             )
         problems += docs_problems
         if problems:

@@ -44,6 +44,7 @@ from repro.mii.analysis import MIIResult
 from repro.schedulers.base import (
     ModuloScheduler,
     downward_window,
+    neighbor_directed_attempt,
     scan_place,
     upward_window,
 )
@@ -93,8 +94,35 @@ class HRMSScheduler(ModuloScheduler):
         # II-invariant).  Retrying with the two-sided windows scanned from
         # the LateStart end resolves those cases without affecting
         # recurrence-free loops, which never produce two-sided windows.
-        return self._attempt_directional(graph, machine, ii, context,
-                                         both_down=True)
+        result = self._attempt_directional(graph, machine, ii, context,
+                                           both_down=True)
+        if result is not None:
+            return result
+        # Last resort: the paper's own direction rule.  The transitive
+        # MinDist bounds give almost every operation *both* an ES and an
+        # LS once a recurrence node is placed, so the directional
+        # attempts above scan nearly everything ASAP — and an operation
+        # whose only *scheduled direct neighbours* are successors gets
+        # pinned at its transitive EarlyStart, which can freeze a later
+        # recurrence closer into a one-cycle window parked on an occupied
+        # row at every II (found by the QA fuzzing campaign; see
+        # tests/corpus/).  Classifying the scan direction by scheduled
+        # direct neighbours — Section 3.3's actual rule — while keeping
+        # the transitive bounds as the window *limits* resolves those
+        # loops, usually at the MII itself.  It runs only after both
+        # standard attempts failed, so every previously-schedulable loop
+        # keeps its bit-identical schedule.
+        ordering: OrderingResult = context
+        for closers_down, stagger in (
+            (False, 0), (True, 0), (False, 1), (True, 1),
+        ):
+            result = neighbor_directed_attempt(
+                graph, machine, ii, ordering.order,
+                closers_down=closers_down, stagger=stagger,
+            )
+            if result is not None:
+                return result
+        return None
 
     def _attempt_directional(
         self,

@@ -85,6 +85,15 @@ class SolverError(SchedulingError):
     """The ILP backend (SPILP) failed or timed out."""
 
 
+class SolverTimeoutError(SolverError):
+    """The MILP hit its time limit before finding any incumbent.
+
+    Distinct from :class:`SolverError` so callers can tell "the budget
+    ran out — inconclusive" apart from "the solver failed"; the QA
+    campaign counts the former as a skip, not an oracle failure.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload definition or generator was misused."""
 

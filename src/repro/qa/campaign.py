@@ -1,0 +1,497 @@
+"""The differential fuzzing campaign driver.
+
+One campaign is a deterministic sweep: for each seed, a diversity
+profile (round-robin) generates a graph; the graph runs through every
+compatible (machine × scheduler) combination from the canonical machine
+catalog and the scheduler registry; each schedule faces the per-schedule
+oracle battery; per (graph, machine) the scheduler set faces the
+MII-agreement oracle and a portfolio race over the already-computed
+schedules; and an optional parity phase pushes a sample of cases through
+live thread- and process-backend services, demanding bit-identical
+artifacts.  Failures are collected (never raised mid-campaign) and
+shrunk into minimized reproducer envelopes ready for ``tests/corpus/``.
+
+Budgets: ``seeds`` bounds the sweep; ``max_seconds`` stops between cases
+when the wall budget is spent, whichever comes first.  Everything is a
+pure function of the config, so a failing case can be replayed from its
+(profile, seed) coordinates alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, SolverTimeoutError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.configs import canonical_machines
+from repro.machine.machine import MachineModel
+from repro.mii.analysis import compute_mii
+from repro.qa.oracles import (
+    OracleFailure,
+    oracle_mii_agreement,
+    run_battery,
+)
+from repro.qa.profiles import FuzzProfile, fuzz_profiles, profile_by_name
+from repro.schedule.schedule import Schedule
+from repro.schedulers import registry
+
+#: Op-count ceiling for racing the exact (MILP) schedulers in a
+#: campaign; far below the portfolio's 24 so a 200-seed sweep stays
+#: interactive even with `include_exact`.
+EXACT_FUZZ_OP_LIMIT = 8
+
+#: MILP time limit per exact attempt inside a campaign (seconds).
+#: OptReg in particular rides its limit on recurrence-saturated graphs,
+#: so this bounds the whole sweep's tail latency.
+EXACT_FUZZ_TIME_LIMIT = 3.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """What one fuzzing campaign sweeps."""
+
+    seeds: int = 50
+    seed_base: int = 0
+    #: Profile names (default: every registered profile, round-robin).
+    profiles: tuple[str, ...] | None = None
+    #: Machine names from the canonical catalog (default: all).
+    machines: tuple[str, ...] | None = None
+    #: Concrete scheduler names (default: every registered non-exact,
+    #: non-virtual scheduler).
+    schedulers: tuple[str, ...] | None = None
+    #: Race the MILP-backed schedulers on graphs small enough for them.
+    include_exact: bool = True
+    #: Run the exact schedulers on every Nth eligible case only (they
+    #: cost seconds where the heuristics cost milliseconds).
+    exact_stride: int = 2
+    #: Race the portfolio over the schedules already computed per case.
+    include_portfolio: bool = True
+    #: Wall-clock budget; checked between cases (None = seeds only).
+    max_seconds: float | None = None
+    #: How many (graph, machine) cases the backend-parity phase replays
+    #: through live thread/process services (0 disables the phase).
+    parity_cases: int = 0
+    #: Shrink failing cases into minimized reproducers.
+    shrink: bool = True
+
+
+@dataclass
+class CampaignFailure:
+    """One oracle failure, with everything needed to reproduce it."""
+
+    profile: str
+    seed: int
+    machine: str
+    scheduler: str
+    oracle: str
+    message: str
+    #: Serialized minimized graph (the shrunk reproducer when shrinking
+    #: ran, the original generated graph otherwise).
+    graph: dict
+    original_ops: int
+    minimized_ops: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.profile}/seed={self.seed} on {self.machine} via "
+            f"{self.scheduler}: [{self.oracle}] {self.message} "
+            f"({self.original_ops} ops -> {self.minimized_ops} minimized)"
+        )
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign observed."""
+
+    cases: int = 0
+    schedules: int = 0
+    checks: int = 0
+    skipped: int = 0
+    failures: list[CampaignFailure] = field(default_factory=list)
+    parity_checked: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"{self.cases} case(s), {self.schedules} schedule(s), "
+            f"{self.checks} oracle check(s), {self.skipped} skipped, "
+            f"{self.parity_checked} parity-checked in "
+            f"{self.wall_seconds:.1f}s: {status}"
+        )
+
+
+def _machine_supports(machine: MachineModel, graph: DependenceGraph) -> bool:
+    """Can *machine* execute every opclass in *graph*?"""
+    if machine.is_generic:
+        return True
+    classes = {unit.name for unit in machine.unit_classes()}
+    return all(op.opclass in classes for op in graph.operations())
+
+
+def _resolve_schedulers(config: CampaignConfig) -> list[str]:
+    if config.schedulers is not None:
+        known = registry.available_schedulers()
+        for name in config.schedulers:
+            if name not in known:
+                raise ReproError(
+                    f"unknown scheduler {name!r}; available: "
+                    f"{', '.join(known)}"
+                )
+        return list(config.schedulers)
+    return [
+        name
+        for name in registry.available_schedulers()
+        if name not in registry.VIRTUAL_SCHEDULERS
+        and name not in registry.EXACT_SCHEDULERS
+    ]
+
+
+def _resolve_profiles(config: CampaignConfig) -> list[FuzzProfile]:
+    if config.profiles is None:
+        return list(fuzz_profiles())
+    return [profile_by_name(name) for name in config.profiles]
+
+
+def _resolve_machines(config: CampaignConfig) -> dict[str, MachineModel]:
+    catalog = canonical_machines()
+    if config.machines is None:
+        return catalog
+    resolved: dict[str, MachineModel] = {}
+    for name in config.machines:
+        if name not in catalog:
+            raise ReproError(
+                f"unknown machine {name!r}; available: "
+                f"{', '.join(sorted(catalog))}"
+            )
+        resolved[name] = catalog[name]
+    return resolved
+
+
+def _make_scheduler(name: str):
+    if name in registry.EXACT_SCHEDULERS:
+        return registry.make_scheduler(
+            name, time_limit=EXACT_FUZZ_TIME_LIMIT
+        )
+    return registry.make_scheduler(name)
+
+
+def _schedule_once(
+    name: str, graph: DependenceGraph, machine: MachineModel, analysis
+) -> Schedule:
+    return _make_scheduler(name).schedule(graph, machine, analysis)
+
+
+def _shrink_failure(
+    graph: DependenceGraph,
+    machine: MachineModel,
+    scheduler: str,
+    oracle: str,
+) -> DependenceGraph:
+    """Minimize *graph* while *scheduler* still fails *oracle* on it."""
+    from repro.qa.shrink import shrink_case
+
+    def still_fails(candidate: DependenceGraph) -> bool:
+        return _case_fails(candidate, machine, scheduler, oracle)
+
+    # MILP evaluations cost seconds apiece where heuristics cost
+    # milliseconds; a tighter budget keeps exact-scheduler shrinks from
+    # dominating the campaign's wall time.
+    budget = 60 if scheduler in registry.EXACT_SCHEDULERS else 400
+    return shrink_case(graph, still_fails, max_evaluations=budget)
+
+
+def _case_fails(
+    graph: DependenceGraph,
+    machine: MachineModel,
+    scheduler: str,
+    oracle: str,
+) -> bool:
+    try:
+        analysis = compute_mii(graph, machine)
+        schedule = _schedule_once(scheduler, graph, machine, analysis)
+    except SolverTimeoutError:
+        return False  # budget ran out: not a reproduction of the bug
+    except ReproError:
+        return oracle == "schedules"
+    if oracle == "schedules":
+        return False
+    reports = run_battery(schedule, analysis)
+    return any(r.oracle == oracle and not r.ok for r in reports)
+
+
+def run_campaign(
+    config: CampaignConfig | None = None,
+    *,
+    log=None,
+) -> CampaignReport:
+    """Run one fuzzing campaign; never raises on oracle failures —
+    they come back collected (and shrunk) on the report."""
+    config = config or CampaignConfig()
+    say = log or (lambda message: None)
+    profiles = _resolve_profiles(config)
+    machines = _resolve_machines(config)
+    schedulers = _resolve_schedulers(config)
+    report = CampaignReport()
+    began = time.perf_counter()
+    parity_sample: list[tuple[DependenceGraph, str]] = []
+
+    def out_of_time() -> bool:
+        return (
+            config.max_seconds is not None
+            and time.perf_counter() - began >= config.max_seconds
+        )
+
+    def record_failure(
+        profile: FuzzProfile,
+        seed: int,
+        machine_name: str,
+        scheduler: str,
+        oracle: str,
+        message: str,
+        graph: DependenceGraph,
+    ) -> None:
+        minimized = graph
+        if config.shrink:
+            minimized = _shrink_failure(
+                graph, machines[machine_name], scheduler, oracle
+            )
+        from repro.graph.serialization import graph_to_dict
+
+        failure = CampaignFailure(
+            profile=profile.name,
+            seed=seed,
+            machine=machine_name,
+            scheduler=scheduler,
+            oracle=oracle,
+            message=message,
+            graph=graph_to_dict(minimized),
+            original_ops=len(graph),
+            minimized_ops=len(minimized),
+        )
+        report.failures.append(failure)
+        say(f"FAIL {failure.describe()}")
+
+    for index in range(config.seeds):
+        if out_of_time():
+            say(f"wall budget spent after {report.cases} case(s)")
+            break
+        seed = config.seed_base + index
+        profile = profiles[index % len(profiles)]
+        graph = profile.build(seed)
+        report.cases += 1
+        for machine_name, machine in machines.items():
+            if not _machine_supports(machine, graph):
+                report.skipped += 1
+                continue
+            analysis = compute_mii(graph, machine)
+            names = list(schedulers)
+            if (
+                config.include_exact
+                and len(graph) <= EXACT_FUZZ_OP_LIMIT
+                and index % max(1, config.exact_stride) == 0
+            ):
+                names += [
+                    name
+                    for name in registry.EXACT_SCHEDULERS
+                    if name in registry.available_schedulers()
+                    and name not in names
+                ]
+            schedules: dict[str, Schedule] = {}
+            for name in names:
+                try:
+                    schedule = _schedule_once(name, graph, machine, analysis)
+                except SolverTimeoutError:
+                    # MILP budget exhausted with no incumbent:
+                    # inconclusive, not an oracle failure.
+                    report.skipped += 1
+                    continue
+                except ReproError as exc:
+                    report.checks += 1
+                    record_failure(
+                        profile, seed, machine_name, name,
+                        "schedules",
+                        f"scheduler raised {type(exc).__name__}: {exc}",
+                        graph,
+                    )
+                    continue
+                report.schedules += 1
+                schedules[name] = schedule
+                reports = run_battery(schedule, analysis)
+                report.checks += len(reports)
+                for oracle_report in reports:
+                    if not oracle_report.ok:
+                        record_failure(
+                            profile, seed, machine_name, name,
+                            oracle_report.oracle, oracle_report.detail,
+                            graph,
+                        )
+            if len(schedules) > 1:
+                report.checks += 1
+                try:
+                    oracle_mii_agreement(graph, schedules)
+                except OracleFailure as exc:
+                    record_failure(
+                        profile, seed, machine_name, "*",
+                        exc.oracle, exc.detail, graph,
+                    )
+            if config.include_portfolio and len(schedules) > 1:
+                report.checks += 1
+                failure = _check_portfolio(graph, machine, schedules)
+                if failure is not None:
+                    record_failure(
+                        profile, seed, machine_name, "portfolio",
+                        failure[0], failure[1], graph,
+                    )
+            if len(parity_sample) < config.parity_cases:
+                parity_sample.append((graph, machine_name))
+
+    if parity_sample and not out_of_time():
+        say(f"parity phase: {len(parity_sample)} case(s) x 2 backends")
+        checked, parity_failures = _check_backend_parity(parity_sample)
+        report.parity_checked = checked
+        report.checks += checked
+        for machine_name, graph, message in parity_failures:
+            from repro.graph.serialization import graph_to_dict
+
+            report.failures.append(
+                CampaignFailure(
+                    profile="parity",
+                    seed=-1,
+                    machine=machine_name,
+                    scheduler="*",
+                    oracle="backend-parity",
+                    message=message,
+                    graph=graph_to_dict(graph),
+                    original_ops=len(graph),
+                    minimized_ops=len(graph),
+                )
+            )
+    report.wall_seconds = time.perf_counter() - began
+    return report
+
+
+def _check_portfolio(
+    graph: DependenceGraph,
+    machine: MachineModel,
+    schedules: dict[str, Schedule],
+) -> tuple[str, str] | None:
+    """Race the portfolio over precomputed members; the winner must be
+    a member's schedule and beat no member on the primary objective."""
+    from repro.portfolio import race_portfolio
+
+    members = tuple(
+        name
+        for name in schedules
+        if name not in registry.EXACT_SCHEDULERS
+    )
+    if len(members) < 2:
+        return None
+    try:
+        result = race_portfolio(
+            graph, machine, members=members, precomputed=schedules
+        )
+    except ReproError as exc:
+        return (
+            "portfolio",
+            f"race over precomputed members raised "
+            f"{type(exc).__name__}: {exc}",
+        )
+    best_ii = min(schedules[name].ii for name in members)
+    if result.schedule.ii > best_ii:
+        return (
+            "portfolio",
+            f"lexicographic winner {result.winner!r} has II "
+            f"{result.schedule.ii}, but member II {best_ii} was available",
+        )
+    return None
+
+
+def _check_backend_parity(
+    sample: list[tuple[DependenceGraph, str]],
+) -> tuple[int, list[tuple[str, DependenceGraph, str]]]:
+    """Run *sample* through a thread- and a process-backend service and
+    demand bit-identical artifacts (wall-clock fields excepted)."""
+    import tempfile
+
+    from repro.graph.serialization import graph_to_dict
+    from repro.service import ExecutorConfig, SchedulingService
+
+    def scrub(value):
+        if isinstance(value, dict):
+            return {
+                key: scrub(item)
+                for key, item in value.items()
+                if key != "seconds"
+            }
+        if isinstance(value, list):
+            return [scrub(item) for item in value]
+        return value
+
+    requests = [
+        {
+            "kind": "schedule",
+            "graph": graph_to_dict(graph),
+            "machine": machine_name,
+        }
+        for graph, machine_name in sample
+    ]
+
+    def run(backend: str) -> list[dict | None]:
+        envelopes: list[dict | None] = []
+        with tempfile.TemporaryDirectory(prefix="hrms-qa-") as tmp:
+            service = SchedulingService(
+                tmp, config=ExecutorConfig(backend=backend, workers=2)
+            ).start()
+            try:
+                jobs = [service.submit(request) for request in requests]
+                deadline = time.monotonic() + 300
+                while any(
+                    job.status not in ("done", "failed") for job in jobs
+                ):
+                    if time.monotonic() > deadline:
+                        raise ReproError(
+                            f"backend-parity: {backend} backend timed out"
+                        )
+                    time.sleep(0.005)
+                for job in jobs:
+                    if job.status != "done":
+                        envelopes.append(None)
+                    else:
+                        envelopes.append(
+                            service.store.get(job.result["artifact"])
+                        )
+            finally:
+                service.stop()
+        return envelopes
+
+    thread_envelopes = run("thread")
+    process_envelopes = run("process")
+    failures: list[tuple[str, DependenceGraph, str]] = []
+    for (graph, machine_name), a, b in zip(
+        sample, thread_envelopes, process_envelopes
+    ):
+        if a is None or b is None:
+            failures.append(
+                (
+                    machine_name,
+                    graph,
+                    f"{graph.name}: job failed on the "
+                    f"{'thread' if a is None else 'process'} backend",
+                )
+            )
+        elif scrub(a) != scrub(b):
+            failures.append(
+                (
+                    machine_name,
+                    graph,
+                    f"{graph.name}: thread and process backends produced "
+                    f"different artifacts for the same request",
+                )
+            )
+    return len(sample), failures

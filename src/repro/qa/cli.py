@@ -1,0 +1,148 @@
+"""Console entry point: ``hrms-fuzz``.
+
+Run a differential fuzzing campaign from the command line::
+
+    hrms-fuzz --seeds 200                      # 200-seed sweep, all oracles
+    hrms-fuzz --seconds 30                     # wall-clock budget instead
+    hrms-fuzz --seeds 50 --profiles tiny,tight-recurrence
+    hrms-fuzz --seeds 20 --machines perfect-club --schedulers hrms,sms
+    hrms-fuzz --seeds 100 --parity 6           # + backend-parity phase
+    hrms-fuzz --seeds 50 --save /tmp/repros    # write minimized failures
+
+Exit status is 0 when every oracle passed and 1 when any failed; each
+failure prints its reproduction coordinates (profile, seed, machine,
+scheduler, oracle) and — with ``--save DIR`` — lands as a minimized
+JSON reproducer ready to be committed under ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.qa.campaign import CampaignConfig, run_campaign
+from repro.qa.corpus import make_reproducer, save_reproducer
+from repro.qa.profiles import profile_names
+
+
+def _csv(text: str | None) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    parts = tuple(part.strip() for part in text.split(",") if part.strip())
+    return parts or None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hrms-fuzz",
+        description="Differential fuzzing of every registered scheduler "
+        "against the oracle battery (verifier, II bounds, simulator "
+        "replay, MII agreement, backend parity).",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=50,
+        help="number of seeded cases to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed (default: %(default)s; shift to explore "
+             "fresh territory)",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=None,
+        help="wall-clock budget; the sweep stops between cases once "
+             "spent (default: seeds only)",
+    )
+    parser.add_argument(
+        "--profiles", default=None,
+        help="comma-separated diversity profiles (default: all of "
+             f"{', '.join(profile_names())})",
+    )
+    parser.add_argument(
+        "--machines", default=None,
+        help="comma-separated canonical machine names (default: all)",
+    )
+    parser.add_argument(
+        "--schedulers", default=None,
+        help="comma-separated scheduler names (default: every "
+             "registered heuristic; exact methods join per --no-exact)",
+    )
+    parser.add_argument(
+        "--no-exact", action="store_true",
+        help="skip the MILP-backed schedulers even on tiny graphs",
+    )
+    parser.add_argument(
+        "--no-portfolio", action="store_true",
+        help="skip the portfolio race over precomputed members",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing them",
+    )
+    parser.add_argument(
+        "--parity", type=int, default=0, metavar="N",
+        help="also replay the first N (graph, machine) cases through "
+             "live thread- and process-backend services and demand "
+             "bit-identical artifacts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="write each failure as a minimized JSON reproducer "
+             "into DIR (the tests/corpus/ format)",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error(f"--seeds wants a positive count, got {args.seeds}")
+
+    config = CampaignConfig(
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        profiles=_csv(args.profiles),
+        machines=_csv(args.machines),
+        schedulers=_csv(args.schedulers),
+        include_exact=not args.no_exact,
+        include_portfolio=not args.no_portfolio,
+        max_seconds=args.seconds,
+        parity_cases=args.parity,
+        shrink=not args.no_shrink,
+    )
+    try:
+        report = run_campaign(
+            config, log=lambda message: print(f"hrms-fuzz: {message}")
+        )
+    except ReproError as exc:
+        print(f"hrms-fuzz: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"hrms-fuzz: {report.summary()}")
+    for failure in report.failures:
+        print(f"hrms-fuzz: FAIL {failure.describe()}", file=sys.stderr)
+    if args.save and report.failures:
+        from repro.graph.serialization import graph_from_dict
+        from repro.machine.configs import canonical_machines
+
+        machines = canonical_machines()
+        for failure in report.failures:
+            envelope = make_reproducer(
+                kind="schedule",
+                oracle=failure.oracle,
+                description=failure.message,
+                graph=graph_from_dict(failure.graph),
+                machine=machines[failure.machine],
+                scheduler=(
+                    None if failure.scheduler == "*" else failure.scheduler
+                ),
+                provenance={
+                    "profile": failure.profile,
+                    "seed": failure.seed,
+                    "found_by": "hrms-fuzz",
+                },
+            )
+            path = save_reproducer(args.save, envelope)
+            print(f"hrms-fuzz: reproducer -> {path}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""The reproducer corpus: minimized bug cases as JSON, replayed forever.
+
+Every bug the fuzzing campaign ever surfaced is committed under
+``tests/corpus/`` as one self-contained JSON envelope; the corpus-replay
+test loads each file, re-runs the scenario it describes, and asserts the
+oracle that once failed now passes (or, for ``verifier`` entries, that
+the verifier now *rejects* what it once silently accepted).  The corpus
+is append-only — an entry is the permanent regression test for its bug.
+
+Three entry kinds::
+
+    {"kind": "schedule", "scheduler": …, "machine": …, "graph": …,
+     "oracle": …}
+        Schedule the graph with the named scheduler and re-assert the
+        full per-schedule oracle battery.  Without a ``scheduler`` key
+        (a cross-scheduler failure: mii-agreement, portfolio), every
+        registered heuristic runs and the MII-agreement oracle is
+        re-asserted across them.
+
+    {"kind": "generator", "seed": …, "n_ops": …, "digest": …}
+        Rebuild the seeded random DDG and assert its size is exact and
+        its structural fingerprint unchanged.
+
+    {"kind": "verifier", "machine": …, "graph": …, "ii": …,
+     "start": …, "expect_error": …}
+        Build the (deliberately broken) schedule and assert
+        ``verify_schedule`` rejects it with a message matching
+        ``expect_error``.
+
+Envelopes also carry ``description`` and ``provenance`` (seed, profile,
+campaign) so a future reader knows where the case came from without
+archaeology.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError, ScheduleVerificationError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.machine.configs import machine_from_config
+from repro.machine.machine import MachineModel
+
+CORPUS_SCHEMA = 1
+CORPUS_KIND = "hrms-qa-reproducer"
+
+#: The directory the shipped corpus lives in, relative to the repo root.
+CORPUS_DIRNAME = "tests/corpus"
+
+
+def make_reproducer(
+    *,
+    kind: str,
+    oracle: str,
+    description: str,
+    graph: DependenceGraph | None = None,
+    machine: MachineModel | None = None,
+    scheduler: str | None = None,
+    provenance: dict | None = None,
+    **extra: Any,
+) -> dict:
+    """Assemble one corpus envelope (plain JSON-shaped dict)."""
+    envelope: dict[str, Any] = {
+        "schema": CORPUS_SCHEMA,
+        "format": CORPUS_KIND,
+        "kind": kind,
+        "oracle": oracle,
+        "description": description,
+    }
+    if graph is not None:
+        envelope["graph"] = graph_to_dict(graph)
+    if machine is not None:
+        envelope["machine"] = machine.to_dict()
+    if scheduler is not None:
+        envelope["scheduler"] = scheduler
+    if provenance:
+        envelope["provenance"] = provenance
+    envelope.update(extra)
+    return envelope
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "case"
+
+
+def save_reproducer(directory: str | Path, envelope: dict) -> Path:
+    """Write *envelope* under *directory* with a content-derived name.
+
+    The filename folds in the oracle and a digest of the envelope, so
+    re-saving the same reproducer is idempotent and distinct bugs never
+    collide.
+    """
+    import hashlib
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    canonical = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    name = f"qa-{_slug(envelope.get('oracle', 'case'))}-{digest}.json"
+    path = directory / name
+    path.write_text(json.dumps(envelope, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: str | Path) -> list[tuple[Path, dict]]:
+    """Every ``(path, envelope)`` in *directory*, sorted by filename."""
+    directory = Path(directory)
+    entries: list[tuple[Path, dict]] = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != CORPUS_KIND:
+            raise ReproError(
+                f"{path}: not a QA reproducer (format "
+                f"{data.get('format')!r})"
+            )
+        if data.get("schema", 0) > CORPUS_SCHEMA:
+            raise ReproError(
+                f"{path}: reproducer schema {data['schema']} is newer "
+                f"than this library understands ({CORPUS_SCHEMA})"
+            )
+        entries.append((path, data))
+    return entries
+
+
+def replay_entry(envelope: dict) -> None:
+    """Re-run one corpus entry; raises (assertion or oracle failure)
+    when the bug it pins has regressed."""
+    kind = envelope.get("kind")
+    if kind == "schedule":
+        _replay_schedule(envelope)
+    elif kind == "generator":
+        _replay_generator(envelope)
+    elif kind == "verifier":
+        _replay_verifier(envelope)
+    else:
+        raise ReproError(f"unknown corpus entry kind {kind!r}")
+
+
+def _replay_schedule(envelope: dict) -> None:
+    from repro.mii.analysis import compute_mii
+    from repro.qa.oracles import oracle_mii_agreement, run_battery
+    from repro.schedulers import registry
+
+    graph = graph_from_dict(envelope["graph"])
+    machine = machine_from_config(envelope["machine"])
+    analysis = compute_mii(graph, machine)
+    options = dict(envelope.get("options", {}))
+    named = envelope.get("scheduler")
+    if named is not None:
+        schedulers = [str(named)]
+    else:
+        # Cross-scheduler failure (mii-agreement, portfolio): replay
+        # with every registered heuristic and re-assert agreement.
+        schedulers = [
+            name
+            for name in registry.available_schedulers()
+            if name not in registry.VIRTUAL_SCHEDULERS
+            and name not in registry.EXACT_SCHEDULERS
+        ]
+    schedules = {}
+    failed = []
+    for name in schedulers:
+        schedule = registry.make_scheduler(name, **options).schedule(
+            graph, machine, analysis
+        )
+        schedules[name] = schedule
+        failed += [r for r in run_battery(schedule, analysis) if not r.ok]
+    if named is None and len(schedules) > 1:
+        oracle_mii_agreement(graph, schedules)
+    assert not failed, (
+        f"corpus regression ({envelope['description']}): "
+        + "; ".join(f"[{r.oracle}] {r.detail}" for r in failed)
+    )
+
+
+def _replay_generator(envelope: dict) -> None:
+    import random
+
+    from repro.engine import fingerprint_digest
+    from repro.workloads.synthetic import random_ddg
+
+    seed = envelope["seed"]
+    n_ops = int(envelope["n_ops"])
+    graph = random_ddg(random.Random(seed), n_ops)
+    graph.validate()
+    assert len(graph) == n_ops, (
+        f"corpus regression ({envelope['description']}): requested "
+        f"{n_ops} operations, generator emitted {len(graph)}"
+    )
+    expected = envelope.get("digest")
+    if expected:
+        actual = fingerprint_digest(graph)
+        assert actual == expected, (
+            f"corpus regression ({envelope['description']}): seed "
+            f"{seed!r} no longer reproduces digest {expected[:12]}… "
+            f"(got {actual[:12]}…)"
+        )
+
+
+def _replay_verifier(envelope: dict) -> None:
+    from repro.schedule.schedule import Schedule
+    from repro.schedule.verify import verify_schedule
+
+    graph = graph_from_dict(envelope["graph"])
+    machine = machine_from_config(envelope["machine"])
+    schedule = Schedule.__new__(Schedule)
+    # Bypass the constructor: these entries pin *verifier* behaviour on
+    # states the constructor would already reject or normalise away
+    # (that silent overlap was the original bug).
+    schedule.graph = graph
+    schedule.machine = machine
+    schedule.ii = int(envelope["ii"])
+    schedule.start = {
+        str(name): cycle for name, cycle in envelope["start"].items()
+    }
+    from repro.schedule.schedule import ScheduleStats
+
+    schedule.stats = ScheduleStats()
+    try:
+        verify_schedule(schedule)
+    except ScheduleVerificationError as exc:
+        pattern = envelope.get("expect_error")
+        assert pattern is None or re.search(pattern, str(exc)), (
+            f"corpus regression ({envelope['description']}): verifier "
+            f"rejected for the wrong reason: {exc}"
+        )
+    else:
+        raise AssertionError(
+            f"corpus regression ({envelope['description']}): "
+            "verify_schedule accepted a schedule it must reject"
+        )

@@ -1,0 +1,219 @@
+"""The oracle battery: every independent way the library can judge a
+schedule, run together.
+
+Each oracle is a small function that raises :class:`OracleFailure`
+(naming itself) when its invariant is violated:
+
+``legal``
+    :func:`repro.schedule.verify.verify_schedule` — completeness,
+    dependences, exact resource packing.
+``ii-bounds``
+    The achieved II must be at least the MII lower bound and no worse
+    than the driver's sequential-fallback upper bound; the schedule's
+    recorded MII bookkeeping must match an independent recomputation.
+``sim-reads``
+    Cycle-accurate replay: every register read must happen at or after
+    its producing instance completes.
+``sim-maxlive``
+    The replay's steady-state peak live count must equal the
+    closed-form MaxLive (the paper's register-pressure metric); any gap
+    means either the analytics or the simulator lies.
+``mii-agreement``
+    Schedulers disagree about *schedules*, never about lower bounds:
+    every scheduler run on the same (graph, machine) must report the
+    identical ResMII/RecMII/MII.
+``backend-parity``
+    The thread and process service backends must produce bit-identical
+    artifacts for identical requests (checked at campaign level, where
+    a live service pair exists).
+
+``run_battery`` executes the per-schedule oracles and returns one
+:class:`OracleReport` per oracle — collecting *all* failures instead of
+stopping at the first, because a shrink loop needs to know which
+specific oracle to hold constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError, ScheduleVerificationError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.machine import MachineModel
+from repro.mii.analysis import MIIResult, compute_mii
+from repro.schedule.maxlive import max_live
+from repro.schedule.schedule import Schedule
+from repro.schedule.verify import verify_schedule
+from repro.sim.simulator import simulate
+
+
+class OracleFailure(ReproError):
+    """One oracle's invariant was violated by one schedule."""
+
+    def __init__(self, oracle: str, message: str) -> None:
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+        self.detail = message
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Outcome of one oracle on one schedule."""
+
+    oracle: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"oracle": self.oracle, "ok": self.ok, "detail": self.detail}
+
+
+def ii_upper_bound(graph: DependenceGraph, mii: int) -> int:
+    """The II every driver is guaranteed to reach — the same
+    :func:`~repro.schedulers.base.default_ii_limit` the driver's II
+    search and the sequential fallback use, so the oracle can never
+    drift from the implementation."""
+    from repro.schedulers.base import default_ii_limit
+
+    return default_ii_limit(graph, mii)
+
+
+def oracle_legal(schedule: Schedule) -> None:
+    """``legal``: the algebraic verifier accepts the schedule."""
+    try:
+        verify_schedule(schedule)
+    except ScheduleVerificationError as exc:
+        raise OracleFailure("legal", str(exc)) from exc
+
+
+def oracle_ii_bounds(schedule: Schedule, analysis: MIIResult) -> None:
+    """``ii-bounds``: MII <= II <= sequential upper bound, and the
+    schedule's recorded bounds match an independent recomputation."""
+    mii = analysis.mii
+    upper = ii_upper_bound(schedule.graph, mii)
+    if schedule.ii < mii:
+        raise OracleFailure(
+            "ii-bounds",
+            f"{schedule.graph.name}: II {schedule.ii} beats the MII lower "
+            f"bound {mii} (ResMII {analysis.resmii}, RecMII "
+            f"{analysis.recmii}) — the schedule or the bound is wrong",
+        )
+    if schedule.ii > upper:
+        raise OracleFailure(
+            "ii-bounds",
+            f"{schedule.graph.name}: II {schedule.ii} exceeds the "
+            f"sequential fallback bound {upper}",
+        )
+    stats = schedule.stats
+    if stats.mii and stats.mii != mii:
+        raise OracleFailure(
+            "ii-bounds",
+            f"{schedule.graph.name}: schedule reports MII {stats.mii}, "
+            f"independent analysis says {mii}",
+        )
+
+
+def oracle_simulation(schedule: Schedule) -> None:
+    """``sim-reads`` + ``sim-maxlive``: replay the schedule and compare
+    the observed steady state against the closed-form analytics."""
+    try:
+        report = simulate(schedule, check_reads=True)
+    except ScheduleVerificationError as exc:
+        raise OracleFailure("sim-reads", str(exc)) from exc
+    expected = max_live(schedule)
+    if report.peak_live_steady != expected:
+        raise OracleFailure(
+            "sim-maxlive",
+            f"{schedule.graph.name}: simulator saw steady-state peak "
+            f"{report.peak_live_steady} live values over window "
+            f"{report.steady_window}, closed-form MaxLive is {expected}",
+        )
+
+
+def oracle_mii_agreement(
+    graph: DependenceGraph, schedules: dict[str, Schedule]
+) -> None:
+    """``mii-agreement``: every scheduler reported the same lower bounds."""
+    bounds: dict[tuple[int, int, int], list[str]] = {}
+    for name, schedule in schedules.items():
+        stats = schedule.stats
+        key = (stats.resmii, stats.recmii, stats.mii)
+        bounds.setdefault(key, []).append(name)
+    if len(bounds) > 1:
+        described = "; ".join(
+            f"{'/'.join(sorted(names))}: ResMII={key[0]} RecMII={key[1]} "
+            f"MII={key[2]}"
+            for key, names in sorted(bounds.items())
+        )
+        raise OracleFailure(
+            "mii-agreement",
+            f"{graph.name}: schedulers disagree on lower bounds — "
+            f"{described}",
+        )
+
+
+#: Oracle names in battery order (backend-parity runs at campaign
+#: level, mii-agreement across a scheduler set — both outside
+#: :func:`run_battery`).
+BATTERY = ("legal", "ii-bounds", "sim-reads", "sim-maxlive")
+
+
+def run_battery(
+    schedule: Schedule, analysis: MIIResult | None = None
+) -> list[OracleReport]:
+    """Run every per-schedule oracle; one report per oracle."""
+    if analysis is None:
+        analysis = compute_mii(schedule.graph, schedule.machine)
+    reports: list[OracleReport] = []
+    for oracle, check in (
+        ("legal", lambda: oracle_legal(schedule)),
+        ("ii-bounds", lambda: oracle_ii_bounds(schedule, analysis)),
+    ):
+        try:
+            check()
+        except OracleFailure as exc:
+            reports.append(OracleReport(oracle, False, exc.detail))
+        else:
+            reports.append(OracleReport(oracle, True))
+    try:
+        oracle_simulation(schedule)
+    except OracleFailure as exc:
+        if exc.oracle == "sim-reads":
+            # sim-maxlive was never evaluated: the replay aborted.
+            reports.append(OracleReport("sim-reads", False, exc.detail))
+        else:
+            reports.append(OracleReport("sim-reads", True))
+            reports.append(OracleReport("sim-maxlive", False, exc.detail))
+    else:
+        reports.append(OracleReport("sim-reads", True))
+        reports.append(OracleReport("sim-maxlive", True))
+    return reports
+
+
+def verify_artifact_payload(
+    payload: dict,
+    graph: DependenceGraph,
+    machine: MachineModel | None = None,
+) -> dict:
+    """Re-verify a stored schedule artifact payload against *graph*.
+
+    The backbone of ``POST /v1/verify``: rebuilds the
+    :class:`Schedule` (digest-checked against the supplied graph),
+    runs the per-schedule oracle battery, and reports every check.
+    Raises :class:`~repro.errors.JobError` via
+    :func:`~repro.service.executor.schedule_from_payload` when the
+    graph does not match the artifact.
+    """
+    from repro.service.executor import schedule_from_payload
+
+    schedule = schedule_from_payload(payload, graph, machine)
+    analysis = compute_mii(schedule.graph, schedule.machine)
+    reports = run_battery(schedule, analysis)
+    return {
+        "ok": all(report.ok for report in reports),
+        "graph": schedule.graph.name,
+        "scheduler": schedule.stats.scheduler,
+        "ii": schedule.ii,
+        "mii": analysis.mii,
+        "checks": [report.to_dict() for report in reports],
+    }

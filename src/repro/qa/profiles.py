@@ -1,0 +1,147 @@
+"""Diversity profiles for the fuzzing campaign's graph population.
+
+Hand-picked workloads cluster in the comfortable middle of the loop
+space; the profiles here deliberately pull toward the edges where
+scheduler bugs hide: recurrence-saturated bodies (RecMII-bound, deep
+backward edges), wide embarrassingly-parallel bodies (resource-bound,
+huge same-row pressure), unpipelined-heavy mixes (multi-row circular-arc
+reservations), and degenerate tiny graphs (single operation, lone
+self-recurrence, two-op chains) that exercise every ``max(…, 1)`` and
+empty-window corner at once.
+
+Each profile owns its size range and how a graph is built; everything is
+a pure function of ``(profile, seed)`` so a campaign case can be named,
+replayed and shrunk from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import FADD, FDIV, FMUL, FSQRT, MEM, Operation
+from repro.workloads.synthetic import GeneratorProfile, random_ddg
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """One diversity profile: a name, a size range, and a builder."""
+
+    name: str
+    min_ops: int
+    max_ops: int
+    #: ``builder(rng, n_ops, name) -> DependenceGraph``
+    builder: Callable[[random.Random, int, str], DependenceGraph]
+
+    def build(self, seed: int, *, prefix: str = "qa") -> DependenceGraph:
+        """The graph this profile generates for *seed* (deterministic)."""
+        rng = random.Random(f"{prefix}-{self.name}-{seed}")
+        n_ops = rng.randint(self.min_ops, self.max_ops)
+        name = f"{prefix}-{self.name}-{seed}"
+        graph = self.builder(rng, n_ops, name)
+        graph.validate()
+        return graph
+
+
+def _generator(profile: GeneratorProfile):
+    def build(rng: random.Random, n_ops: int, name: str) -> DependenceGraph:
+        return random_ddg(rng, n_ops, name=name, profile=profile)
+
+    return build
+
+
+def _build_tiny(rng: random.Random, n_ops: int, name: str) -> DependenceGraph:
+    """Degenerate graphs the generator cannot produce: 1–3 operations,
+    including a lone op, a lone self-recurrence, and a 2-op cycle."""
+    graph = DependenceGraph(name)
+    shape = rng.randrange(4)
+    if n_ops == 1 or shape == 0:
+        op = Operation("solo", rng.choice((1, 2, 4, 17)), FADD)
+        graph.add_operation(op)
+        if rng.random() < 0.5:
+            # accumulator: x = x + …, distance-1 self-dependence
+            graph.add_edge(Edge("solo", "solo", 1, DependenceKind.REGISTER))
+        return graph
+    if shape == 1:
+        # Two-op loop-carried cycle: a -> b (0), b -> a (>=1).
+        graph.add_operation(Operation("a", rng.choice((1, 4)), FADD))
+        graph.add_operation(Operation("b", rng.choice((1, 4)), FMUL))
+        graph.add_edge(Edge("a", "b", 0, DependenceKind.REGISTER))
+        graph.add_edge(
+            Edge("b", "a", rng.randint(1, 3), DependenceKind.REGISTER)
+        )
+        return graph
+    if shape == 2:
+        # Load feeding a store: no value chain beyond memory traffic.
+        graph.add_operation(Operation("ld", 2, MEM))
+        graph.add_operation(
+            Operation("st", 1, MEM, produces_value=False)
+        )
+        graph.add_edge(Edge("ld", "st", 0, DependenceKind.REGISTER))
+        return graph
+    return random_ddg(rng, max(2, n_ops), name=name)
+
+
+#: Tight recurrences: every loop carries several deep backward edges, so
+#: RecMII dominates and the schedulers' recurrence machinery is always
+#: on the critical path.
+_TIGHT = GeneratorProfile(
+    recurrence_probability=1.0,
+    max_extra_recurrences=4,
+    operand_window=3,
+    two_operand_probability=0.85,
+    distances=[(1, 0.6), (2, 0.25), (3, 0.1), (4, 0.05)],
+)
+
+#: Wide parallel bodies: zero recurrences, shallow chains, load-heavy —
+#: pure resource pressure with maximal same-row competition.
+_WIDE = GeneratorProfile(
+    recurrence_probability=0.0,
+    load_fraction=0.45,
+    store_fraction=0.18,
+    two_operand_probability=0.35,
+    operand_window=24,
+)
+
+#: Unpipelined-heavy: divides and square roots dominate, so multi-row
+#: circular-arc reservations (the hard case of the MRT and the
+#: verifier's exact packer) are the norm rather than the exception.
+_UNPIPELINED = GeneratorProfile(
+    compute_mix=[
+        (FDIV, 17, 0.45),
+        (FSQRT, 30, 0.25),
+        (FADD, 4, 0.20),
+        (FMUL, 4, 0.10),
+    ],
+    recurrence_probability=0.4,
+)
+
+
+def fuzz_profiles() -> tuple[FuzzProfile, ...]:
+    """Every diversity profile, in the round-robin order campaigns use."""
+    return (
+        FuzzProfile("baseline", 4, 48, _generator(GeneratorProfile())),
+        FuzzProfile("tight-recurrence", 4, 28, _generator(_TIGHT)),
+        FuzzProfile("wide-parallel", 8, 64, _generator(_WIDE)),
+        FuzzProfile("unpipelined-heavy", 4, 24, _generator(_UNPIPELINED)),
+        FuzzProfile("tiny", 1, 4, _build_tiny),
+    )
+
+
+def profile_names() -> list[str]:
+    """Names of every registered fuzz profile."""
+    return [profile.name for profile in fuzz_profiles()]
+
+
+def profile_by_name(name: str) -> FuzzProfile:
+    """Look up one profile; raises ``ValueError`` on unknown names."""
+    for profile in fuzz_profiles():
+        if profile.name == name:
+            return profile
+    raise ValueError(
+        f"unknown fuzz profile {name!r}; available: "
+        f"{', '.join(profile_names())}"
+    )

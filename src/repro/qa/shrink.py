@@ -1,0 +1,97 @@
+"""Greedy delta-debugging of failing fuzz cases.
+
+A campaign failure arrives as a generated graph of up to dozens of
+operations; the committed reproducer should be the handful that
+actually matter.  The shrinker repeatedly tries structure-removing
+edits — drop an operation (with its incident edges), drop a single
+edge — and keeps an edit whenever the caller's predicate says the
+*same* oracle still fails on the smaller graph.  The loop runs to a
+fixpoint (no single removal reproduces the failure any more) under a
+predicate-evaluation budget, so a pathological case cannot stall a
+campaign.
+
+The predicate owns re-running the scheduler and the oracle; the
+shrinker only proposes structurally valid candidates (every candidate
+passes ``DependenceGraph.validate`` and keeps at least one operation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.graph.ddg import DependenceGraph
+
+
+def _without_operation(
+    graph: DependenceGraph, name: str
+) -> DependenceGraph | None:
+    keep = [op for op in graph.node_names() if op != name]
+    if not keep:
+        return None
+    return graph.subgraph(keep, name=graph.name)
+
+
+def _without_edge(graph: DependenceGraph, index: int) -> DependenceGraph:
+    clone = graph.copy()
+    clone.remove_edge(graph.edges()[index])
+    return clone
+
+
+def _still_fails(
+    candidate: DependenceGraph,
+    predicate: Callable[[DependenceGraph], bool],
+) -> bool:
+    try:
+        candidate.validate()
+        return bool(predicate(candidate))
+    except ReproError:
+        # A candidate that fails *differently* (unschedulable, invalid
+        # graph) is not a reproduction of the original bug.
+        return False
+
+
+def shrink_case(
+    graph: DependenceGraph,
+    predicate: Callable[[DependenceGraph], bool],
+    *,
+    max_evaluations: int = 400,
+) -> DependenceGraph:
+    """Minimize *graph* while ``predicate(graph)`` stays true.
+
+    *predicate* must return ``True`` exactly when the candidate still
+    exhibits the original failure (same oracle).  Returns the smallest
+    graph found — *graph* itself if nothing could be removed.  The
+    input graph is never mutated.
+    """
+    if not predicate(graph):
+        # Non-reproducing input: nothing to shrink against.
+        return graph
+    budget = max_evaluations
+    current = graph
+    progress = True
+    while progress and budget > 0:
+        progress = False
+        # Pass 1: operations, most-recently-added first — generated
+        # graphs grow forward, so late ops are the most likely ballast.
+        for name in reversed(current.node_names()):
+            if budget <= 0:
+                break
+            candidate = _without_operation(current, name)
+            if candidate is None:
+                continue
+            budget -= 1
+            if _still_fails(candidate, predicate):
+                current = candidate
+                progress = True
+        # Pass 2: individual edges (recurrence closers, redundant deps).
+        index = 0
+        while index < current.edge_count() and budget > 0:
+            candidate = _without_edge(current, index)
+            budget -= 1
+            if _still_fails(candidate, predicate):
+                current = candidate
+                progress = True
+            else:
+                index += 1
+    return current

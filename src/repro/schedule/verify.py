@@ -1,8 +1,14 @@
 """Schedule verifier.
 
 Every schedule produced anywhere in the library can be checked against the
-two constraint families of modulo scheduling:
+three constraint families of modulo scheduling:
 
+* **Completeness** — the start map must schedule exactly the graph's
+  operations, each at a non-negative integral issue cycle.  A missing
+  operation, a spurious entry for an operation the graph does not
+  contain (the footprint a double-scheduling bug leaves after a rename
+  or a stale merge), or a negative/fractional cycle is rejected before
+  the arithmetic below could silently skip over it.
 * **Dependences** — for every edge ``(u, v, delta)``:
   ``start[v] + delta * II >= start[u] + latency(u)``.
 * **Resources** — the per-class reservations must be packable onto the
@@ -29,6 +35,8 @@ def verify_schedule(schedule: Schedule) -> None:
     """Raise :class:`ScheduleVerificationError` on any violated constraint."""
     graph = schedule.graph
     ii = schedule.ii
+
+    _verify_completeness(schedule)
 
     for edge in graph.edges():
         t_src = schedule.issue_cycle(edge.src)
@@ -64,6 +72,40 @@ def verify_schedule(schedule: Schedule) -> None:
                 f"{graph.name}: resource conflict — class {unit.name!r} "
                 f"reservations cannot be packed onto {unit.count} unit(s) "
                 f"at II={ii} (ops {[name for _, _, name in arcs]})"
+            )
+
+
+def _verify_completeness(schedule: Schedule) -> None:
+    """Every graph operation scheduled exactly once, at a sane cycle.
+
+    :class:`Schedule` normalises and checks at construction, but the
+    start map is a plain mutable dict and many schedules are rebuilt
+    from stored artifacts or hand-assembled in tests — so the verifier
+    re-checks rather than trusting the constructor ran on this exact
+    state.
+    """
+    graph = schedule.graph
+    start = schedule.start
+    missing = [name for name in graph.node_names() if name not in start]
+    if missing:
+        raise ScheduleVerificationError(
+            f"{graph.name}: schedule omits operation(s) {sorted(missing)}"
+        )
+    spurious = [name for name in start if name not in graph]
+    if spurious:
+        raise ScheduleVerificationError(
+            f"{graph.name}: schedule has entries for operation(s) "
+            f"{sorted(spurious)} that are not in the graph"
+        )
+    for name, cycle in start.items():
+        if isinstance(cycle, bool) or not isinstance(cycle, int):
+            raise ScheduleVerificationError(
+                f"{graph.name}: {name!r} has a non-integer issue cycle "
+                f"{cycle!r}"
+            )
+        if cycle < 0:
+            raise ScheduleVerificationError(
+                f"{graph.name}: {name!r} is issued at negative cycle {cycle}"
             )
 
 
@@ -123,6 +165,20 @@ def _packable(arcs: list[tuple[int, int, str]], count: int, ii: int) -> bool:
         return False
 
     return search(0)
+
+
+def arcs_packable(
+    arcs: list[tuple[int, int, str]], count: int, ii: int
+) -> bool:
+    """Public exact packability test for ``(row, span, name)`` arcs.
+
+    Used by the MILP schedulers to validate extracted placements: their
+    per-row occupancy constraints are a *relaxation* for unpipelined
+    (multi-row) reservations — circular arcs can saturate every row of
+    ``count`` units and still admit no unit assignment — so an exact
+    check decides whether a solver placement is realizable.
+    """
+    return _packable(arcs, count, ii)
 
 
 def is_valid(schedule: Schedule) -> bool:

@@ -80,6 +80,145 @@ def scan_place(
     return mrt.scan_place(op, candidates)
 
 
+def default_ii_limit(graph: DependenceGraph, mii: int) -> int:
+    """The II every driver is guaranteed to reach without a user cap.
+
+    A fully sequential iteration always fits once II covers the whole
+    span of one iteration plus slack for modulo wrap effects — the
+    bound the driver's II search stops at, the II the sequential
+    fallback schedule uses, and the upper limit the QA ``ii-bounds``
+    oracle holds every schedule to (one definition, three consumers).
+    """
+    return mii + graph.total_latency() + len(graph) + 8
+
+
+def neighbor_directed_attempt(
+    graph: DependenceGraph,
+    machine: MachineModel,
+    ii: int,
+    order: list[str],
+    closers_down: bool = False,
+    stagger: int = 0,
+) -> dict[str, int] | None:
+    """One placement attempt using the paper's direction rule.
+
+    Shared fallback for the bidirectional schedulers (HRMS, SMS).
+    Their primary attempts classify an operation by which *transitive*
+    bounds exist — but the MinDist matrix gives almost every operation
+    both an EarlyStart and a LateStart once any recurrence node is
+    placed, so nearly everything scans ASAP.  An operation whose only
+    *scheduled direct neighbours* are successors then gets parked at
+    its transitive EarlyStart (often far too early), which can pin a
+    later recurrence closer into a one-cycle window on an occupied row
+    — at **every** II, so the driver's II+1 retry loops to exhaustion
+    (found by the QA fuzzing campaign; minimized in ``tests/corpus/``).
+
+    Here the scan *direction* follows Section 3.3's actual rule —
+    scheduled direct predecessors only → ASAP, successors only → ALAP,
+    both (recurrence closers) → the two-sided window, scanned upward or
+    (``closers_down``) downward — while the window *limits* still come
+    from the exact transitive bounds.
+
+    ``stagger`` rotates every multi-candidate scan by that many cycles,
+    so boundary cycles (an op's exact EarlyStart/LateStart) are tried
+    *last*.  Greedy boundary placement is what pinches later one-cycle
+    windows onto occupied rows — an op parked at exactly its LS both
+    freezes a successor's window and squats on the row that successor
+    needs; staggering leaves the boundary free whenever an alternative
+    slot exists.
+    """
+    from repro.engine.windows import StartBounds
+    from repro.schedulers.mindist import mindist_matrix
+
+    solved = mindist_matrix(graph, ii)
+    if solved is None:
+        return None
+    dist, names = solved
+    index = {name: i for i, name in enumerate(names)}
+    bounds = StartBounds(dist)
+    mrt = ModuloReservationTable(machine, ii)
+    start: dict[str, int] = {}
+    for name in order:
+        op = graph.operation(name)
+        es = bounds.early_start(index[name])
+        ls = bounds.late_start(index[name])
+        if es is not None and ls is not None and es > ls:
+            return None
+        has_pred = any(
+            edge.src != name and edge.src in start
+            for edge in graph.in_edges(name)
+        )
+        has_succ = any(
+            edge.dst != name and edge.dst in start
+            for edge in graph.out_edges(name)
+        )
+        if has_succ and not has_pred and ls is not None:
+            window = downward_window(ls, ii, es)
+        elif has_pred and has_succ and closers_down and ls is not None:
+            window = downward_window(ls, ii, es)
+        elif es is not None:
+            window = upward_window(es, ii, ls)
+        elif ls is not None:
+            window = downward_window(ls, ii)
+        else:
+            window = upward_window(0, ii)
+        candidates: Iterable[int] = window
+        if stagger:
+            cycles = list(window)
+            if len(cycles) > 1:
+                shift = stagger % len(cycles)
+                candidates = cycles[shift:] + cycles[:shift]
+        cycle = scan_place(mrt, op, candidates)
+        if cycle is None:
+            return None
+        start[name] = cycle
+        bounds.place(index[name], cycle)
+    return start
+
+
+def sequential_fallback_schedule(
+    graph: DependenceGraph, machine: MachineModel, ii: int
+) -> dict[str, int] | None:
+    """The existence proof made executable: one operation at a time.
+
+    Issues the operations in a topological order of the distance-0
+    subgraph, each after the previous one's latency, so for ``ii`` at
+    least the loop body's whole serial span every constraint holds by
+    construction: intra-iteration edges are satisfied by the ordering
+    and the latency-wide gaps, loop-carried edges by ``ii`` exceeding
+    every issue cycle, and resources by the reservations being disjoint
+    in absolute cycles that never wrap.  Returns ``None`` when *ii* is
+    too small for the construction (or the distance-0 subgraph is
+    cyclic, in which case no schedule exists at any II).
+    """
+    strides = {
+        op.name: max(op.latency, machine.reservation_cycles(op), 1)
+        for op in graph.operations()
+    }
+    if ii < sum(strides.values()):
+        return None
+    indegree = {name: 0 for name in graph.node_names()}
+    for edge in graph.edges():
+        if edge.distance == 0 and edge.src != edge.dst:
+            indegree[edge.dst] += 1
+    ready = [name for name in graph.node_names() if indegree[name] == 0]
+    start: dict[str, int] = {}
+    cursor = 0
+    while ready:
+        name = ready.pop(0)
+        start[name] = cursor
+        cursor += strides[name]
+        for edge in graph.out_edges(name):
+            if edge.distance != 0 or edge.dst == name:
+                continue
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                ready.append(edge.dst)
+    if len(start) != len(graph):
+        return None  # zero-distance cycle: unschedulable at any II
+    return start
+
+
 def upward_window(es: int, ii: int, ls: int | None = None) -> range:
     """Cycles ES .. ES+II-1, optionally clipped at a late bound."""
     top = es + ii - 1
@@ -145,14 +284,34 @@ class ModuloScheduler(abc.ABC):
                     total_seconds=now - wall_start,
                 )
                 return Schedule(graph, machine, ii, start, stats)
+        if self._max_ii is None:
+            # The default limit was *chosen* so a fully sequential
+            # iteration fits — make that existence proof the schedule
+            # instead of failing.  Heuristic window scans can pinch a
+            # recurrence node into an II-invariant dead end (see the QA
+            # corpus), in which case no amount of II growth helps; the
+            # sequential construction cannot.  A user-supplied max_ii
+            # is a real cap, so exhausting it still raises.
+            start = sequential_fallback_schedule(graph, machine, ii_limit)
+            if start is not None:
+                now = time.perf_counter()
+                stats = ScheduleStats(
+                    scheduler=self.name,
+                    mii=analysis.mii,
+                    resmii=analysis.resmii,
+                    recmii=analysis.recmii,
+                    attempts=attempts + 1,
+                    ordering_seconds=prep_seconds,
+                    scheduling_seconds=time.perf_counter() - sched_start,
+                    total_seconds=now - wall_start,
+                )
+                return Schedule(graph, machine, ii_limit, start, stats)
         raise IterationLimitError(ii_limit)
 
     def _ii_limit(self, graph: DependenceGraph, analysis: MIIResult) -> int:
         if self._max_ii is not None:
             return self._max_ii
-        # A fully sequential iteration always fits once II covers the whole
-        # span of one iteration plus slack for modulo wrap effects.
-        return analysis.mii + graph.total_latency() + len(graph) + 8
+        return default_ii_limit(graph, analysis.mii)
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

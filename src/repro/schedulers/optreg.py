@@ -25,6 +25,12 @@ can achieve, which makes this scheduler the yardstick for HRMS's
 register quality on small loops, the same role [7] plays in the paper's
 discussion.  Cost grows quickly with ``|V| * horizon``; use it on
 Table-1-sized kernels.
+
+The same unpipelined-reservation conservatism as SPILP applies: row
+occupancy relaxes circular-arc unit assignment, an unpackable extracted
+optimum fails the attempt, and the II search continues — the register
+optimum is exact at the II returned, which can exceed the true minimum
+II on unpipelined-saturated loops.
 """
 
 from __future__ import annotations
@@ -35,14 +41,14 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.errors import SolverError
+from repro.errors import SolverError, SolverTimeoutError
 from repro.graph.ddg import DependenceGraph
 from repro.graph.edges import DependenceKind
 from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
 from repro.mii.analysis import MIIResult
 from repro.schedulers.base import ModuloScheduler
 from repro.schedulers.mindist import cyclic_asap
+from repro.schedulers.spilp import _placement_packable
 
 
 class OptRegScheduler(ModuloScheduler):
@@ -261,6 +267,12 @@ class OptRegScheduler(ModuloScheduler):
         if result.status == 2:  # infeasible at this II
             return None
         if result.x is None:
+            if result.status == 1:  # iteration/time limit, no incumbent
+                raise SolverTimeoutError(
+                    f"optreg timed out on {graph.name!r} at II={ii} "
+                    f"(limit {self._time_limit}s, no incumbent): "
+                    f"{result.message}"
+                )
             raise SolverError(
                 f"optreg failed on {graph.name!r} at II={ii}: "
                 f"{result.message}"
@@ -271,11 +283,9 @@ class OptRegScheduler(ModuloScheduler):
             base = index[name] * horizon
             column = result.x[base : base + horizon]
             start[name] = int(np.argmax(column))
-        mrt = ModuloReservationTable(machine, ii)
-        for name in names:
-            if not mrt.place(ops[name], start[name]):
-                raise SolverError(
-                    f"optreg produced a resource-infeasible placement for "
-                    f"{graph.name!r} at II={ii}"
-                )
+        if not _placement_packable(graph, machine, ii, start):
+            # Row occupancy is a relaxation of unit assignment for
+            # unpipelined reservations (see SPILP); an unrealizable
+            # placement fails this attempt rather than the whole study.
+            return None
         return start

@@ -37,6 +37,7 @@ from repro.mii.analysis import MIIResult
 from repro.schedulers.base import (
     ModuloScheduler,
     downward_window,
+    neighbor_directed_attempt,
     scan_place,
     upward_window,
 )
@@ -69,8 +70,25 @@ class SwingScheduler(ModuloScheduler):
             return result
         # Same rescue as HRMS: an ES-anchored II-length window can miss
         # the feasible region of a two-sided node when LS - ES > II.
-        return self._attempt_directional(graph, machine, ii, context,
-                                         both_down=True)
+        result = self._attempt_directional(graph, machine, ii, context,
+                                           both_down=True)
+        if result is not None:
+            return result
+        # Same last resort as HRMS (see neighbor_directed_attempt): the
+        # transitive-bound classification can pin a node into an
+        # II-invariant one-cycle window; the paper's scheduled-neighbour
+        # direction rule — and, failing that, the staggered scan that
+        # keeps boundary cycles free — unsticks those loops.
+        for closers_down, stagger in (
+            (False, 0), (True, 0), (False, 1), (True, 1),
+        ):
+            result = neighbor_directed_attempt(
+                graph, machine, ii, context,
+                closers_down=closers_down, stagger=stagger,
+            )
+            if result is not None:
+                return result
+        return None
 
     def _attempt_directional(
         self,

@@ -10,7 +10,17 @@ requirements at the smallest feasible II (the driver iterates II upward,
 exactly like the original).
 
 The original used the OSL solver; we solve the identical formulation with
-HiGHS through :func:`scipy.optimize.milp`.  The paper's observation that
+HiGHS through :func:`scipy.optimize.milp`.
+
+One known conservatism: the modulo resource constraints bound per-row
+*occupancy*, which for unpipelined multi-row reservations is a
+relaxation of circular-arc unit assignment.  An extracted optimum that
+fails the exact packer is treated as infeasible at that II and the
+search moves on — so on unpipelined-saturated loops the reported II can
+exceed the true minimum when a *different* relaxed-feasible placement
+at the skipped II would have packed (closing that gap needs no-good
+cuts and a re-solve loop).  Buffer optimality still holds at the II
+actually returned.  The paper's observation that
 SPILP costs orders of magnitude more time than the heuristics reproduces
 directly — one Livermore-style loop with a long divide chain dominates the
 total, mirroring the paper's Loop 23 anecdote.
@@ -24,14 +34,43 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.errors import SolverError
+from repro.errors import SolverError, SolverTimeoutError
 from repro.graph.ddg import DependenceGraph
 from repro.graph.edges import DependenceKind
 from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
 from repro.mii.analysis import MIIResult
 from repro.schedulers.base import ModuloScheduler
 from repro.schedulers.mindist import cyclic_asap
+
+
+def _placement_packable(
+    graph: DependenceGraph,
+    machine: MachineModel,
+    ii: int,
+    start: dict[str, int],
+) -> bool:
+    """Exact unit-assignment check for an extracted MILP placement.
+
+    Shared by SPILP and OptReg: both formulations bound kernel-row
+    occupancy, which is exact for pipelined classes but a relaxation
+    for unpipelined multi-row reservations, so extracted placements
+    must pass circular-arc packing before they are accepted.
+    """
+    from repro.schedule.verify import arcs_packable
+
+    by_class: dict[str, list[tuple[int, int, str]]] = {}
+    for name, cycle in start.items():
+        op = graph.operation(name)
+        unit = machine.class_for(op)
+        span = machine.reservation_cycles(op)
+        by_class.setdefault(unit.name, []).append(
+            (cycle % ii, span, name)
+        )
+    for unit in machine.unit_classes():
+        arcs = by_class.get(unit.name)
+        if arcs and not arcs_packable(arcs, unit.count, ii):
+            return False
+    return True
 
 
 class SPILPScheduler(ModuloScheduler):
@@ -186,6 +225,12 @@ class SPILPScheduler(ModuloScheduler):
         if result.status == 2:  # infeasible at this II
             return None
         if result.x is None:
+            if result.status == 1:  # iteration/time limit, no incumbent
+                raise SolverTimeoutError(
+                    f"SPILP timed out on {graph.name!r} at II={ii} "
+                    f"(limit {self._time_limit}s, no incumbent): "
+                    f"{result.message}"
+                )
             raise SolverError(
                 f"SPILP failed on {graph.name!r} at II={ii}: "
                 f"{result.message}"
@@ -196,14 +241,14 @@ class SPILPScheduler(ModuloScheduler):
             base = index[name] * horizon
             column = result.x[base : base + horizon]
             start[name] = int(np.argmax(column))
-        # HiGHS can return slightly fractional incumbents; re-check that
-        # the extracted integer schedule is resource-feasible before
-        # accepting it (the verifier would catch it anyway).
-        mrt = ModuloReservationTable(machine, ii)
-        for name in names:
-            if not mrt.place(ops[name], start[name]):
-                raise SolverError(
-                    f"SPILP produced a resource-infeasible placement for "
-                    f"{graph.name!r} at II={ii}"
-                )
+        if not _placement_packable(graph, machine, ii, start):
+            # Constraint (3) bounds per-row *occupancy*, which for
+            # unpipelined multi-row reservations is only a relaxation of
+            # unit assignment: three 30-cycle arcs can saturate every
+            # row of two units at II=45 yet admit no assignment (found
+            # by the QA campaign — tests/corpus/).  An exact circular-
+            # arc check decides; an unrealizable placement fails the
+            # attempt so the driver continues the II search instead of
+            # crashing mid-study.
+            return None
         return start

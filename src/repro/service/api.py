@@ -11,6 +11,11 @@ Built on :mod:`http.server` (no new dependencies).  Endpoints::
     POST /v1/jobs               submit one job; body is the request dict
                                 (kind defaults to "schedule") → 202 {id}
     POST /v1/batch              {"jobs": [request, …]} → 202 {ids}
+    POST /v1/verify             {"artifact": key, "graph": ddg} →
+                                re-run the QA oracle battery (verifier,
+                                II bounds, simulator replay) on a stored
+                                schedule artifact; 200 report
+                                with per-oracle checks
     GET  /v1/jobs               {"counts": {...}, "jobs": [summaries]}
     GET  /v1/jobs/<id>          full job record (status, result, error)
     GET  /v1/artifacts/<key>    the stored JSON envelope
@@ -105,9 +110,14 @@ class SchedulingService:
         self.pool.start()
         return self
 
-    def stop(self, wait: bool = True) -> None:
-        """Close the queue and (optionally) wait for the workers."""
-        self.pool.stop(wait=wait)
+    def stop(self, wait: bool = True, abort: bool = False) -> None:
+        """Close the queue and (optionally) wait for the workers.
+
+        ``abort=True`` settles queued jobs as failed instead of running
+        them and bounds how long in-flight work may delay shutdown —
+        the Ctrl-C/SIGTERM path of ``hrms-serve``.
+        """
+        self.pool.stop(wait=wait, abort=abort)
 
     # ------------------------------------------------------------------
     def _build_job(self, body: dict) -> Job:
@@ -183,6 +193,54 @@ class SchedulingService:
     def artifact(self, key: str) -> dict | None:
         """The stored envelope for *key* (a store read)."""
         return self.store.get(key)
+
+    def verify_artifact(self, body: dict) -> dict | None:
+        """Re-verify a stored schedule artifact against the QA oracle
+        battery (``POST /v1/verify``).
+
+        *body* carries ``artifact`` (a store key) and ``graph`` (the
+        serialized DDG the artifact was computed for — artifacts store
+        only the graph's digest, so the caller supplies the structure
+        and the digest check rejects mismatches).  Returns ``None``
+        for an unknown key (the HTTP layer's 404); raises
+        :class:`~repro.errors.JobError` on malformed requests or
+        non-schedule artifacts.
+        """
+        if not isinstance(body, dict):
+            raise JobError("a verify request must be a JSON object")
+        key = body.get("artifact")
+        if not key:
+            raise JobError(
+                "a verify request needs 'artifact' (a stored artifact key)"
+            )
+        envelope = self.store.get(str(key))
+        if envelope is None:
+            return None
+        if "graph" not in body:
+            raise JobError(
+                "a verify request needs 'graph' (the serialized DDG the "
+                "artifact was computed for; artifacts only store its "
+                "digest)"
+            )
+        from repro.graph.serialization import graph_from_dict
+        from repro.qa.oracles import verify_artifact_payload
+
+        graph = graph_from_dict(body["graph"])
+        kind = envelope.get("kind")
+        if kind == "portfolio":
+            payload = envelope["payload"]["schedule"]
+        elif kind == "schedule":
+            payload = envelope["payload"]
+        else:
+            raise JobError(
+                f"artifact {key!r} has kind {kind!r}; only schedule and "
+                "portfolio artifacts can be re-verified"
+            )
+        report = verify_artifact_payload(payload, graph)
+        report["artifact"] = str(key)
+        report["artifact_kind"] = kind
+        self.metrics.inc("artifacts_verified")
+        return report
 
     # ------------------------------------------------------------------
     def _finished(self, job: Job) -> None:
@@ -351,6 +409,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         "count": len(jobs),
                     },
                 )
+            elif url.path == "/v1/verify":
+                body = self._read_body()
+                if not isinstance(body, dict):
+                    raise JobError("a verify request must be a JSON object")
+                report = self.service.verify_artifact(body)
+                if report is None:
+                    self._error(
+                        404, f"no such artifact {body.get('artifact')!r}"
+                    )
+                else:
+                    self._json(200, report)
             else:
                 self._error(404, f"no route for POST {url.path}")
         except ReproError as exc:
@@ -436,7 +505,7 @@ class ServiceServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, abort: bool = False) -> None:
         """Shut down the HTTP server, then the service workers."""
         if self._server is not None:
             self._server.shutdown()
@@ -445,7 +514,7 @@ class ServiceServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
-        self.service.stop()
+        self.service.stop(abort=abort)
 
     def __enter__(self) -> "ServiceServer":
         return self.start()

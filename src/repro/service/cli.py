@@ -78,25 +78,47 @@ def serve_main(argv: list[str] | None = None) -> int:
             max_attempts=args.max_attempts,
         ),
     )
+    import signal
+    import threading
+
+    # Ctrl-C *and* SIGTERM (docker stop, systemd, CI teardown) must both
+    # land on the same orderly shutdown: settle queued jobs as failed,
+    # bound in-flight work, and join/terminate every worker process so
+    # none is orphaned.  The default SIGTERM disposition would kill this
+    # process outright and leave a `--backend process` worker pool
+    # running with no parent.  Handlers go in *before* the pool starts,
+    # so there is no window in which a signal can still hit the default
+    # disposition while workers already exist.
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop_requested.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_stop)
+
     server.start()
     store_stats = server.service.store.stats
     print(
         f"hrms-serve: listening on {server.url} "
-        f"({args.backend} backend)"
+        f"({args.backend} backend)",
+        flush=True,
     )
-    print(f"hrms-serve: artifact store at {Path(args.store).resolve()}")
+    print(
+        f"hrms-serve: artifact store at {Path(args.store).resolve()}",
+        flush=True,
+    )
     try:
-        import threading
-
-        threading.Event().wait()
-    except KeyboardInterrupt:
+        stop_requested.wait()
+    except KeyboardInterrupt:  # pragma: no cover - race with the handler
         pass
     finally:
-        server.stop()
+        server.stop(abort=True)
         stats = store_stats()
         print(
             f"\nhrms-serve: stopped (store hits {stats.hits}, "
-            f"misses {stats.misses}, writes {stats.writes})"
+            f"misses {stats.misses}, writes {stats.writes})",
+            flush=True,
         )
     return 0
 

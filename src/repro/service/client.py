@@ -218,6 +218,23 @@ class ServiceClient:
         """The stored JSON envelope for *key*."""
         return self._call("GET", f"/v1/artifacts/{key}")
 
+    def verify(self, key: str, graph: DependenceGraph | dict) -> dict:
+        """Re-verify a stored schedule artifact (``POST /v1/verify``).
+
+        *graph* is the dependence graph the artifact was computed for
+        (artifacts carry only its digest); pass either the in-memory
+        graph or its serialized dict.  Returns the oracle report:
+        ``{"ok": bool, "checks": [{"oracle", "ok", "detail"}, …], …}``.
+        """
+        serialized = (
+            graph_to_dict(graph)
+            if isinstance(graph, DependenceGraph)
+            else graph
+        )
+        return self._call(
+            "POST", "/v1/verify", {"artifact": key, "graph": serialized}
+        )
+
     def result(self, job_id: str, *, timeout: float = 60.0) -> dict:
         """Wait for *job_id* and return its artifact envelope.
 

@@ -122,6 +122,16 @@ class JobQueue:
             self._closed = True
             self._cond.notify_all()
 
+    def drain(self) -> list[Job]:
+        """Close the queue and return every job still waiting, in pop
+        order.  Used by abort-style shutdown to settle queued jobs as
+        failed instead of leaving them ``queued`` forever."""
+        with self._cond:
+            self._closed = True
+            drained = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+            self._cond.notify_all()
+        return drained
+
     def __len__(self) -> int:
         with self._cond:
             return len(self._heap)
@@ -170,13 +180,34 @@ class WorkerPool:
             thread.start()
             self._threads.append(thread)
 
-    def stop(self, wait: bool = True) -> None:
-        """Close the queue and (optionally) join the workers."""
+    def stop(self, wait: bool = True, abort: bool = False) -> None:
+        """Close the queue and (optionally) join the workers.
+
+        The default is graceful: workers finish everything already
+        queued before exiting.  ``abort=True`` is the Ctrl-C/SIGTERM
+        path — jobs still waiting in the queue are settled as *failed*
+        (with the shutdown captured as their error) rather than run, so
+        no poller is left watching a job that will never settle.
+        """
+        if abort:
+            self._abort_queued()
         self.queue.close()
         if wait:
             for thread in self._threads:
                 thread.join(timeout=10.0)
         self._threads = []
+
+    def _abort_queued(self) -> None:
+        """Drain the queue and fail every job that never started."""
+        from repro.errors import ServiceError
+
+        for job in self.queue.drain():
+            self._fail(
+                job,
+                ServiceError(
+                    f"service stopped before job {job.id} was executed"
+                ),
+            )
 
     # ------------------------------------------------------------------
     def _loop(self) -> None:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import builtins
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -262,15 +263,68 @@ class ProcessWorkerPool(WorkerPool):
                 self._executor = self._make_executor()
         super().start()
 
-    def stop(self, wait: bool = True) -> None:
-        """Drain the dispatchers, then shut the worker processes down."""
+    #: Seconds an in-flight job is given to finish during an aborting
+    #: stop before its worker process is terminated outright.
+    ABORT_GRACE = 5.0
+
+    def stop(
+        self, wait: bool = True, abort: bool = False,
+        grace: float | None = None,
+    ) -> None:
+        """Drain the dispatchers, then shut the worker processes down.
+
+        Graceful (default): queued and in-flight jobs complete, the
+        executor is shut down, and every worker process is joined.
+
+        ``abort=True`` (the Ctrl-C/SIGTERM path): queued jobs are
+        settled as failed without running, in-flight jobs get *grace*
+        seconds to finish, and any worker process still alive after
+        that is terminated and joined — the pool never orphans a
+        worker and never wedges behind a hung job.  An in-flight job
+        whose worker was terminated surfaces as a failed job (its
+        future breaks, and the closed queue turns the usual transient
+        retry into a captured failure).
+        """
         with self._executor_lock:
             self._stopping = True
+            executor = self._executor
+            if abort:
+                self._executor = None
+        if abort:
+            self._abort_queued()
+            if executor is not None:
+                self._reap(executor, self.ABORT_GRACE if grace is None else grace)
+            super().stop(wait=wait)
+            return
         super().stop(wait=wait)
         with self._executor_lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=wait, cancel_futures=not wait)
-                self._executor = None
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=not wait)
+            if not wait:
+                self._reap(executor, self.ABORT_GRACE if grace is None else grace)
+
+    def _reap(self, executor: ProcessPoolExecutor, grace: float) -> None:
+        """Cancel pending work and guarantee every worker process exits.
+
+        ``ProcessPoolExecutor.shutdown`` has no timeout: a worker stuck
+        in a pathological job would block it forever.  Instead the
+        worker processes are snapshotted, pending futures cancelled,
+        and each process joined under a shared *grace* deadline —
+        survivors are terminated, then joined unconditionally so no
+        zombie is left behind.
+        """
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + max(0.0, grace)
+        for process in processes:
+            process.join(max(0.0, deadline - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            if process.is_alive():
+                process.join(5.0)
 
     # ------------------------------------------------------------------
     def _proxy(self, job: Job) -> dict:

@@ -15,6 +15,17 @@ iterations and walks the event list:
 ``peak_live_steady`` — the maximum live count across the steady-state
 window — must equal the closed-form MaxLive, which the test-suite asserts
 on every workload family.
+
+The steady-state window excludes the pipeline *fill* (the first
+iterations, where not every overlapped stage is populated yet) and the
+*drain* (the last iterations, whose loop-carried readers fall beyond the
+simulated horizon and would truncate lifetimes).  Both margins span
+``stage_count + max edge distance`` iterations, so a run needs at least
+:func:`minimum_iterations` of them to contain a full steady kernel
+window; ``simulate`` extends short runs automatically (or rejects them
+when ``auto_extend=False``), instead of silently reporting the peak of
+an empty window as zero the way a fixed default iteration count would
+on schedules whose length spans many IIs.
 """
 
 from __future__ import annotations
@@ -34,9 +45,33 @@ class SimulationReport:
     peak_live: int
     peak_live_steady: int
     reads_checked: int
+    #: absolute-cycle half-open window ``[lo, hi)`` that was treated as
+    #: steady state (``hi - lo`` is a positive multiple of II).
+    steady_window: tuple[int, int]
     #: live-value count per absolute cycle (diagnostic; empty when the
     #: caller disabled tracing).
     live_trace: list[int]
+
+
+def _warm_margin(schedule: Schedule) -> int:
+    """Iterations a steady window must keep clear of either horizon.
+
+    One iteration's issues span ``stage_count`` stages, and a value can
+    stay live another ``max(delta)`` iterations waiting for its most
+    distant loop-carried reader — so live counts are only guaranteed
+    steady once that many iterations have filled (and, symmetrically,
+    while that many iterations are still left to drain).
+    """
+    max_distance = max(
+        (edge.distance for edge in schedule.graph.edges()), default=0
+    )
+    return schedule.stage_count + max_distance
+
+
+def minimum_iterations(schedule: Schedule) -> int:
+    """Fewest overlapped iterations whose simulation contains a full
+    steady-state kernel window (one whole II of cycles)."""
+    return 2 * _warm_margin(schedule)
 
 
 def simulate(
@@ -44,10 +79,28 @@ def simulate(
     iterations: int = 20,
     check_reads: bool = True,
     keep_trace: bool = False,
+    auto_extend: bool = True,
 ) -> SimulationReport:
-    """Replay *schedule* for *iterations* overlapped iterations."""
+    """Replay *schedule* for *iterations* overlapped iterations.
+
+    When *iterations* is too small for a steady-state window to exist
+    (fewer than :func:`minimum_iterations`), the run is extended to
+    that minimum — or rejected with :class:`ValueError` when
+    ``auto_extend=False``, for callers that need the requested horizon
+    taken literally.
+    """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    needed = minimum_iterations(schedule)
+    if iterations < needed:
+        if not auto_extend:
+            raise ValueError(
+                f"{schedule.graph.name}: {iterations} iterations cannot "
+                f"contain a steady-state window — the schedule spans "
+                f"{schedule.stage_count} stage(s) and needs at least "
+                f"{needed} (pass auto_extend=True to extend)"
+            )
+        iterations = needed
     graph = schedule.graph
     ii = schedule.ii
 
@@ -103,8 +156,9 @@ def simulate(
     trace: list[int] = []
     peak = 0
     peak_steady = 0
-    steady_lo = (schedule.stage_count - 1) * ii
-    steady_hi = (iterations - schedule.stage_count) * ii
+    margin = _warm_margin(schedule)
+    steady_lo = (margin - 1) * ii
+    steady_hi = (iterations - margin) * ii
     for cycle in range(total_cycles + 1):
         live += deltas[cycle]
         if keep_trace:
@@ -119,5 +173,6 @@ def simulate(
         peak_live=peak,
         peak_live_steady=peak_steady,
         reads_checked=reads_checked,
+        steady_window=(steady_lo, steady_hi),
         live_trace=trace,
     )

@@ -10,6 +10,16 @@ by construction:
   operation to one of its (transitive) ancestors, so every circuit has a
   positive total distance;
 * stores terminate value chains and produce no values.
+
+**Seed stability is a contract.**  A ``(seed, n_ops, profile)`` triple
+must reproduce the bit-identical graph on every supported Python — the
+QA corpus (``tests/corpus/``), the perf baselines and the Perfect-Club
+population all depend on it.  Two rules keep it true: the RNG is only
+ever consumed in program order, and no draw may range over a ``set`` or
+``dict`` whose iteration order is not itself deterministic (ancestor
+*sets* are sorted before any choice is made from them; every other
+collection is a list or an insertion-ordered dict).  The golden
+fingerprints in ``tests/test_workloads.py`` enforce the contract.
 """
 
 from __future__ import annotations
@@ -82,7 +92,14 @@ def random_ddg(
     ancestors: dict[str, set[str]] = {}
 
     n_loads = max(1, round(n_ops * profile.load_fraction))
-    n_stores = max(1, round(n_ops * profile.store_fraction))
+    # At least one load and one compute always fit; the store count
+    # yields whatever is left so the graph has exactly n_ops operations
+    # (a 2-op request used to emit 3 — found by the QA campaign's
+    # tiny-graph profile, pinned by tests/corpus/).
+    n_stores = min(
+        max(0, n_ops - n_loads - 1),
+        max(1, round(n_ops * profile.store_fraction)),
+    )
     n_compute = max(1, n_ops - n_loads - n_stores)
 
     def pick_operands(count: int) -> list[str]:
@@ -141,6 +158,9 @@ def _inject_recurrences(
     if rng.random() >= profile.recurrence_probability:
         return
     count = 1 + rng.randint(0, profile.max_extra_recurrences)
+    # Program-order candidates (ancestors is an insertion-ordered dict);
+    # the shuffle below is the ONLY thing that reorders them, so the RNG
+    # stream — and with it the generated graph — is seed-deterministic.
     candidates = [
         name for name, anc in ancestors.items() if anc and name in graph
     ]
@@ -149,6 +169,8 @@ def _inject_recurrences(
     for tail in candidates:
         if made >= count:
             break
+        # Sorted before rng.choice: ancestor *sets* must never leak
+        # their hash-dependent iteration order into the RNG stream.
         pool = sorted(ancestors[tail])
         if not pool:
             continue

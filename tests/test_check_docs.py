@@ -18,7 +18,8 @@ class TestRepoDocs:
     def test_console_scripts_parsed_from_setup(self):
         names = console_scripts(REPO_ROOT / "setup.py")
         assert set(names) == {
-            "hrms-experiments", "hrms-compile", "hrms-serve", "hrms-submit",
+            "hrms-experiments", "hrms-compile", "hrms-serve",
+            "hrms-submit", "hrms-fuzz",
         }
 
 

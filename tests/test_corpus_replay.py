@@ -1,0 +1,51 @@
+"""Corpus replay: every committed reproducer stays fixed forever.
+
+Each file in ``tests/corpus/`` is a minimized bug the QA campaign once
+surfaced.  Replaying an entry re-runs its scenario (schedule + oracle
+battery, generator fingerprint, or verifier rejection) and fails loudly
+if the bug has crept back.  An *empty* corpus is itself a failure: the
+directory shipping without its files (packaging, checkout filters)
+would otherwise silently void the whole regression layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.corpus import load_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _entries():
+    if not CORPUS_DIR.is_dir():
+        return []
+    return load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_DIR.is_dir(), (
+        f"{CORPUS_DIR} is missing — the reproducer corpus did not ship"
+    )
+    assert _entries(), (
+        f"{CORPUS_DIR} contains no reproducers — the regression corpus "
+        "is empty, which voids the QA layer's guarantees"
+    )
+
+
+@pytest.mark.parametrize(
+    "path,envelope",
+    _entries(),
+    ids=[path.name for path, _ in _entries()],
+)
+def test_corpus_entry_replays(path, envelope):
+    replay_entry(envelope)
+
+
+def test_corpus_entries_carry_provenance():
+    for path, envelope in _entries():
+        assert envelope.get("description"), f"{path.name}: no description"
+        assert envelope.get("oracle"), f"{path.name}: no oracle"
+        assert envelope.get("kind") in ("schedule", "generator", "verifier")

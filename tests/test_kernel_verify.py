@@ -174,3 +174,51 @@ class TestCircularPacking:
             loop.graph, perfect_club_machine()
         )
         verify_schedule(schedule)  # previously a false rejection
+
+
+class TestVerifierCompleteness:
+    """The completeness family: missing ops, spurious entries, bad
+    cycles.  These all passed silently before the QA layer (only
+    dependence and resource rows were checked); see tests/corpus/."""
+
+    def _schedule(self, generic4):
+        g = GraphBuilder().op("a", latency=2).op("b", deps=["a"]).build()
+        return Schedule(g, generic4, ii=2, start={"a": 0, "b": 2})
+
+    def test_omitted_operation_rejected(self, generic4):
+        schedule = self._schedule(generic4)
+        del schedule.start["b"]
+        with pytest.raises(ScheduleVerificationError, match="omits"):
+            verify_schedule(schedule)
+
+    def test_spurious_operation_rejected(self, generic4):
+        schedule = self._schedule(generic4)
+        schedule.start["ghost"] = 1
+        with pytest.raises(
+            ScheduleVerificationError, match="not in the graph"
+        ):
+            verify_schedule(schedule)
+
+    def test_negative_cycle_rejected(self, generic4):
+        schedule = self._schedule(generic4)
+        schedule.start["a"] = -4
+        with pytest.raises(ScheduleVerificationError, match="negative"):
+            verify_schedule(schedule)
+
+    def test_non_integer_cycle_rejected(self, generic4):
+        schedule = self._schedule(generic4)
+        schedule.start["a"] = 0.5
+        with pytest.raises(ScheduleVerificationError, match="non-integer"):
+            verify_schedule(schedule)
+
+    def test_bool_cycle_rejected(self, generic4):
+        schedule = self._schedule(generic4)
+        schedule.start["a"] = True
+        with pytest.raises(ScheduleVerificationError, match="non-integer"):
+            verify_schedule(schedule)
+
+    def test_is_valid_covers_completeness(self, generic4):
+        schedule = self._schedule(generic4)
+        assert is_valid(schedule)
+        del schedule.start["a"]
+        assert not is_valid(schedule)

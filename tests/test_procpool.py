@@ -292,3 +292,126 @@ class TestBackendParity:
         )
         assert all(job.result["cached"] for job in jobs)
         assert service.metrics.counter("schedules_computed") == 0
+
+
+class TestShutdownReaping:
+    """`hrms-serve --backend process` shutdown: the worker pool must be
+    terminated and joined (no orphaned worker processes), and pending
+    jobs settled as failed rather than wedging the stop."""
+
+    def _worker_pids(self, service) -> list[int]:
+        executor = service.pool._executor
+        assert executor is not None
+        return [p.pid for p in executor._processes.values()]
+
+    def _assert_reaped(self, pids: list[int], timeout: float = 10.0) -> None:
+        import os
+
+        deadline = time.monotonic() + timeout
+        for pid in pids:
+            while True:
+                try:
+                    os.kill(pid, 0)
+                except (ProcessLookupError, OSError):
+                    break  # gone (or at least not ours any more)
+                assert time.monotonic() < deadline, (
+                    f"worker process {pid} survived pool shutdown"
+                )
+                time.sleep(0.05)
+
+    def test_graceful_stop_reaps_workers(self, tmp_path, gov_suite):
+        service = SchedulingService(
+            tmp_path / "store",
+            config=ExecutorConfig(backend="process", workers=2),
+        ).start()
+        job = service.submit(
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(gov_suite[0].graph),
+                "machine": "govindarajan",
+            }
+        )
+        _settle([job])
+        pids = self._worker_pids(service)
+        assert pids, "expected live worker processes"
+        service.stop()
+        self._assert_reaped(pids)
+
+    def test_abort_stop_reaps_workers_and_fails_queued(
+        self, tmp_path, gov_suite
+    ):
+        service = SchedulingService(
+            tmp_path / "store",
+            config=ExecutorConfig(backend="process", workers=1),
+        ).start()
+        first = service.submit(
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(gov_suite[0].graph),
+                "machine": "govindarajan",
+            }
+        )
+        _settle([first])
+        pids = self._worker_pids(service)
+        assert pids
+        # Queue work, then abort before the dispatcher can finish it
+        # all: whatever is still queued must settle as failed.
+        backlog = [
+            service.submit(
+                {
+                    "kind": "schedule",
+                    "graph": graph_to_dict(loop.graph),
+                    "machine": "govindarajan",
+                    "scheduler": scheduler,
+                }
+            )
+            for loop in gov_suite[:6]
+            for scheduler in ("sms", "ims", "slack")
+        ]
+        service.stop(abort=True)
+        self._assert_reaped(pids)
+        _settle(backlog, timeout=5.0)
+        statuses = {job.status for job in backlog}
+        assert statuses <= {"done", "failed"}
+        failed = [job for job in backlog if job.status == "failed"]
+        for job in failed:
+            assert "stopped" in job.error["message"] or "died" in (
+                job.error["message"]
+            )
+
+    def test_serve_main_sigterm_shuts_down_cleanly(self, tmp_path):
+        """hrms-serve must exit 0 on SIGTERM, settling the pool (the
+        default disposition would kill the parent and orphan the
+        worker processes)."""
+        import signal
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.service.cli import serve_main\n"
+            "raise SystemExit(serve_main(["
+            "'--store', r'%s', '--port', '0', "
+            "'--backend', 'process', '--workers', '1']))\n"
+            % (tmp_path / "store")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # Wait for the banner so the pool exists before the signal.
+            line = ""
+            deadline = time.monotonic() + 60
+            while "listening on" not in line:
+                assert time.monotonic() < deadline
+                line = proc.stdout.readline()
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "hrms-serve: stopped" in out

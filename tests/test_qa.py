@@ -1,0 +1,291 @@
+"""Unit tests for the QA layer: profiles, oracles, shrinker, corpus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scheduler import HRMSScheduler
+from repro.graph.builder import GraphBuilder
+from repro.graph.ddg import DependenceGraph
+from repro.graph.edges import DependenceKind, Edge
+from repro.graph.ops import FADD, Operation
+from repro.machine.configs import (
+    govindarajan_machine,
+    motivating_machine,
+    perfect_club_machine,
+)
+from repro.mii.analysis import compute_mii
+from repro.qa.corpus import (
+    load_corpus,
+    make_reproducer,
+    replay_entry,
+    save_reproducer,
+)
+from repro.qa.oracles import (
+    OracleFailure,
+    ii_upper_bound,
+    oracle_ii_bounds,
+    oracle_legal,
+    oracle_mii_agreement,
+    oracle_simulation,
+    run_battery,
+    verify_artifact_payload,
+)
+from repro.qa.profiles import fuzz_profiles, profile_by_name, profile_names
+from repro.qa.shrink import shrink_case
+from repro.schedule.schedule import Schedule
+from repro.workloads.motivating import motivating_example
+
+
+class TestProfiles:
+    def test_every_profile_builds_valid_graphs(self):
+        for profile in fuzz_profiles():
+            for seed in range(6):
+                graph = profile.build(seed)
+                graph.validate()
+                assert profile.min_ops <= len(graph) or profile.name == "tiny"
+
+    def test_profiles_are_deterministic(self):
+        for profile in fuzz_profiles():
+            a = profile.build(3)
+            b = profile.build(3)
+            assert a.node_names() == b.node_names()
+            assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+
+    def test_tiny_profile_produces_single_op_graphs(self):
+        sizes = {len(profile_by_name("tiny").build(seed))
+                 for seed in range(30)}
+        assert 1 in sizes, "the tiny profile never produced a 1-op graph"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz profile"):
+            profile_by_name("nope")
+
+    def test_profile_names_cover_edge_cases(self):
+        names = profile_names()
+        assert "tight-recurrence" in names
+        assert "wide-parallel" in names
+        assert "unpipelined-heavy" in names
+        assert "tiny" in names
+
+
+class TestOracles:
+    def _schedule(self):
+        graph = motivating_example()
+        machine = motivating_machine()
+        analysis = compute_mii(graph, machine)
+        return HRMSScheduler().schedule(graph, machine, analysis), analysis
+
+    def test_battery_passes_on_good_schedule(self):
+        schedule, analysis = self._schedule()
+        reports = run_battery(schedule, analysis)
+        assert [r.oracle for r in reports] == [
+            "legal", "ii-bounds", "sim-reads", "sim-maxlive",
+        ]
+        assert all(r.ok for r in reports)
+
+    def test_legal_oracle_rejects_broken_schedule(self):
+        schedule, _ = self._schedule()
+        victim = schedule.graph.node_names()[0]
+        del schedule.start[victim]
+        with pytest.raises(OracleFailure) as err:
+            oracle_legal(schedule)
+        assert err.value.oracle == "legal"
+
+    def test_ii_bounds_rejects_sub_mii(self):
+        schedule, analysis = self._schedule()
+        schedule.ii = analysis.mii - 1 if analysis.mii > 1 else 0
+        with pytest.raises(OracleFailure, match="beats the MII"):
+            oracle_ii_bounds(schedule, analysis)
+
+    def test_ii_bounds_rejects_above_upper_bound(self):
+        schedule, analysis = self._schedule()
+        schedule.ii = ii_upper_bound(schedule.graph, analysis.mii) + 1
+        with pytest.raises(OracleFailure, match="exceeds"):
+            oracle_ii_bounds(schedule, analysis)
+
+    def test_simulation_oracle_catches_premature_read(self):
+        graph = GraphBuilder().op("a", latency=2).op("b", deps=["a"]).build()
+        broken = Schedule(graph, motivating_machine(), ii=2,
+                          start={"a": 0, "b": 1})
+        with pytest.raises(OracleFailure) as err:
+            oracle_simulation(broken)
+        assert err.value.oracle == "sim-reads"
+
+    def test_mii_agreement_detects_disagreement(self):
+        schedule, analysis = self._schedule()
+        other, _ = self._schedule()
+        other.stats.mii = analysis.mii + 1
+        with pytest.raises(OracleFailure, match="disagree"):
+            oracle_mii_agreement(
+                schedule.graph, {"hrms": schedule, "other": other}
+            )
+
+    def test_verify_artifact_payload_roundtrip(self):
+        from repro.service.executor import schedule_payload
+
+        schedule, analysis = self._schedule()
+        report = verify_artifact_payload(
+            schedule_payload(schedule), schedule.graph
+        )
+        assert report["ok"] is True
+        assert report["ii"] == schedule.ii
+        assert {check["oracle"] for check in report["checks"]} == {
+            "legal", "ii-bounds", "sim-reads", "sim-maxlive",
+        }
+
+    def test_verify_artifact_payload_rejects_wrong_graph(self):
+        from repro.errors import JobError
+        from repro.service.executor import schedule_payload
+
+        schedule, _ = self._schedule()
+        other = GraphBuilder().op("x").op("y", deps=["x"]).build()
+        with pytest.raises(JobError, match="digest"):
+            verify_artifact_payload(schedule_payload(schedule), other)
+
+
+class TestShrinker:
+    def _chain(self, n=10):
+        graph = DependenceGraph("chain")
+        prev = None
+        for i in range(n):
+            graph.add_operation(Operation(f"a{i}", 1, FADD))
+            if prev:
+                graph.add_edge(Edge(prev, f"a{i}", 0, DependenceKind.REGISTER))
+            prev = f"a{i}"
+        return graph
+
+    def test_shrinks_to_predicate_core(self):
+        graph = self._chain(10)
+        # The "bug" needs a3 and the edge a3 -> a4 to reproduce.
+        def fails(candidate):
+            return "a3" in candidate and any(
+                e.src == "a3" and e.dst == "a4" for e in candidate.edges()
+            )
+
+        small = shrink_case(graph, fails)
+        assert fails(small)
+        assert len(small) == 2
+        assert small.edge_count() == 1
+
+    def test_non_reproducing_input_returned_unchanged(self):
+        graph = self._chain(4)
+        small = shrink_case(graph, lambda g: False)
+        assert small is graph
+
+    def test_respects_evaluation_budget(self):
+        graph = self._chain(8)
+        calls = []
+
+        def fails(candidate):
+            calls.append(1)
+            return True
+
+        shrink_case(graph, fails, max_evaluations=5)
+        # 1 initial confirmation + at most 5 budgeted evaluations.
+        assert len(calls) <= 6
+
+    def test_never_mutates_input(self):
+        graph = self._chain(6)
+        before = (graph.node_names(), {e.key for e in graph.edges()})
+        shrink_case(graph, lambda g: "a0" in g)
+        assert (graph.node_names(), {e.key for e in graph.edges()}) == before
+
+
+class TestCorpusRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        graph = GraphBuilder().op("a").op("b", deps=["a"]).build()
+        envelope = make_reproducer(
+            kind="schedule",
+            oracle="legal",
+            description="roundtrip test",
+            graph=graph,
+            machine=motivating_machine(),
+            scheduler="hrms",
+            provenance={"seed": 1},
+        )
+        path = save_reproducer(tmp_path, envelope)
+        entries = load_corpus(tmp_path)
+        assert [p for p, _ in entries] == [path]
+        replay_entry(entries[0][1])
+
+    def test_cross_scheduler_entry_replays_without_scheduler_key(self):
+        """A '*' failure (mii-agreement, portfolio) saves without a
+        'scheduler' key; replay must run every registered heuristic
+        and re-assert MII agreement instead of crashing."""
+        graph = GraphBuilder().op("a").op("b", deps=["a"]).build()
+        envelope = make_reproducer(
+            kind="schedule",
+            oracle="mii-agreement",
+            description="cross-scheduler replay test",
+            graph=graph,
+            machine=motivating_machine(),
+        )
+        assert "scheduler" not in envelope
+        replay_entry(envelope)
+
+    def test_save_is_idempotent(self, tmp_path):
+        envelope = make_reproducer(
+            kind="generator", oracle="generator-size",
+            description="x", seed=0, n_ops=2,
+        )
+        first = save_reproducer(tmp_path, envelope)
+        second = save_reproducer(tmp_path, envelope)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_rejects_foreign_json(self, tmp_path):
+        from repro.errors import ReproError
+
+        (tmp_path / "other.json").write_text('{"format": "other"}')
+        with pytest.raises(ReproError, match="not a QA reproducer"):
+            load_corpus(tmp_path)
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown corpus entry kind"):
+            replay_entry({"kind": "mystery"})
+
+
+class TestBatteryAcrossSchedulers:
+    """The battery holds for a sample of real schedulers × machines —
+    the in-process mini version of what hrms-fuzz sweeps at scale."""
+
+    @pytest.mark.parametrize("scheduler", ["hrms", "sms", "topdown", "ims"])
+    def test_random_graphs_pass_battery(self, scheduler):
+        from repro.schedulers.registry import make_scheduler
+        from repro.workloads.synthetic import random_ddg
+
+        machine = perfect_club_machine()
+        for seed in range(4):
+            graph = random_ddg(random.Random(900 + seed), 14)
+            analysis = compute_mii(graph, machine)
+            schedule = make_scheduler(scheduler).schedule(
+                graph, machine, analysis
+            )
+            failed = [r for r in run_battery(schedule, analysis) if not r.ok]
+            assert not failed, failed
+
+    def test_hrms_pinched_window_fix_on_govindarajan(self):
+        """The minimized campaign find: HRMS/SMS must now schedule the
+        double-recurrence loop (see tests/corpus/) at a finite II."""
+        profile = profile_by_name("baseline")
+        graph = profile.build(30)
+        machine = govindarajan_machine()
+        analysis = compute_mii(graph, machine)
+        for name in ("hrms", "sms"):
+            from repro.schedulers.registry import make_scheduler
+
+            schedule = make_scheduler(name).schedule(
+                graph, machine, analysis
+            )
+            failed = [
+                r for r in run_battery(schedule, analysis) if not r.ok
+            ]
+            assert not failed, (name, failed)
+        # HRMS's neighbour-directed fallback lands on the MII itself.
+        hrms = HRMSScheduler().schedule(graph, machine, analysis)
+        assert hrms.ii == analysis.mii

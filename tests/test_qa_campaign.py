@@ -1,0 +1,138 @@
+"""Campaign driver and hrms-fuzz CLI tests (small, fixed-seed runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.qa.campaign import (
+    CampaignConfig,
+    CampaignFailure,
+    CampaignReport,
+    run_campaign,
+)
+from repro.qa.cli import main as fuzz_main
+
+
+class TestCampaign:
+    def test_mini_campaign_is_clean(self):
+        report = run_campaign(
+            CampaignConfig(
+                seeds=4, include_exact=False, parity_cases=0, shrink=False
+            )
+        )
+        assert report.ok, [f.describe() for f in report.failures]
+        assert report.cases == 4
+        assert report.schedules > 0
+        assert report.checks > report.schedules  # several oracles each
+
+    def test_campaign_is_deterministic(self):
+        config = CampaignConfig(seeds=3, include_exact=False, shrink=False)
+        a = run_campaign(config)
+        b = run_campaign(config)
+        assert (a.cases, a.schedules, a.checks, a.skipped) == (
+            b.cases, b.schedules, b.checks, b.skipped
+        )
+
+    def test_wall_budget_stops_early(self):
+        report = run_campaign(
+            CampaignConfig(
+                seeds=10_000,
+                include_exact=False,
+                shrink=False,
+                max_seconds=0.0,
+            )
+        )
+        assert report.cases < 10_000
+
+    def test_machine_filter(self):
+        report = run_campaign(
+            CampaignConfig(
+                seeds=2,
+                machines=("perfect-club",),
+                schedulers=("hrms",),
+                include_exact=False,
+                include_portfolio=False,
+                shrink=False,
+            )
+        )
+        assert report.ok
+        # One machine x one scheduler: exactly one schedule per case.
+        assert report.schedules == report.cases
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ReproError, match="unknown scheduler"):
+            run_campaign(CampaignConfig(seeds=1, schedulers=("bogus",)))
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ReproError, match="unknown machine"):
+            run_campaign(CampaignConfig(seeds=1, machines=("bogus",)))
+
+    def test_report_summary_mentions_failures(self):
+        report = CampaignReport(cases=1)
+        report.failures.append(
+            CampaignFailure(
+                profile="p", seed=0, machine="m", scheduler="s",
+                oracle="legal", message="boom", graph={},
+                original_ops=3, minimized_ops=2,
+            )
+        )
+        assert "FAILURE" in report.summary()
+        assert "legal" in report.failures[0].describe()
+
+
+class TestFuzzCLI:
+    def test_clean_run_exits_zero(self, capsys):
+        code = fuzz_main(
+            [
+                "--seeds", "3",
+                "--no-exact",
+                "--no-shrink",
+                "--machines", "perfect-club",
+                "--schedulers", "hrms,topdown",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 case(s)" in out
+        assert "ok" in out
+
+    def test_bad_seed_count_rejected(self):
+        with pytest.raises(SystemExit):
+            fuzz_main(["--seeds", "0"])
+
+    def test_unknown_profile_fails_cleanly(self, capsys):
+        with pytest.raises(ValueError):
+            fuzz_main(["--seeds", "1", "--profiles", "bogus"])
+
+    def test_save_writes_reproducers_on_failure(self, tmp_path, capsys,
+                                                monkeypatch):
+        """Force a failure through a stub campaign and check --save
+        lands a loadable corpus entry."""
+        import repro.qa.cli as cli_module
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.serialization import graph_to_dict
+
+        graph = GraphBuilder().op("a").op("b", deps=["a"]).build()
+        report = CampaignReport(cases=1, schedules=1, checks=4)
+        report.failures.append(
+            CampaignFailure(
+                profile="baseline", seed=7, machine="perfect-club",
+                scheduler="hrms", oracle="legal", message="synthetic",
+                graph=graph_to_dict(graph), original_ops=2,
+                minimized_ops=2,
+            )
+        )
+        monkeypatch.setattr(
+            cli_module, "run_campaign", lambda config, log=None: report
+        )
+        code = fuzz_main(["--seeds", "1", "--save", str(tmp_path)])
+        assert code == 1
+        saved = list(tmp_path.glob("*.json"))
+        assert len(saved) == 1
+        envelope = json.loads(saved[0].read_text())
+        assert envelope["kind"] == "schedule"
+        assert envelope["scheduler"] == "hrms"
+        assert envelope["provenance"]["seed"] == 7

@@ -379,3 +379,81 @@ class TestMetricsEndpoint:
         assert metrics["hrms_schedules_computed_total"] >= 1
         assert metrics["hrms_store_writes"] >= 1
         assert 'hrms_job_latency_seconds{quantile="0.5"}' in metrics
+
+
+class TestVerifyEndpoint:
+    """POST /v1/verify: re-run the QA oracle battery on a stored
+    schedule artifact."""
+
+    def _schedule_job(self, client, graph):
+        from repro.graph.serialization import graph_to_dict
+
+        job_id = client.submit(
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(graph),
+                "machine": "govindarajan",
+            }
+        )
+        record = client.wait(job_id)
+        assert record["status"] == "done"
+        return record["result"]["artifact"]
+
+    def test_verify_stored_schedule(self, client, gov_suite):
+        graph = gov_suite[0].graph
+        key = self._schedule_job(client, graph)
+        report = client.verify(key, graph)
+        assert report["ok"] is True
+        assert report["artifact"] == key
+        assert report["artifact_kind"] == "schedule"
+        oracles = {check["oracle"] for check in report["checks"]}
+        assert oracles == {"legal", "ii-bounds", "sim-reads", "sim-maxlive"}
+        assert all(check["ok"] for check in report["checks"])
+
+    def test_verify_portfolio_artifact(self, client, gov_suite):
+        from repro.graph.serialization import graph_to_dict
+
+        graph = gov_suite[0].graph
+        job_id = client.submit(
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(graph),
+                "machine": "govindarajan",
+                "scheduler": "portfolio",
+                "members": ["hrms", "topdown"],
+            }
+        )
+        record = client.wait(job_id, timeout=120)
+        assert record["status"] == "done"
+        key = record["result"]["artifact"]
+        report = client.verify(key, graph)
+        assert report["ok"] is True
+        assert report["artifact_kind"] == "portfolio"
+
+    def test_verify_unknown_artifact_404(self, client, gov_suite):
+        with pytest.raises(ServiceError, match="404"):
+            client.verify("ab" * 32, gov_suite[0].graph)
+
+    def test_verify_wrong_graph_rejected(self, client, gov_suite):
+        key = self._schedule_job(client, gov_suite[0].graph)
+        with pytest.raises(ServiceError, match="digest"):
+            client.verify(key, gov_suite[1].graph)
+
+    def test_verify_requires_graph(self, client, gov_suite):
+        key = self._schedule_job(client, gov_suite[0].graph)
+        with pytest.raises(ServiceError, match="graph"):
+            client._call("POST", "/v1/verify", {"artifact": key})
+
+    def test_verify_requires_artifact(self, client):
+        with pytest.raises(ServiceError, match="artifact"):
+            client._call("POST", "/v1/verify", {"graph": {}})
+
+    def test_verify_rejects_suite_artifacts(self, client):
+        job_id = client.submit(
+            {"kind": "suite", "suite": "govindarajan", "n_loops": 2}
+        )
+        record = client.wait(job_id, timeout=120)
+        assert record["status"] == "done"
+        key = record["result"]["artifact"]
+        with pytest.raises(ServiceError, match="kind"):
+            client.verify(key, {})

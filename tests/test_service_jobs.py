@@ -127,3 +127,69 @@ class TestWorkerPool:
         assert view["status"] == JobStatus.QUEUED
         assert view["priority"] == 3
         assert view["result"] is None and view["error"] is None
+
+
+class TestQueueDrain:
+    def test_drain_returns_jobs_in_pop_order(self):
+        queue = JobQueue()
+        for tag, priority in (("low", 0), ("high", 5), ("mid", 2)):
+            queue.push(make_job(tag, priority))
+        drained = queue.drain()
+        assert [job.request["tag"] for job in drained] == [
+            "high", "mid", "low",
+        ]
+        # drain closes: consumers wake, producers are rejected.
+        assert queue.pop(timeout=0.01) is None
+        with pytest.raises(RuntimeError):
+            queue.push(make_job("late"))
+
+    def test_drain_empty_queue(self):
+        queue = JobQueue()
+        assert queue.drain() == []
+
+
+class TestAbortStop:
+    def test_abort_settles_queued_jobs_as_failed(self):
+        """Ctrl-C semantics: jobs that never started must settle as
+        failed (with the shutdown captured), not linger queued."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def execute(job):
+            started.set()
+            assert release.wait(timeout=10)
+            return {}
+
+        queue = JobQueue()
+        finished = []
+        pool = WorkerPool(
+            queue, execute, workers=1, on_finish=finished.append
+        )
+        in_flight = make_job("in-flight")
+        queued = [make_job("q1"), make_job("q2")]
+        for job in (in_flight, *queued):
+            queue.push(job)
+        pool.start()
+        assert started.wait(timeout=10)
+
+        stopper = threading.Thread(
+            target=lambda: pool.stop(wait=True, abort=True)
+        )
+        stopper.start()
+        # The queued jobs settle immediately, before the in-flight one
+        # is even released.
+        deadline = threading.Event()
+        for job in queued:
+            for _ in range(1000):
+                if job.status == JobStatus.FAILED:
+                    break
+                deadline.wait(0.01)
+            assert job.status == JobStatus.FAILED
+            assert "stopped before job" in job.error["message"]
+            assert job.error["type"] == "ServiceError"
+            assert job.finished_at is not None
+        release.set()
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        assert in_flight.status == JobStatus.DONE
+        assert len(finished) == 3  # on_finish fired for aborted jobs too

@@ -75,3 +75,50 @@ class TestSimulator:
         schedule = HRMSScheduler().schedule(g, generic4)
         report = simulate(schedule, iterations=10)
         assert report.reads_checked > 10
+
+
+class TestSteadyWindowSelection:
+    """The fixed default-iterations bug: schedules whose length spans
+    many IIs used to leave an empty steady window and report
+    peak_live_steady = 0 (see tests/corpus/)."""
+
+    def _long_chain_schedule(self, generic4):
+        builder = GraphBuilder()
+        builder.op("a0", latency=4)
+        for i in range(1, 12):
+            builder.op(f"a{i}", latency=4, deps=[f"a{i - 1}"])
+        return HRMSScheduler().schedule(builder.build(), generic4)
+
+    def test_default_iterations_auto_extend(self, generic4):
+        from repro.sim.simulator import minimum_iterations
+
+        schedule = self._long_chain_schedule(generic4)
+        needed = minimum_iterations(schedule)
+        assert needed > 20, "test premise: the old default was too short"
+        report = simulate(schedule)  # old default would under-report 0
+        assert report.iterations >= needed
+        lo, hi = report.steady_window
+        assert hi - lo >= schedule.ii
+        assert report.peak_live_steady == max_live(schedule) > 0
+
+    def test_auto_extend_disabled_raises(self, generic4):
+        schedule = self._long_chain_schedule(generic4)
+        with pytest.raises(ValueError, match="steady-state window"):
+            simulate(schedule, iterations=5, auto_extend=False)
+
+    def test_explicit_long_run_is_untouched(self, generic4):
+        schedule = self._long_chain_schedule(generic4)
+        report = simulate(schedule, iterations=100)
+        assert report.iterations == 100
+        assert report.peak_live_steady == max_live(schedule)
+
+    def test_margin_covers_loop_carried_distances(self, generic4):
+        g = (
+            GraphBuilder()
+            .op("acc", latency=1, deps=[("acc", 3)])
+            .op("use", latency=1, deps=["acc"])
+            .build()
+        )
+        schedule = HRMSScheduler().schedule(g, generic4)
+        report = simulate(schedule)
+        assert report.peak_live_steady == max_live(schedule)

@@ -123,6 +123,39 @@ class TestSyntheticGenerator:
             g = random_ddg(rng, 12, profile=profile)
             assert is_acyclic(g)
 
+    def test_tiny_sizes_are_exact(self):
+        # A 2-op request used to emit 3 operations (1 load + 1 store +
+        # the forced compute op); found by the QA campaign's tiny-graph
+        # profile.
+        for n in (2, 3, 4, 5):
+            assert len(random_ddg(random.Random(0), n)) == n
+
+    # Golden fingerprints: a (seed, n_ops) pair must rebuild the
+    # bit-identical graph on every supported Python.  The QA corpus,
+    # the perf baselines and the Perfect-Club population all assume it;
+    # a mismatch here means the generator's RNG stream shifted (e.g.
+    # an unordered set/dict iteration started feeding a draw) and every
+    # seed-addressed artifact in the repo silently changed meaning.
+    GOLDEN_FINGERPRINTS = {
+        (1, 8): "f27495bcb34e208e3ba74f76b48a46db"
+                "88457e053c687cfbe722088874597d70",
+        (7, 12): "303c037d7bb7c6aaaa17087704a1a52a"
+                 "98f097d4a6d36e7c4530f66ed3e23509",
+        (42, 15): "d652538d6bd7f781d578cf6be64eb594"
+                  "4a5dc331a1b3fc433b5c6d8b3594f803",
+        (123, 24): "a85c515c62f367424c4697190c7c4a04"
+                   "ee8897664720445c035465aef0150d44",
+        (2024, 40): "0ecb0025c28fcb14a7b2590a3a185b73"
+                    "9265bd1247843313d14317c988286249",
+    }
+
+    def test_golden_fingerprints(self):
+        from repro.engine import fingerprint_digest
+
+        for (seed, n_ops), expected in self.GOLDEN_FINGERPRINTS.items():
+            graph = random_ddg(random.Random(seed), n_ops, name=f"g{seed}")
+            assert fingerprint_digest(graph) == expected, (seed, n_ops)
+
 
 class TestPerfectClubSuite:
     def test_default_size_is_1258(self):
