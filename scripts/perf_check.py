@@ -7,8 +7,11 @@ hit, full HRMS schedule cold/warm) on the same seeded synthetic loops
 (live HTTP batch), the portfolio tier (5-heuristic race), the procpool
 tier (thread-vs-process backend throughput + artifact parity), the qa
 tier (fixed-seed mini fuzzing campaign, zero oracle failures gated —
-see ``hrms-fuzz`` for the full-strength version) and the documentation
-consistency gate (``scripts/check_docs.py``).  Writes
+see ``hrms-fuzz`` for the full-strength version), the chaos tier
+(seeded fault-injection mini-campaign, zero resilience-invariant
+violations gated — see ``hrms-chaos`` for the full-strength version)
+and the documentation consistency gate (``scripts/check_docs.py``).
+Writes
 the numbers to ``BENCH_scalability.json``, and **fails loudly** when
 any measurement regresses more than ``--threshold`` (default 2x)
 against the committed baseline — or when the achieved II changes at
@@ -224,7 +227,11 @@ def measure_procpool(jobs: int = 8, workers: int = 4, size: int = 160) -> dict:
     def normalized(envelope: dict) -> dict:
         payload = dict(envelope["payload"])
         payload.pop("seconds", None)
-        return {**envelope, "payload": payload}
+        scrubbed = {**envelope, "payload": payload}
+        # The integrity digest covers the envelope *including* the
+        # wall-clock field scrubbed above, so it too must go.
+        scrubbed.pop("integrity", None)
+        return scrubbed
 
     thread_wall, thread_iis, thread_envelopes = run_backend("thread")
     process_wall, process_iis, process_envelopes = run_backend("process")
@@ -356,6 +363,84 @@ def compare_qa(current: dict, baseline: dict, threshold: float) -> list[str]:
     if base_wall and current["wall_s"] > base_wall * threshold:
         problems.append(
             f"qa: campaign wall time regressed "
+            f"{base_wall:.2f}s -> {current['wall_s']:.2f}s"
+        )
+    return problems
+
+
+def measure_chaos(seeds: int = 30, max_seconds: float = 60.0) -> dict:
+    """Chaos tier: a seeded fault-injection mini-campaign, gated on
+    zero resilience-invariant violations.
+
+    Replays *seeds* deterministic fault plans (torn writes, injected
+    I/O and executor errors, latency spikes, worker kills over the
+    thread, HTTP and process scenarios) against throwaway services and
+    audits the resilience invariants — no hang, no lost job, no
+    corrupt artifact served, every fired fault accounted for.  Capped
+    at *max_seconds* so a slow box degrades coverage instead of
+    blocking CI; shrinking is left to full ``hrms-chaos`` runs.
+    """
+    from repro.qa.chaos import ChaosConfig, run_chaos
+
+    began = time.perf_counter()
+    report = run_chaos(
+        ChaosConfig(seeds=seeds, max_seconds=max_seconds, shrink=False)
+    )
+    return {
+        "seeds": report.seeds,
+        "jobs": report.jobs,
+        "settled": dict(report.settled),
+        "scenarios": dict(report.scenarios),
+        "faults_fired": dict(report.faults_fired),
+        "faults_total": sum(report.faults_fired.values()),
+        "rejected_submissions": report.rejected_submissions,
+        "violations": len(report.violations),
+        "violation_descriptions": [
+            violation.describe() for violation in report.violations
+        ],
+        "wall_s": time.perf_counter() - began,
+    }
+
+
+def compare_chaos(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Chaos regressions: invariant violations are absolute (zero,
+    always); the fault counters must keep a sane shape (only known
+    injection points, a campaign that actually injects, every job
+    settled); seed coverage must not shrink; wall time by ratio."""
+    from repro.service.faults import POINTS
+
+    problems = []
+    if current["violations"]:
+        problems.append(
+            f"chaos: {current['violations']} invariant violation(s): "
+            + "; ".join(current["violation_descriptions"][:3])
+        )
+    unknown = sorted(set(current["faults_fired"]) - set(POINTS))
+    if unknown:
+        problems.append(
+            f"chaos: faults fired at unknown injection point(s) {unknown} "
+            "(fault-counter shape is broken!)"
+        )
+    if not current["faults_total"]:
+        problems.append(
+            "chaos: the campaign injected no faults at all "
+            "(the injector is wired out?)"
+        )
+    if sum(current["settled"].values()) != current["jobs"]:
+        problems.append(
+            f"chaos: {current['jobs']} jobs submitted but only "
+            f"{sum(current['settled'].values())} settled"
+        )
+    base_seeds = baseline.get("seeds")
+    if base_seeds and current["seeds"] < base_seeds:
+        problems.append(
+            f"chaos: seed coverage shrank {base_seeds} -> "
+            f"{current['seeds']} (wall budget hit?)"
+        )
+    base_wall = baseline.get("wall_s")
+    if base_wall and current["wall_s"] > base_wall * threshold:
+        problems.append(
+            f"chaos: campaign wall time regressed "
             f"{base_wall:.2f}s -> {current['wall_s']:.2f}s"
         )
     return problems
@@ -520,6 +605,11 @@ def main(argv=None) -> int:
         help="skip the QA tier (fixed-seed mini fuzzing campaign, "
              "zero oracle failures gated)",
     )
+    parser.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip the chaos tier (seeded fault-injection mini-campaign, "
+             "zero invariant violations gated)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -571,6 +661,16 @@ def main(argv=None) -> int:
             f"{qa['checks']} oracle checks, {qa['skipped']} skipped, "
             f"{qa['failures']} failure(s) in {qa['wall_s']:.1f}s"
         )
+    chaos = None
+    if not args.no_chaos:
+        print("perf_check: chaos tier (seeded fault-injection campaign) ...")
+        chaos = measure_chaos()
+        print(
+            f"  chaos: {chaos['seeds']} seeds, {chaos['jobs']} jobs, "
+            f"{chaos['faults_total']} faults across "
+            f"{len(chaos['faults_fired'])} point(s), "
+            f"{chaos['violations']} violation(s) in {chaos['wall_s']:.1f}s"
+        )
     docs_problems: list[str] = []
     if not args.no_docs:
         print("perf_check: documentation consistency gate ...")
@@ -600,6 +700,8 @@ def main(argv=None) -> int:
         document["procpool"] = procpool
     if qa is not None:
         document["qa"] = qa
+    if chaos is not None:
+        document["chaos"] = chaos
 
     if args.baseline.exists():
         baseline_doc = json.loads(args.baseline.read_text())
@@ -620,6 +722,8 @@ def main(argv=None) -> int:
                 document["procpool"] = baseline_doc["procpool"]
             if qa is None and "qa" in baseline_doc:
                 document["qa"] = baseline_doc["qa"]
+            if chaos is None and "chaos" in baseline_doc:
+                document["chaos"] = baseline_doc["chaos"]
             args.baseline.write_text(json.dumps(document, indent=2) + "\n")
             print(f"perf_check: baseline updated -> {args.baseline}")
             return 0
@@ -640,6 +744,10 @@ def main(argv=None) -> int:
         if qa is not None:
             problems += compare_qa(
                 qa, baseline_doc.get("qa", {}), args.threshold
+            )
+        if chaos is not None:
+            problems += compare_chaos(
+                chaos, baseline_doc.get("chaos", {}), args.threshold
             )
         problems += docs_problems
         if problems:

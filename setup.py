@@ -14,6 +14,7 @@ setup(
             "hrms-serve = repro.service.cli:serve_main",
             "hrms-submit = repro.service.cli:submit_main",
             "hrms-fuzz = repro.qa.cli:main",
+            "hrms-chaos = repro.qa.chaos:main",
         ]
     }
 )

@@ -1,0 +1,82 @@
+"""Cooperative per-thread deadlines for long-running library work.
+
+The service layer gives each job a wall-clock deadline; the scheduler's
+II search is the only place the library can spin for a long time, and
+it cannot be interrupted preemptively (threads, and the work is pure
+Python/NumPy).  So cancellation is cooperative: the worker arms a
+deadline for its thread before calling into the library, the II search
+polls :func:`check` between attempts, and a blown deadline surfaces as
+:class:`~repro.errors.DeadlineExceededError`.
+
+The deadline is *absolute wall time* (``time.time()``) so it can cross
+the process boundary unchanged — the process backend ships it in the
+wire envelope and the worker process re-arms it locally.
+
+This module lives outside :mod:`repro.service` on purpose: schedulers
+poll it, and the core layers must not import the service ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import DeadlineExceededError
+
+_STATE = threading.local()
+
+
+def set_deadline(at: float | None) -> None:
+    """Arm (or clear, with ``None``) this thread's absolute deadline."""
+    _STATE.deadline = at
+
+
+def clear_deadline() -> None:
+    """Disarm this thread's deadline."""
+    _STATE.deadline = None
+
+
+def get_deadline() -> float | None:
+    """This thread's absolute deadline, or ``None`` when unarmed."""
+    return getattr(_STATE, "deadline", None)
+
+
+def remaining() -> float | None:
+    """Seconds left before this thread's deadline (``None`` = unarmed)."""
+    deadline = get_deadline()
+    if deadline is None:
+        return None
+    return deadline - time.time()
+
+
+def expired() -> bool:
+    """Whether this thread's deadline (if any) has passed."""
+    deadline = get_deadline()
+    return deadline is not None and time.time() >= deadline
+
+
+def check() -> None:
+    """Raise :class:`DeadlineExceededError` if the deadline has passed.
+
+    The polling point: cheap enough (one ``time.time()`` when armed, a
+    single attribute probe when not) to call once per II attempt.
+    """
+    deadline = get_deadline()
+    if deadline is not None and time.time() >= deadline:
+        raise DeadlineExceededError(
+            f"deadline exceeded ({time.time() - deadline:.3f}s past budget)"
+        )
+
+
+@contextmanager
+def deadline_scope(at: float | None) -> Iterator[None]:
+    """Arm *at* for the duration of the block, restoring the previous
+    deadline on exit (worker threads are reused across jobs)."""
+    previous = get_deadline()
+    set_deadline(at)
+    try:
+        yield
+    finally:
+        set_deadline(previous)

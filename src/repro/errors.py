@@ -110,6 +110,25 @@ class JobError(ServiceError):
     """A job request is malformed or references unknown entities."""
 
 
+class DeadlineExceededError(ServiceError):
+    """A job ran past its per-request deadline and was cancelled.
+
+    Raised cooperatively (the scheduler's II search polls
+    :func:`repro.cancel.check` between attempts), so a timed-out job
+    stops at the next attempt boundary rather than mid-placement.
+    Settles the job in the distinct ``timeout`` state — retrying cannot
+    help, but the failure is the budget's fault, not the request's.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at its configured depth cap (backpressure).
+
+    Mapped to HTTP 429 + ``Retry-After`` by the API layer so clients
+    shed load instead of deepening an already-saturated queue.
+    """
+
+
 class FrontendError(ReproError):
     """Base class for errors raised by the loop-language front end."""
 

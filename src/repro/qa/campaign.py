@@ -422,12 +422,16 @@ def _check_backend_parity(
     from repro.graph.serialization import graph_to_dict
     from repro.service import ExecutorConfig, SchedulingService
 
+    # "integrity" digests the whole envelope — wall-clock fields
+    # included — so it varies run to run exactly like "seconds".
+    varying = ("seconds", "integrity")
+
     def scrub(value):
         if isinstance(value, dict):
             return {
                 key: scrub(item)
                 for key, item in value.items()
-                if key != "seconds"
+                if key not in varying
             }
         if isinstance(value, list):
             return [scrub(item) for item in value]

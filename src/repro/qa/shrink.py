@@ -51,6 +51,40 @@ def _still_fails(
         return False
 
 
+def shrink_list(
+    items: list,
+    predicate: Callable[[list], bool],
+    *,
+    max_evaluations: int = 64,
+) -> list:
+    """Greedy delta-debugging over a flat list of opaque items.
+
+    The list-shaped sibling of :func:`shrink_case`: repeatedly drop one
+    item and keep the drop whenever ``predicate(smaller)`` still holds,
+    to a fixpoint under the evaluation budget.  Used by the chaos
+    campaign to minimize a failing :class:`~repro.service.faults
+    .FaultPlan`'s rule set — but the items can be anything.  Returns
+    the input (as a fresh list) when it does not reproduce at all.
+    An empty result is meaningful: the failure needs none of the items.
+    """
+    current = list(items)
+    if not predicate(current):
+        return current
+    budget = max_evaluations
+    progress = True
+    while progress and budget > 0:
+        progress = False
+        for index in range(len(current) - 1, -1, -1):
+            if budget <= 0:
+                break
+            candidate = current[:index] + current[index + 1:]
+            budget -= 1
+            if predicate(candidate):
+                current = candidate
+                progress = True
+    return current
+
+
 def shrink_case(
     graph: DependenceGraph,
     predicate: Callable[[DependenceGraph], bool],

@@ -22,6 +22,7 @@ import abc
 import time
 from typing import Any, Iterable
 
+from repro import cancel
 from repro.errors import IterationLimitError
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
@@ -269,6 +270,10 @@ class ModuloScheduler(abc.ABC):
         attempts = 0
         sched_start = time.perf_counter()
         for ii in range(analysis.mii, ii_limit + 1):
+            # Cooperative cancellation: the II search is the only
+            # unbounded loop in the library, so a service deadline is
+            # honoured here, between attempts (no-op when unarmed).
+            cancel.check()
             attempts += 1
             start = self.attempt(graph, machine, ii, context)
             if start is not None:

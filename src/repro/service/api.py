@@ -2,7 +2,11 @@
 
 Built on :mod:`http.server` (no new dependencies).  Endpoints::
 
-    GET  /healthz               liveness probe
+    GET  /healthz               liveness probe (always 200 while the
+                                process serves; body carries ready too)
+    GET  /readyz                readiness probe: 200 when the pool is
+                                running and the queue has headroom,
+                                503 {"ready": false, "reason"} otherwise
     GET  /metrics               Prometheus text (queue depth, latency
                                 quantiles, store hit rate, counters)
     GET  /v1/schedulers         registry catalog: names + exact/virtual
@@ -21,7 +25,11 @@ Built on :mod:`http.server` (no new dependencies).  Endpoints::
     GET  /v1/artifacts/<key>    the stored JSON envelope
 
 Malformed requests are 400s with ``{"error": …}``; unknown ids/keys are
-404s.  The server is a :class:`~http.server.ThreadingHTTPServer`
+404s; a full (bounded) job queue is a 429 with a ``Retry-After``
+header.  Submissions accept a ``timeout`` control field (seconds) that
+becomes the job's deadline — a blown deadline settles the job in the
+``timeout`` status.  The server is a
+:class:`~http.server.ThreadingHTTPServer`
 (thread per connection) in front of the worker pool, so submissions
 return immediately and clients poll ``/v1/jobs/<id>``.
 """
@@ -30,13 +38,15 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import JobError, ReproError
+from repro.errors import JobError, QueueFullError, ReproError
 from repro.schedulers import registry
+from repro.service import faults
 from repro.service.executor import (
     DEFAULT_SCHEDULER,
     SchedulingExecutor,
@@ -44,13 +54,17 @@ from repro.service.executor import (
 from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.metrics import ServiceMetrics
 from repro.service.procpool import ExecutorConfig, make_worker_pool
+from repro.service.resilience import CircuitBreaker
 from repro.service.store import ArtifactStore
 
 #: Job kinds the API accepts.
 JOB_KINDS = ("schedule", "suite")
 
 #: Per-request fields that configure the job rather than the work.
-_CONTROL_FIELDS = ("kind", "priority", "max_attempts")
+_CONTROL_FIELDS = ("kind", "priority", "max_attempts", "timeout")
+
+#: Seconds a 429 response tells the client to back off before retrying.
+RETRY_AFTER_S = 1
 
 
 class SchedulingService:
@@ -85,7 +99,12 @@ class SchedulingService:
         )
         self.metrics = ServiceMetrics()
         self.executor = SchedulingExecutor(self.store, self.metrics)
-        self.queue = JobQueue()
+        self.queue = JobQueue(max_depth=self.config.max_queue_depth)
+        # The executor degrades portfolio races when the queue is at
+        # (or past) its depth cap — saturation is the overload signal.
+        if self.config.max_queue_depth is not None:
+            cap = self.config.max_queue_depth
+            self.executor.load_factor = lambda: self.queue.depth / cap
         self.max_attempts = self.config.max_attempts
         self.finished_jobs_kept = (
             finished_jobs_kept
@@ -144,20 +163,32 @@ class SchedulingService:
         try:
             priority = int(body.get("priority", 0))
             max_attempts = int(body.get("max_attempts", self.max_attempts))
+            timeout = (
+                float(body["timeout"])
+                if body.get("timeout") is not None
+                else None
+            )
         except (TypeError, ValueError) as exc:
             raise JobError(f"bad control field: {exc}") from exc
+        if timeout is not None and timeout <= 0:
+            raise JobError(f"timeout must be > 0 seconds, got {timeout}")
         return Job(
             kind=kind,
             request=request,
             priority=priority,
             max_attempts=max(1, max_attempts),
+            deadline=None if timeout is None else time.time() + timeout,
         )
 
     def _enqueue(self, job: Job) -> Job:
+        try:
+            self.queue.push(job)
+        except QueueFullError:
+            self.metrics.inc("jobs_rejected")
+            raise
         with self._jobs_lock:
             self._jobs[job.id] = job
         self.metrics.inc("jobs_submitted")
-        self.queue.push(job)
         return job
 
     def submit(self, body: dict) -> Job:
@@ -246,8 +277,12 @@ class SchedulingService:
     def _finished(self, job: Job) -> None:
         if job.status == JobStatus.DONE:
             self.metrics.inc("jobs_done")
+        elif job.status == JobStatus.TIMEOUT:
+            self.metrics.inc("jobs_timeout")
         else:
             self.metrics.inc("jobs_failed")
+        if job.result is not None and job.result.get("degraded"):
+            self.metrics.inc("jobs_degraded")
         if job.attempts > 1:
             self.metrics.inc("jobs_retried", job.attempts - 1)
         if job.latency is not None:
@@ -261,18 +296,42 @@ class SchedulingService:
                 evicted = self._finished_order.popleft()
                 self._jobs.pop(evicted, None)
 
+    def readiness(self) -> tuple[bool, str]:
+        """``(ready, reason)`` for the ``/readyz`` probe.
+
+        Ready means: the worker pool is running and a bounded queue
+        still has headroom.  Liveness (``/healthz``) stays 200 in
+        either case — an unready server is alive, just shedding."""
+        if not self.pool.started:
+            return False, "worker pool is not running"
+        cap = self.queue.max_depth
+        if cap is not None and self.queue.depth >= cap:
+            return False, f"queue is full ({cap} waiting)"
+        return True, "ok"
+
+    #: Breaker states as a numeric gauge (Prometheus has no strings).
+    _BREAKER_GAUGE = {
+        CircuitBreaker.CLOSED: 0,
+        CircuitBreaker.HALF_OPEN: 1,
+        CircuitBreaker.OPEN: 2,
+    }
+
     def metrics_text(self) -> str:
         """The Prometheus exposition text ``GET /metrics`` serves."""
         stats = self.store.stats()
-        return self.metrics.render_prometheus(
-            gauges={
-                "queue_depth": self.queue.depth,
-                "store_hits": stats.hits,
-                "store_misses": stats.misses,
-                "store_writes": stats.writes,
-                "store_hit_rate": stats.hit_rate,
-            }
-        )
+        gauges = {
+            "queue_depth": self.queue.depth,
+            "store_hits": stats.hits,
+            "store_misses": stats.misses,
+            "store_writes": stats.writes,
+            "store_hit_rate": stats.hit_rate,
+            "store_quarantined": stats.quarantined,
+            "breaker_state": self._BREAKER_GAUGE[self.executor.breaker.state],
+            "breaker_trips": self.executor.breaker.trips,
+        }
+        if faults.ACTIVE is not None:
+            gauges["faults_injected"] = faults.ACTIVE.total_fired
+        return self.metrics.render_prometheus(gauges=gauges)
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -287,22 +346,53 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         pass
 
     # -- helpers -------------------------------------------------------
-    def _reply(self, code: int, body: bytes, content_type: str) -> None:
+    def _reply(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _json(self, code: int, payload: dict) -> None:
+    def _json(
+        self,
+        code: int,
+        payload: dict,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._reply(
             code,
             json.dumps(payload).encode("utf-8"),
             "application/json; charset=utf-8",
+            headers=headers,
         )
 
-    def _error(self, code: int, message: str) -> None:
-        self._json(code, {"error": message})
+    def _error(
+        self,
+        code: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._json(code, {"error": message}, headers=headers)
+
+    def _injected_fault(self) -> bool:
+        """Apply armed api.* faults; ``True`` when a 500 was served."""
+        if faults.ACTIVE is None:
+            return False
+        rule = faults.ACTIVE.should_fire("api.latency")
+        if rule is not None:
+            time.sleep(rule.delay_s)
+        if faults.ACTIVE.should_fire("api.error"):
+            self._error(500, "injected handler fault")
+            return True
+        return False
 
     def _read_body(self) -> dict | list:
         try:
@@ -322,10 +412,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         parts = [part for part in url.path.split("/") if part]
         try:
+            if self._injected_fault():
+                return
             if url.path == "/healthz":
+                # Liveness: always 200 while the process can answer at
+                # all; readiness rides along in the body for humans.
+                ready, reason = self.service.readiness()
                 self._json(
                     200,
-                    {"ok": True, "backend": self.service.config.backend},
+                    {
+                        "ok": True,
+                        "live": True,
+                        "ready": ready,
+                        "reason": reason,
+                        "backend": self.service.config.backend,
+                    },
+                )
+            elif url.path == "/readyz":
+                ready, reason = self.service.readiness()
+                self._json(
+                    200 if ready else 503,
+                    {"ready": ready, "reason": reason},
                 )
             elif url.path == "/metrics":
                 self._reply(
@@ -391,6 +498,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
         try:
+            if self._injected_fault():
+                return
             if url.path == "/v1/jobs":
                 body = self._read_body()
                 if not isinstance(body, dict):
@@ -422,6 +531,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     self._json(200, report)
             else:
                 self._error(404, f"no route for POST {url.path}")
+        except QueueFullError as exc:
+            # Backpressure: shed the submission with an explicit
+            # back-off hint instead of deepening a saturated queue.
+            self._error(
+                429, str(exc), headers={"Retry-After": str(RETRY_AFTER_S)}
+            )
         except ReproError as exc:
             self._error(400, str(exc))
         except BrokenPipeError:  # pragma: no cover - client went away

@@ -66,17 +66,46 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="attempts per job before a transient failure sticks "
              "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--queue-depth", type=int, default=0,
+        help="bound the job queue; past it, submissions get 429 + "
+             "Retry-After (default: 0 = unbounded)",
+    )
+    parser.add_argument(
+        "--join-timeout", type=float, default=10.0,
+        help="seconds to wait for each worker thread at shutdown "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-base-delay", type=float, default=0.05,
+        help="base of the exponential transient-retry backoff in "
+             "seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-max-delay", type=float, default=2.0,
+        help="cap on the transient-retry backoff in seconds "
+             "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
+    try:
+        config = ExecutorConfig(
+            backend=args.backend,
+            workers=args.workers or None,
+            max_attempts=args.max_attempts,
+            join_timeout=args.join_timeout,
+            retry_base_delay=args.retry_base_delay,
+            retry_max_delay=args.retry_max_delay,
+            max_queue_depth=args.queue_depth or None,
+        )
+    except ReproError as exc:
+        print(f"hrms-serve: {exc}", file=sys.stderr)
+        return 1
     server = ServiceServer(
         args.store,
         host=args.host,
         port=args.port,
-        config=ExecutorConfig(
-            backend=args.backend,
-            workers=args.workers or None,
-            max_attempts=args.max_attempts,
-        ),
+        config=config,
     )
     import signal
     import threading
@@ -200,10 +229,23 @@ def submit_main(argv: list[str] | None = None) -> int:
         "--no-wait", action="store_true",
         help="print the job id and exit instead of polling",
     )
-    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="seconds to wait for the job to settle (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="HTTP read timeout per request in seconds, so a silent "
+             "server cannot hang the CLI (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="server-side deadline for the job in seconds; a blown "
+             "deadline settles the job in the 'timeout' status",
+    )
     args = parser.parse_args(argv)
 
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, timeout=args.request_timeout)
     if args.list_schedulers:
         try:
             for entry in client.schedulers():
@@ -238,6 +280,8 @@ def submit_main(argv: list[str] | None = None) -> int:
         "kind": "schedule",
         "priority": args.priority,
     }
+    if args.job_timeout is not None:
+        request["timeout"] = args.job_timeout
     if args.scheduler is not None:
         request["scheduler"] = args.scheduler
     if args.max_ii is not None:
@@ -294,10 +338,12 @@ def submit_main(argv: list[str] | None = None) -> int:
             print(job_id)
             return 0
         record = client.wait(job_id, timeout=args.timeout)
-        if record["status"] == "failed":
+        if record["status"] != "done":
+            # "failed" and "timeout" both settle unsuccessfully; say
+            # which one (FAILED / TIMEOUT) with the captured error.
             error = record.get("error") or {}
             print(
-                f"hrms-submit: job {job_id} FAILED: "
+                f"hrms-submit: job {job_id} {record['status'].upper()}: "
                 f"{error.get('type')}: {error.get('message')}",
                 file=sys.stderr,
             )

@@ -6,10 +6,18 @@ the JSON API of :mod:`repro.service.api` and adds the two conveniences
 every caller wants: building a request dict from in-memory objects
 (:meth:`ServiceClient.submit_graph` / :meth:`submit_source`) and
 blocking until a job settles (:meth:`wait` / :meth:`result`).
+
+Resilience: every request carries a *connect* timeout (fail fast when
+the host is gone) and a *read* timeout (an accepted-but-silent server
+cannot hang the caller), plus a small retry budget — idempotent GETs
+retry on transport failures and 5xx, any method retries on connection
+refusal (nothing was sent) and on 429 backpressure (the server
+rejected the work, honouring its ``Retry-After`` hint).
 """
 
 from __future__ import annotations
 
+import functools
 import http.client
 import json
 import time
@@ -22,18 +30,74 @@ from repro.graph.serialization import graph_to_dict
 from repro.machine.machine import MachineModel
 from repro.service.jobs import JobStatus
 
-#: Default per-request socket timeout (seconds).
+#: Default per-request read timeout (seconds).
 DEFAULT_TIMEOUT = 30.0
+
+#: Default connection-establishment timeout (seconds) — much tighter
+#: than the read timeout: connects either succeed fast or never.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+#: Default retry budget (attempts beyond the first).
+DEFAULT_RETRIES = 2
+
+
+class _SplitTimeoutConnection(http.client.HTTPConnection):
+    """An HTTPConnection whose socket switches from the connect timeout
+    (``self.timeout``, applied by the stdlib during connect) to the
+    read timeout once the connection is up."""
+
+    def __init__(self, *args, read_timeout: float | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._read_timeout = read_timeout
+
+    def connect(self) -> None:
+        super().connect()
+        if self._read_timeout is not None:
+            self.sock.settimeout(self._read_timeout)
+
+
+class _SplitTimeoutHandler(urllib.request.HTTPHandler):
+    """Opens plain-HTTP requests through :class:`_SplitTimeoutConnection`."""
+
+    def __init__(self, read_timeout: float | None) -> None:
+        super().__init__()
+        self._read_timeout = read_timeout
+
+    def http_open(self, req):
+        return self.do_open(
+            functools.partial(
+                _SplitTimeoutConnection, read_timeout=self._read_timeout
+            ),
+            req,
+        )
 
 
 class ServiceClient:
     """Talk to a running scheduling service over HTTP."""
 
     def __init__(
-        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT
+        self,
+        base_url: str,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        connect_timeout: float | None = None,
+        retries: int = DEFAULT_RETRIES,
+        retry_backoff: float = 0.1,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        # Never wait longer to connect than we would to read.
+        self.connect_timeout = min(
+            timeout,
+            connect_timeout
+            if connect_timeout is not None
+            else DEFAULT_CONNECT_TIMEOUT,
+        )
+        self.retries = max(0, retries)
+        self.retry_backoff = retry_backoff
+        self._opener = urllib.request.build_opener(
+            _SplitTimeoutHandler(read_timeout=timeout)
+        )
 
     # ------------------------------------------------------------------
     def _call(
@@ -44,8 +108,8 @@ class ServiceClient:
         *,
         expect: str = "json",
     ):
-        """One HTTP round-trip; every failure surfaces as a clear
-        :class:`~repro.errors.ServiceError`.
+        """One logical request (with the retry budget applied); every
+        failure surfaces as a clear :class:`~repro.errors.ServiceError`.
 
         ``expect="json"`` (everything but ``/metrics``) parses and
         returns the JSON body; a non-JSON content type or an
@@ -54,6 +118,41 @@ class ServiceClient:
         ``TypeError``/``JSONDecodeError`` traceback to the caller.
         ``expect="text"`` returns the decoded body as-is.
         """
+        last: ServiceError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._call_once(method, path, body, expect=expect)
+            except ServiceError as exc:
+                last = exc
+                if attempt >= self.retries or not getattr(
+                    exc, "retryable", False
+                ):
+                    raise
+                hinted = getattr(exc, "retry_after", None)
+                delay = (
+                    hinted
+                    if hinted is not None
+                    else self.retry_backoff * 2**attempt
+                )
+                time.sleep(delay)
+        raise last  # pragma: no cover - loop always returns or raises
+
+    @staticmethod
+    def _retryable(exc: ServiceError, retry_after: float | None = None):
+        """Tag *exc* for the retry loop and return it."""
+        exc.retryable = True
+        exc.retry_after = retry_after
+        return exc
+
+    def _call_once(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        expect: str = "json",
+    ):
+        """One HTTP round-trip (no retries)."""
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -63,30 +162,54 @@ class ServiceClient:
             self.base_url + path, data=data, headers=headers, method=method
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            with self._opener.open(
+                request, timeout=self.connect_timeout
+            ) as resp:
                 raw = resp.read()
                 kind = resp.headers.get("Content-Type", "")
         except urllib.error.HTTPError as exc:
             detail = exc.read().decode("utf-8", "replace")
+            retry_after = exc.headers.get("Retry-After")
             try:
                 detail = json.loads(detail).get("error", detail)
             except (json.JSONDecodeError, AttributeError):
                 pass
-            raise ServiceError(
+            error = ServiceError(
                 f"{method} {path} failed with HTTP {exc.code}: {detail}"
-            ) from exc
+            )
+            if exc.code == 429:
+                # Backpressure: nothing was accepted — safe for any
+                # method, and the server told us how long to back off.
+                try:
+                    hinted = float(retry_after) if retry_after else None
+                except ValueError:
+                    hinted = None
+                self._retryable(error, retry_after=hinted)
+            elif exc.code >= 500 and method == "GET":
+                self._retryable(error)
+            raise error from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            error = ServiceError(
                 f"cannot reach service at {self.base_url}: {exc.reason} "
                 "(is hrms-serve running there?)"
-            ) from exc
+            )
+            if method == "GET" or isinstance(
+                exc.reason, ConnectionRefusedError
+            ):
+                # GETs are idempotent; a refused connection never
+                # delivered the request, so any method may retry it.
+                self._retryable(error)
+            raise error from exc
         except (http.client.HTTPException, OSError) as exc:
             # Truncated bodies (IncompleteRead), protocol violations,
             # timeouts mid-read, connection resets, …
-            raise ServiceError(
+            error = ServiceError(
                 f"{method} {path} to {self.base_url} failed: "
                 f"{type(exc).__name__}: {exc}"
-            ) from exc
+            )
+            if method == "GET":
+                self._retryable(error)
+            raise error from exc
         if expect == "text":
             return raw.decode("utf-8", "replace")
         if not kind.startswith("application/json"):
@@ -206,7 +329,7 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         while True:
             record = self.job(job_id)
-            if record["status"] in (JobStatus.DONE, JobStatus.FAILED):
+            if record["status"] in JobStatus.SETTLED:
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
@@ -242,10 +365,11 @@ class ServiceClient:
         error, so callers never mistake a failure for an empty result.
         """
         record = self.wait(job_id, timeout=timeout)
-        if record["status"] == JobStatus.FAILED:
+        if record["status"] != JobStatus.DONE:
             error = record.get("error") or {}
             raise ServiceError(
-                f"job {job_id} failed: {error.get('type', 'Error')}: "
+                f"job {job_id} {record['status']}: "
+                f"{error.get('type', 'Error')}: "
                 f"{error.get('message', 'unknown error')}"
             )
         return self.artifact(record["result"]["artifact"])

@@ -24,8 +24,10 @@ request is computed at most once per store, across restarts.
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Callable
 
+from repro import cancel
 from repro.engine.mindist import fingerprint_digest
 from repro.errors import JobError
 from repro.graph.ddg import DependenceGraph
@@ -41,8 +43,10 @@ from repro.schedule.maxlive import max_live
 from repro.schedule.schedule import Schedule, ScheduleStats
 from repro.schedulers import registry
 from repro.schedulers.registry import make_scheduler
+from repro.service import faults
 from repro.service.jobs import Job
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import CircuitBreaker
 from repro.service.store import ArtifactStore, persistent_study_cache
 
 #: Request schema version embedded in every cache key.
@@ -53,6 +57,10 @@ DEFAULT_MACHINE = "perfect-club"
 
 #: Scheduler used when a request does not name one.
 DEFAULT_SCHEDULER = "hrms"
+
+#: The single cheap heuristic a degraded portfolio request falls back
+#: to (the paper's own method — milliseconds, no MILP).
+DEGRADED_SCHEDULER = "hrms"
 
 
 def schedule_payload(
@@ -125,6 +133,12 @@ class SchedulingExecutor:
         self.store = store
         self.metrics = metrics or ServiceMetrics()
         self._study_cache = persistent_study_cache(store)
+        #: Guards the portfolio race: repeated member failures trip it
+        #: open and portfolio requests degrade to DEGRADED_SCHEDULER.
+        self.breaker = CircuitBreaker()
+        #: Optional queue-saturation probe installed by the service
+        #: (``>= 1.0`` means overloaded → degrade portfolio races).
+        self.load_factor: Callable[[], float] | None = None
 
     # ------------------------------------------------------------------
     def execute(self, job: Job) -> dict:
@@ -186,14 +200,18 @@ class SchedulingExecutor:
             "options": options,
         }
 
-    def _schedule(self, request: dict) -> dict:
-        graph = self._resolve_graph(request)
-        machine = machine_from_config(request.get("machine", DEFAULT_MACHINE))
-        scheduler = str(request.get("scheduler", DEFAULT_SCHEDULER))
-        options = self._options(request)
-        if scheduler in registry.VIRTUAL_SCHEDULERS:
-            return self._portfolio(request, graph, machine, options)
+    def _schedule_one(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        scheduler: str,
+        options: dict,
+    ) -> tuple[str, dict, bool]:
+        """Get-or-compute one plain schedule artifact.
 
+        Returns ``(key, payload, cached)``.  The single funnel for both
+        direct schedule requests and the degraded-portfolio fallback,
+        and the home of the executor's fault-injection hooks."""
         cache_request = self._schedule_cache_request(
             graph, machine, scheduler, options
         )
@@ -201,6 +219,17 @@ class SchedulingExecutor:
         envelope = self.store.get(key)
         cached = envelope is not None
         if envelope is None:
+            if faults.ACTIVE is not None:
+                rule = faults.ACTIVE.should_fire("executor.latency")
+                if rule is not None:
+                    time.sleep(rule.delay_s)
+                if faults.ACTIVE.should_fire("executor.error"):
+                    raise RuntimeError(
+                        "injected transient scheduler fault"
+                    )
+            # Honour a job deadline before starting a compute (the II
+            # search polls it again per attempt).
+            cancel.check()
             analysis = compute_mii(graph, machine)
             schedule = make_scheduler(scheduler, **options).schedule(
                 graph, machine, analysis
@@ -209,13 +238,66 @@ class SchedulingExecutor:
                 key, "schedule", cache_request, schedule_payload(schedule)
             )
             self.metrics.inc("schedules_computed")
-        payload = envelope["payload"]
+        return key, envelope["payload"], cached
+
+    def _schedule(self, request: dict) -> dict:
+        graph = self._resolve_graph(request)
+        machine = machine_from_config(request.get("machine", DEFAULT_MACHINE))
+        scheduler = str(request.get("scheduler", DEFAULT_SCHEDULER))
+        options = self._options(request)
+        if scheduler in registry.VIRTUAL_SCHEDULERS:
+            return self._portfolio(request, graph, machine, options)
+
+        key, payload, cached = self._schedule_one(
+            graph, machine, scheduler, options
+        )
         return {
             "kind": "schedule",
             "artifact": key,
             "cached": cached,
             "graph": payload["graph"]["name"],
             "scheduler": scheduler,
+            "ii": payload["ii"],
+            "mii": payload["mii"],
+            "maxlive": payload["maxlive"],
+        }
+
+    def _degraded_portfolio(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        options: dict,
+        reason: str,
+    ) -> dict:
+        """Serve a portfolio request in degraded mode: one cheap
+        heuristic instead of the full race.
+
+        The member schedule is cached under its own canonical key (it
+        *is* the artifact a direct ``scheduler: "hrms"`` request would
+        compute), but **no portfolio envelope is written** — a degraded
+        answer must never be served as the canonical portfolio artifact
+        once the breaker closes again."""
+        self.metrics.inc("portfolios_degraded")
+        key, payload, cached = self._schedule_one(
+            graph, machine, DEGRADED_SCHEDULER, options
+        )
+        return {
+            "kind": "schedule",
+            "artifact": key,
+            "cached": cached,
+            "degraded": True,
+            "degrade_reason": reason,
+            "graph": payload["graph"]["name"],
+            "scheduler": "portfolio",
+            "winner": DEGRADED_SCHEDULER,
+            "policy": None,
+            "members": [
+                {
+                    "name": DEGRADED_SCHEDULER,
+                    "status": "ok",
+                    "source": "degraded",
+                }
+            ],
             "ii": payload["ii"],
             "mii": payload["mii"],
             "maxlive": payload["maxlive"],
@@ -290,6 +372,20 @@ class SchedulingExecutor:
         envelope = self.store.get(key)
         cached = envelope is not None
         if envelope is None:
+            # Graceful degradation: under a tripped breaker (repeated
+            # member failures) or queue overload, skip the race and
+            # serve the single cheap heuristic instead.
+            reason = None
+            if not self.breaker.allow():
+                reason = "breaker-open"
+            elif (
+                self.load_factor is not None and self.load_factor() >= 1.0
+            ):
+                reason = "overload"
+            if reason is not None:
+                return self._degraded_portfolio(
+                    graph, machine, options, reason
+                )
             # Exact members race under the member budget as their MILP
             # time limit; that option is part of their request identity,
             # so a budget-limited result never masquerades as the
@@ -314,17 +410,34 @@ class SchedulingExecutor:
                     precomputed[name] = schedule_from_payload(
                         member_envelope["payload"], graph, machine
                     )
-            result = race_portfolio(
-                graph,
-                machine,
-                members=members,
-                policy=policy,
-                member_budget=member_budget,
-                include_exact=include_exact,
-                register_budget=register_budget,
-                precomputed=precomputed,
-                **options,
+            try:
+                result = race_portfolio(
+                    graph,
+                    machine,
+                    members=members,
+                    policy=policy,
+                    member_budget=member_budget,
+                    include_exact=include_exact,
+                    register_budget=register_budget,
+                    precomputed=precomputed,
+                    **options,
+                )
+            except Exception:
+                # A race that produced nothing usable at all is the
+                # strongest breaker signal there is (and a half-open
+                # probe must always resolve, so every exception counts).
+                self.breaker.record_failure()
+                raise
+            # Feed the breaker member health: every failed member is a
+            # failure event, a fully healthy race closes the breaker.
+            failed = sum(
+                1 for outcome in result.outcomes if outcome.status != "ok"
             )
+            if failed:
+                for _ in range(failed):
+                    self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
             member_artifacts: dict[str, str] = {}
             for outcome in result.outcomes:
                 # Only verified-usable schedules are cached; an

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the service stack.
+
+A :class:`FaultPlan` is a seed plus a set of :class:`FaultRule`\\ s, each
+naming one *injection point* — a fixed hook compiled into the service
+code (store I/O, torn writes, scheduler exceptions and latency, worker
+kills, pickle failures, slow/failed HTTP handlers).  Activating a
+:class:`FaultInjector` built from a plan makes those hooks fire with
+the rule's probability, driven by a per-point RNG derived from the plan
+seed — the same plan replays the same *decision sequence* at every
+point, which is what lets the chaos campaign name, replay, and shrink a
+failure from its seed alone.
+
+Zero overhead when disabled: call sites guard on the module-level
+``ACTIVE`` global (``if faults.ACTIVE is not None: …``), so production
+code pays one global load and an identity test per hook — nothing else.
+
+The injector only *decides*; each call site owns the mechanics of its
+failure (raising ``OSError``, mangling bytes, killing a worker process)
+so the fault is always the real failure mode of that layer, not a
+simulation of one.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Every injection point compiled into the service code, with the layer
+#: and failure mode it exercises.  ``chaos.*`` points are interpreted by
+#: the chaos harness itself (no service hook) — they direct scenario
+#: choices such as force-tripping the circuit breaker.
+POINTS: dict[str, str] = {
+    "store.get.io": "store: OSError while reading an envelope",
+    "store.put.io": "store: OSError while writing an envelope",
+    "store.put.torn": "store: envelope written torn/corrupt",
+    "executor.latency": "executor: artificial scheduling latency",
+    "executor.error": "executor: transient scheduler exception",
+    "procpool.kill": "procpool: SIGKILL one worker process",
+    "procpool.pickle": "procpool: request fails to pickle",
+    "api.latency": "api: slow HTTP handler",
+    "api.error": "api: handler replies 500",
+    "chaos.breaker.trip": "harness: force the circuit breaker open",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection point armed with a firing probability."""
+
+    point: str
+    probability: float = 1.0
+    #: Stop firing after this many hits (``None`` = unlimited).
+    max_fires: int | None = None
+    #: Sleep duration for latency points.
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.point not in POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r}; known: "
+                f"{', '.join(sorted(POINTS))}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "probability": self.probability,
+            "max_fires": self.max_fires,
+            "delay_s": self.delay_s,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultRule":
+        return FaultRule(
+            point=data["point"],
+            probability=data.get("probability", 1.0),
+            max_fires=data.get("max_fires"),
+            delay_s=data.get("delay_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the rules it arms — the replayable unit of chaos."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def rule_for(self, point: str) -> FaultRule | None:
+        for rule in self.rules:
+            if rule.point == point:
+                return rule
+        return None
+
+    def without(self, point: str) -> "FaultPlan":
+        """A copy of this plan with *point* disarmed (shrinking)."""
+        return FaultPlan(
+            seed=self.seed,
+            rules=tuple(r for r in self.rules if r.point != point),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        return FaultPlan(
+            seed=data.get("seed", 0),
+            rules=tuple(
+                FaultRule.from_dict(entry) for entry in data.get("rules", ())
+            ),
+        )
+
+
+def _point_rng(seed: int, point: str) -> random.Random:
+    """A point's private RNG: decisions at one point never perturb the
+    sequence at another, so disarming a rule while shrinking leaves the
+    remaining points' behaviour bit-identical."""
+    return random.Random((seed << 32) ^ zlib.crc32(point.encode("utf-8")))
+
+
+@dataclass
+class _PointState:
+    rule: FaultRule
+    rng: random.Random
+    fired: int = 0
+
+
+class FaultInjector:
+    """Decides, thread-safely and reproducibly, whether each armed
+    injection point fires; counts every hit per point."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._points: dict[str, _PointState] = {
+            rule.point: _PointState(rule, _point_rng(plan.seed, rule.point))
+            for rule in plan.rules
+        }
+
+    def should_fire(self, point: str) -> FaultRule | None:
+        """The armed rule if *point* fires now, else ``None``."""
+        state = self._points.get(point)
+        if state is None:
+            return None
+        with self._lock:
+            rule = state.rule
+            if rule.max_fires is not None and state.fired >= rule.max_fires:
+                return None
+            if rule.probability < 1.0 and state.rng.random() >= rule.probability:
+                return None
+            state.fired += 1
+            return rule
+
+    def point_rng(self, point: str) -> random.Random:
+        """The per-point RNG (call sites that need random *content*,
+        e.g. how to mangle an envelope, share the decision stream)."""
+        return self._points[point].rng
+
+    def fired(self) -> dict[str, int]:
+        """Hit counts per armed point (zero entries included)."""
+        with self._lock:
+            return {
+                point: state.fired for point, state in self._points.items()
+            }
+
+    @property
+    def total_fired(self) -> int:
+        with self._lock:
+            return sum(state.fired for state in self._points.values())
+
+
+#: The live injector, or ``None`` (the common case).  Call sites guard
+#: on this being non-None before paying any further cost.
+ACTIVE: FaultInjector | None = None
+
+_ACTIVATION_LOCK = threading.Lock()
+
+
+def activate(injector: FaultInjector) -> None:
+    """Install *injector* as the process-wide live injector."""
+    global ACTIVE
+    with _ACTIVATION_LOCK:
+        if ACTIVE is not None:
+            raise RuntimeError("a fault injector is already active")
+        ACTIVE = injector
+
+
+def deactivate() -> None:
+    """Remove the live injector (idempotent)."""
+    global ACTIVE
+    with _ACTIVATION_LOCK:
+        ACTIVE = None
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Activate a fresh injector for *plan* within the block."""
+    injector = FaultInjector(plan)
+    activate(injector)
+    try:
+        yield injector
+    finally:
+        deactivate()
+
+
+def mangle(text: str, rng: random.Random) -> str:
+    """Corrupt an envelope's serialized text the way real failures do:
+    truncation (torn write) or byte damage (bit rot)."""
+    mode = rng.randrange(3)
+    if mode == 0 and len(text) > 2:
+        # Torn write: only a prefix made it to disk.
+        return text[: rng.randrange(1, len(text))]
+    if mode == 1:
+        # Flipped bytes inside the payload.
+        chars = list(text)
+        for _ in range(rng.randint(1, 4)):
+            index = rng.randrange(len(chars))
+            chars[index] = chr((ord(chars[index]) + 13) % 126 or 32)
+        return "".join(chars)
+    # Replaced with same-length junk that is still not valid JSON.
+    return "#" * len(text)

@@ -1,31 +1,44 @@
 """Job model, priority FIFO queue, and thread worker pool.
 
 A :class:`Job` is one unit of service work (schedule a loop, run a
-suite).  Jobs flow ``queued → running → done | failed``; transient
-failures are retried up to ``max_attempts``, while deterministic domain
-failures (:class:`~repro.errors.ReproError` — a malformed graph will be
-exactly as malformed on the second try) fail immediately with the error
-captured on the job.
+suite).  Jobs flow ``queued → running → done | failed | timeout``;
+transient failures are retried up to ``max_attempts`` with exponential
+backoff (:class:`~repro.service.resilience.RetryPolicy`), while
+deterministic domain failures (:class:`~repro.errors.ReproError` — a
+malformed graph will be exactly as malformed on the second try) fail
+immediately with the error captured on the job.  A job carrying a
+deadline is cancelled cooperatively (:mod:`repro.cancel`) and settles
+in the distinct ``timeout`` state.
 
 The queue is a *priority FIFO*: higher ``priority`` pops first, equal
 priorities pop in submission order (a monotonically increasing sequence
-number breaks ties, so the heap never compares jobs).  Workers are
-plain threads — scheduling paper-scale loops is milliseconds of
-NumPy-heavy work, and batch jobs fan out internally through
-:func:`repro.experiments.runner.parallel_map`.
+number breaks ties, so the heap never compares jobs).  It can be
+bounded: past ``max_depth`` external pushes raise
+:class:`~repro.errors.QueueFullError` (the API maps this to HTTP 429),
+while internal retry requeues bypass the cap — shedding a retry would
+turn backpressure into a lost job.
+
+Workers are plain threads — scheduling paper-scale loops is
+milliseconds of NumPy-heavy work, and batch jobs fan out internally
+through :func:`repro.experiments.runner.parallel_map`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import ReproError
+from repro import cancel
+from repro.errors import DeadlineExceededError, QueueFullError, ReproError
+from repro.service.resilience import RetryPolicy
+
+logger = logging.getLogger(__name__)
 
 
 class JobStatus:
@@ -35,8 +48,11 @@ class JobStatus:
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    TIMEOUT = "timeout"
 
-    ALL = (QUEUED, RUNNING, DONE, FAILED)
+    ALL = (QUEUED, RUNNING, DONE, FAILED, TIMEOUT)
+    #: Terminal states — a poller may stop watching.
+    SETTLED = (DONE, FAILED, TIMEOUT)
 
 
 def new_job_id() -> str:
@@ -53,8 +69,13 @@ class Job:
     id: str = field(default_factory=new_job_id)
     priority: int = 0
     max_attempts: int = 2
+    #: Absolute wall-clock deadline (``time.time()``), or ``None``.
+    deadline: float | None = None
     status: str = JobStatus.QUEUED
     attempts: int = 0
+    #: Crash re-enqueues consumed (worker death is forgiven exactly once
+    #: without charging the retry budget).
+    crash_requeues: int = 0
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -76,6 +97,7 @@ class Job:
             "status": self.status,
             "priority": self.priority,
             "attempts": self.attempts,
+            "deadline": self.deadline,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -85,16 +107,45 @@ class Job:
 
 
 class JobQueue:
-    """Thread-safe priority FIFO of :class:`Job` objects."""
+    """Thread-safe priority FIFO of :class:`Job` objects.
 
-    def __init__(self) -> None:
+    ``max_depth`` bounds *external* submissions (``push``); the retry
+    path uses :meth:`requeue`, which ignores the bound.
+    """
+
+    def __init__(self, max_depth: int | None = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         self._heap: list[tuple[int, int, Job]] = []
         self._cond = threading.Condition()
         self._seq = itertools.count()
         self._closed = False
+        self.max_depth = max_depth
 
     def push(self, job: Job) -> None:
-        """Enqueue *job* (higher priority first, FIFO within a level)."""
+        """Enqueue *job* (higher priority first, FIFO within a level).
+
+        Raises :class:`~repro.errors.QueueFullError` when a depth cap
+        is configured and already reached (backpressure)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if (
+                self.max_depth is not None
+                and len(self._heap) >= self.max_depth
+            ):
+                raise QueueFullError(
+                    f"job queue is full ({self.max_depth} waiting); "
+                    f"retry later"
+                )
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def requeue(self, job: Job) -> None:
+        """Re-enqueue a job the pool already accepted (retry path).
+
+        Exempt from ``max_depth``: the job was admitted once, and
+        dropping it now would lose it."""
         with self._cond:
             if self._closed:
                 raise RuntimeError("queue is closed")
@@ -147,9 +198,13 @@ class WorkerPool:
 
     ``execute(job) -> dict`` produces the job's result.  Exceptions are
     captured on the job: :class:`~repro.errors.ReproError` fails the job
-    immediately (deterministic), anything else requeues it until
-    ``job.max_attempts`` is exhausted.  ``on_finish(job)`` fires exactly
-    once per job, after it reaches ``done`` or ``failed``.
+    immediately (deterministic), :class:`DeadlineExceededError` settles
+    it as ``timeout``, anything else requeues it — after the
+    ``retry_policy`` backoff — until ``job.max_attempts`` is exhausted.
+    An exception tagged ``worker_crash=True`` (a process-backend worker
+    died under the job) is forgiven exactly once per job without
+    consuming an attempt.  ``on_finish(job)`` fires exactly once per
+    job, after it reaches a settled status.
     """
 
     def __init__(
@@ -159,6 +214,8 @@ class WorkerPool:
         *,
         workers: int | None = None,
         on_finish: Callable[[Job], None] | None = None,
+        join_timeout: float = 10.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         import os
 
@@ -166,7 +223,12 @@ class WorkerPool:
         self._execute = execute
         self._on_finish = on_finish
         self.workers = workers or min(8, os.cpu_count() or 1)
+        self.join_timeout = join_timeout
+        self.retry_policy = retry_policy or RetryPolicy()
         self._threads: list[threading.Thread] = []
+        self._timers_lock = threading.Lock()
+        self._timers: dict[int, tuple[threading.Timer, Job]] = {}
+        self._timer_seq = itertools.count()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -180,6 +242,11 @@ class WorkerPool:
             thread.start()
             self._threads.append(thread)
 
+    @property
+    def started(self) -> bool:
+        """Whether worker threads are running (readiness probe)."""
+        return bool(self._threads)
+
     def stop(self, wait: bool = True, abort: bool = False) -> None:
         """Close the queue and (optionally) join the workers.
 
@@ -189,13 +256,52 @@ class WorkerPool:
         (with the shutdown captured as their error) rather than run, so
         no poller is left watching a job that will never settle.
         """
+        self._flush_timers(abort=abort)
         if abort:
             self._abort_queued()
         self.queue.close()
         if wait:
             for thread in self._threads:
-                thread.join(timeout=10.0)
+                thread.join(timeout=self.join_timeout)
+                if thread.is_alive():
+                    # A wedged worker is an observability event, not a
+                    # silent leak: say which thread and how long we gave it.
+                    logger.warning(
+                        "worker thread %s did not join within %.1fs; "
+                        "abandoning it (daemon)",
+                        thread.name,
+                        self.join_timeout,
+                    )
         self._threads = []
+
+    def _flush_timers(self, abort: bool) -> None:
+        """Cancel pending backoff timers; their jobs are either
+        requeued now (graceful: they still get their retry, without the
+        delay) or failed (abort)."""
+        from repro.errors import ServiceError
+
+        with self._timers_lock:
+            pending = list(self._timers.values())
+            self._timers.clear()
+        for timer, job in pending:
+            timer.cancel()
+            if abort:
+                self._fail(
+                    job,
+                    ServiceError(
+                        f"service stopped before job {job.id} was retried"
+                    ),
+                )
+            else:
+                try:
+                    self.queue.requeue(job)
+                except RuntimeError:
+                    self._fail(
+                        job,
+                        ServiceError(
+                            f"service stopped before job {job.id} was retried"
+                        ),
+                    )
 
     def _abort_queued(self) -> None:
         """Drain the queue and fail every job that never started."""
@@ -219,21 +325,49 @@ class WorkerPool:
 
     def run_job(self, job: Job) -> None:
         """Execute one job with retry + failure capture (synchronous)."""
+        if job.deadline is not None and time.time() >= job.deadline:
+            # Expired while waiting in the queue: never start it.
+            self._timeout(
+                job,
+                DeadlineExceededError(
+                    f"job {job.id} deadline expired before execution"
+                ),
+            )
+            return
         job.attempts += 1
         job.status = JobStatus.RUNNING
         job.started_at = time.time()
         try:
-            result = self._execute(job)
+            with cancel.deadline_scope(job.deadline):
+                result = self._execute(job)
+        except DeadlineExceededError as exc:
+            self._timeout(job, exc)
         except ReproError as exc:
             # Domain failures are deterministic; retrying cannot help.
             self._fail(job, exc)
         except Exception as exc:  # noqa: BLE001 - captured on the job
-            if job.attempts < job.max_attempts:
-                job.status = JobStatus.QUEUED
-                try:
-                    self.queue.push(job)
-                except RuntimeError:
-                    self._fail(job, exc)
+            if getattr(exc, "worker_crash", False) and job.crash_requeues == 0:
+                # A worker died under the job — forgiven exactly once,
+                # without consuming an attempt.
+                job.crash_requeues = 1
+                job.attempts -= 1
+                self._requeue_after(job, exc, delay=0.0)
+            elif job.attempts < job.max_attempts:
+                delay = self.retry_policy.delay(job.attempts, job.id)
+                if (
+                    job.deadline is not None
+                    and time.time() + delay >= job.deadline
+                ):
+                    # The backoff alone would blow the deadline.
+                    self._timeout(
+                        job,
+                        DeadlineExceededError(
+                            f"job {job.id} deadline leaves no room for "
+                            f"retry backoff ({delay:.3f}s)"
+                        ),
+                    )
+                else:
+                    self._requeue_after(job, exc, delay=delay)
             else:
                 self._fail(job, exc)
         else:
@@ -245,6 +379,34 @@ class WorkerPool:
             if self._on_finish is not None:
                 self._on_finish(job)
 
+    def _requeue_after(
+        self, job: Job, exc: BaseException, delay: float
+    ) -> None:
+        """Put *job* back on the queue after *delay* seconds (0 = now)."""
+        job.status = JobStatus.QUEUED
+        if delay <= 0.0:
+            try:
+                self.queue.requeue(job)
+            except RuntimeError:
+                self._fail(job, exc)
+            return
+        token = next(self._timer_seq)
+
+        def fire() -> None:
+            with self._timers_lock:
+                if self._timers.pop(token, None) is None:
+                    return  # stop() already flushed this retry
+            try:
+                self.queue.requeue(job)
+            except RuntimeError:
+                self._fail(job, exc)
+
+        timer = threading.Timer(delay, fire)
+        timer.daemon = True
+        with self._timers_lock:
+            self._timers[token] = (timer, job)
+        timer.start()
+
     def _fail(self, job: Job, exc: BaseException) -> None:
         job.error = {
             "type": type(exc).__name__,
@@ -255,5 +417,18 @@ class WorkerPool:
         # Status flips last (see run_job): a "failed" observer must
         # already see the captured error and timestamp.
         job.status = JobStatus.FAILED
+        if self._on_finish is not None:
+            self._on_finish(job)
+
+    def _timeout(self, job: Job, exc: DeadlineExceededError) -> None:
+        """Settle *job* in the distinct ``timeout`` state."""
+        job.error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "attempts": job.attempts,
+        }
+        job.finished_at = time.time()
+        # Status flips last, as everywhere.
+        job.status = JobStatus.TIMEOUT
         if self._on_finish is not None:
             self._on_finish(job)

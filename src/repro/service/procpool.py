@@ -36,18 +36,22 @@ coherence protocol is needed — content addressing is the protocol.
 from __future__ import annotations
 
 import builtins
+import pickle
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 import repro.errors as errors_module
+from repro import cancel
 from repro.errors import JobError, ReproError, ServiceError
+from repro.service import faults
 from repro.service.jobs import Job, JobQueue, WorkerPool
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import RetryPolicy
 
 #: Execution backends a service can run on.
 BACKENDS = ("thread", "process")
@@ -73,6 +77,14 @@ class ExecutorConfig:
     workers: int | None = None
     max_attempts: int = 2
     warm_start: bool = True
+    #: Seconds :meth:`WorkerPool.stop` waits for each worker thread.
+    join_timeout: float = 10.0
+    #: Transient-retry backoff curve (exponential, jittered, capped).
+    retry_base_delay: float = 0.05
+    retry_max_delay: float = 2.0
+    #: Bound on queued jobs (``None`` = unbounded); past it, submissions
+    #: are rejected with 429 + Retry-After.
+    max_queue_depth: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -86,6 +98,29 @@ class ExecutorConfig:
             raise ServiceError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
+        if self.join_timeout <= 0:
+            raise ServiceError(
+                f"join_timeout must be > 0, got {self.join_timeout}"
+            )
+        if self.retry_base_delay < 0:
+            raise ServiceError(
+                f"retry_base_delay must be >= 0, got {self.retry_base_delay}"
+            )
+        if self.retry_max_delay < self.retry_base_delay:
+            raise ServiceError(
+                f"retry_max_delay {self.retry_max_delay} < retry_base_delay "
+                f"{self.retry_base_delay}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+
+    def retry_policy(self) -> RetryPolicy:
+        """The backoff policy this config describes."""
+        return RetryPolicy(
+            base_delay=self.retry_base_delay, max_delay=self.retry_max_delay
+        )
 
 
 # ----------------------------------------------------------------------
@@ -122,9 +157,14 @@ def _init_worker(store_root: str, warm_start: bool) -> None:
 
 
 def job_wire(job: Job) -> dict:
-    """The pickle-safe wire form of *job*: exactly the canonical
-    ``{"kind", "request"}`` envelope its store key is derived from."""
-    return {"kind": job.kind, "request": job.request}
+    """The pickle-safe wire form of *job*: the canonical ``{"kind",
+    "request"}`` envelope its store key is derived from, plus the
+    absolute deadline (wall clock, so it crosses the process boundary
+    unchanged) when one is set."""
+    wire = {"kind": job.kind, "request": job.request}
+    if job.deadline is not None:
+        wire["deadline"] = job.deadline
+    return wire
 
 
 def run_wire_job(wire: dict) -> dict:
@@ -146,9 +186,10 @@ def run_wire_job(wire: dict) -> dict:
         }
     before = {name: _WORKER_METRICS.counter(name) for name in WIRE_COUNTERS}
     try:
-        result = _WORKER_EXECUTOR.execute_request(
-            str(wire["kind"]), dict(wire["request"])
-        )
+        with cancel.deadline_scope(wire.get("deadline")):
+            result = _WORKER_EXECUTOR.execute_request(
+                str(wire["kind"]), dict(wire["request"])
+            )
     except ReproError as exc:
         return {
             "ok": False,
@@ -225,6 +266,9 @@ class ProcessWorkerPool(WorkerPool):
     before its first job.
     """
 
+    #: Seconds between supervision sweeps for silently dead workers.
+    SUPERVISE_INTERVAL = 0.5
+
     def __init__(
         self,
         queue: JobQueue,
@@ -234,9 +278,16 @@ class ProcessWorkerPool(WorkerPool):
         on_finish: Callable[[Job], None] | None = None,
         metrics: ServiceMetrics | None = None,
         warm_start: bool = True,
+        join_timeout: float = 10.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         super().__init__(
-            queue, self._proxy, workers=workers, on_finish=on_finish
+            queue,
+            self._proxy,
+            workers=workers,
+            on_finish=on_finish,
+            join_timeout=join_timeout,
+            retry_policy=retry_policy,
         )
         self._store_root = str(store_root)
         self._metrics = metrics
@@ -244,6 +295,8 @@ class ProcessWorkerPool(WorkerPool):
         self._executor: ProcessPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._stopping = False
+        self._supervisor: threading.Thread | None = None
+        self._supervise_stop = threading.Event()
 
     def _make_executor(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -261,7 +314,58 @@ class ProcessWorkerPool(WorkerPool):
             self._stopping = False
             if self._executor is None:
                 self._executor = self._make_executor()
+        self._supervise_stop.clear()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="hrms-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
         super().start()
+
+    def _supervise(self) -> None:
+        """Detect workers that died *between* jobs and respawn the pool.
+
+        A worker that dies mid-job breaks its future immediately
+        (``BrokenProcessPool``, handled in :meth:`_proxy`); one that
+        dies idle is invisible until the next submit wedges on a broken
+        pool.  This sweep notices the corpse early and replaces the
+        executor so readiness recovers without traffic."""
+        while not self._supervise_stop.wait(self.SUPERVISE_INTERVAL):
+            with self._executor_lock:
+                executor = self._executor
+                if executor is None or self._stopping:
+                    continue
+                processes = getattr(executor, "_processes", None) or {}
+                if not processes or all(
+                    process.is_alive() for process in processes.values()
+                ):
+                    continue
+                self._executor = self._make_executor()
+            executor.shutdown(wait=False, cancel_futures=True)
+            if self._metrics is not None:
+                self._metrics.inc("worker_respawns")
+
+    def alive_workers(self) -> int:
+        """Live worker processes right now (0 when stopped)."""
+        with self._executor_lock:
+            executor = self._executor
+        if executor is None:
+            return 0
+        processes = getattr(executor, "_processes", None) or {}
+        return sum(1 for process in processes.values() if process.is_alive())
+
+    def kill_one_worker(self) -> bool:
+        """SIGKILL one live worker process (chaos/testing hook);
+        ``True`` if a victim was found."""
+        with self._executor_lock:
+            executor = self._executor
+        if executor is None:
+            return False
+        processes = getattr(executor, "_processes", None) or {}
+        for process in processes.values():
+            if process.is_alive():
+                process.kill()
+                return True
+        return False
 
     #: Seconds an in-flight job is given to finish during an aborting
     #: stop before its worker process is terminated outright.
@@ -285,6 +389,10 @@ class ProcessWorkerPool(WorkerPool):
         future breaks, and the closed queue turns the usual transient
         retry into a captured failure).
         """
+        self._supervise_stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=self.join_timeout)
+            self._supervisor = None
         with self._executor_lock:
             self._stopping = True
             executor = self._executor
@@ -329,25 +437,54 @@ class ProcessWorkerPool(WorkerPool):
     # ------------------------------------------------------------------
     def _proxy(self, job: Job) -> dict:
         """The ``execute`` callable: ship the job out, unwrap the reply."""
+        kill = False
+        if faults.ACTIVE is not None:
+            if faults.ACTIVE.should_fire("procpool.pickle"):
+                raise pickle.PicklingError(
+                    f"injected pickling failure for job {job.id}"
+                )
+            kill = faults.ACTIVE.should_fire("procpool.kill") is not None
         with self._executor_lock:
             executor = self._executor
         if executor is None:
             raise ServiceError("process worker pool is not running")
         try:
-            envelope = executor.submit(run_wire_job, job_wire(job)).result()
+            future = executor.submit(run_wire_job, job_wire(job))
+            if kill:
+                # After the submit, so the lazily-spawned worker exists:
+                # this is a worker dying *mid-job*, the hardest case.
+                self.kill_one_worker()
+            envelope = future.result()
         except BrokenProcessPool as exc:
             # A worker died mid-job.  Replace the broken pool (unless
-            # we are shutting down) and surface a *transient* failure:
-            # the standard retry path re-runs the job on the new pool.
+            # we are shutting down) and surface the failure tagged as a
+            # crash: the pool forgives one crash per job without
+            # charging the retry budget, then retries on the new pool.
             with self._executor_lock:
                 if self._executor is executor:
                     executor.shutdown(wait=False, cancel_futures=True)
                     self._executor = (
                         None if self._stopping else self._make_executor()
                     )
-            raise RuntimeError(
+                    respawned = not self._stopping
+                else:
+                    respawned = False
+            if respawned and self._metrics is not None:
+                self._metrics.inc("worker_respawns")
+            error = RuntimeError(
                 f"worker process died while executing job {job.id}: {exc}"
-            ) from exc
+            )
+            error.worker_crash = True
+            raise error from exc
+        except CancelledError as exc:
+            # The supervisor replaced the pool under this future (a
+            # sibling worker died idle).  CancelledError is a
+            # BaseException — convert it so the retry path sees it.
+            error = RuntimeError(
+                f"job {job.id} was cancelled by a pool respawn"
+            )
+            error.worker_crash = True
+            raise error from exc
         if envelope.get("ok"):
             if self._metrics is not None:
                 for name, amount in envelope.get("computed", {}).items():
@@ -383,7 +520,14 @@ def make_worker_pool(
             on_finish=on_finish,
             metrics=metrics,
             warm_start=config.warm_start,
+            join_timeout=config.join_timeout,
+            retry_policy=config.retry_policy(),
         )
     return WorkerPool(
-        queue, execute, workers=config.workers, on_finish=on_finish
+        queue,
+        execute,
+        workers=config.workers,
+        on_finish=on_finish,
+        join_timeout=config.join_timeout,
+        retry_policy=config.retry_policy(),
     )

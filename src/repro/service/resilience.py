@@ -1,0 +1,156 @@
+"""Retry backoff and circuit-breaking for the service layer.
+
+Two small, self-contained policies:
+
+:class:`RetryPolicy`
+    Exponential backoff with deterministic jitter and a cap, replacing
+    the old immediate-requeue transient retry.  Jitter is derived from
+    ``(job id, attempt)`` rather than a global RNG so a replayed
+    campaign sees identical delays — randomness that cannot be replayed
+    is banned from this codebase's QA loop.
+
+:class:`CircuitBreaker`
+    The classic closed → open → half-open automaton guarding the
+    portfolio race.  Repeated member failures (or sustained overload,
+    which the service checks separately) trip it open; while open, the
+    executor degrades portfolio requests to a single cheap heuristic
+    member instead of racing the full roster.  After ``recovery_s`` one
+    probe request is allowed through (half-open); its outcome closes or
+    re-opens the breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * factor**(attempt-1)``, jittered
+    by up to ``jitter`` of itself, capped at ``max_delay``."""
+
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} < base_delay {self.base_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry number *attempt* (1-based count of
+        failures so far).  *token* (the job id) seeds the jitter so the
+        schedule is a pure function of ``(policy, token, attempt)``."""
+        raw = self.base_delay * self.factor ** max(0, attempt - 1)
+        capped = min(raw, self.max_delay)
+        if self.jitter == 0.0 or capped == 0.0:
+            return capped
+        # Deterministic jitter in [1 - jitter, 1]: a hash of the token
+        # and attempt scaled into the jitter band.
+        bucket = zlib.crc32(f"{token}:{attempt}".encode("utf-8")) / 0xFFFFFFFF
+        return capped * (1.0 - self.jitter * bucket)
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker on consecutive failures."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_s: float = 30.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Lifetime count of closed→open transitions (metrics).
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._observe()
+
+    def _observe(self) -> str:
+        """Current state with the open→half-open timeout applied.
+        Caller holds the lock."""
+        if (
+            self._state == self.OPEN
+            and time.time() - self._opened_at >= self.recovery_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a full (non-degraded) attempt may proceed now.
+
+        Closed: yes.  Open: no.  Half-open: one probe at a time."""
+        with self._lock:
+            state = self._observe()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._observe()
+            self._failures += 1
+            if state == self.HALF_OPEN or (
+                state == self.CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = time.time()
+                self._probe_in_flight = False
+                self._failures = 0
+                self.trips += 1
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (chaos harness hook)."""
+        with self._lock:
+            self._state = self.OPEN
+            self._opened_at = time.time()
+            self._probe_in_flight = False
+            self._failures = 0
+            self.trips += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._observe(),
+                "failures": self._failures,
+                "trips": self.trips,
+            }

@@ -24,18 +24,23 @@ and idempotent): the single-level ``objects/ab/<key>.json`` fan-out of
 earlier versions, and the original flat ``objects/<key>.json``.  Reads
 prefer the sharded path; writes only ever produce it.
 
-Envelopes carry a schema version.  Reads are tolerant of *older*
-schemas and of corrupt files (a torn write counts as a miss and is
-overwritten by the next put); a *newer* schema raises
-:class:`~repro.errors.ArtifactError` instead of being misread.  Writes
-are atomic (temp file + ``os.replace``), so concurrent workers racing
-on the same key are harmless — both write the same bits.
+Envelopes carry a schema version and an ``integrity`` digest (SHA-256
+of the canonical envelope minus the digest itself), verified on every
+read.  A file that is torn, fails its digest, or declares a schema this
+code does not understand is **quarantined** — atomically moved to
+``<root>/quarantine/`` (never silently deleted: it is evidence) — and
+the read counts as a miss, so the request falls through to a fresh
+compute.  Envelopes written before the digest existed verify trivially
+(no declared digest, nothing to check).  Writes are atomic (temp file +
+``os.replace``), so concurrent workers racing on the same key are
+harmless — both write the same bits.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -45,6 +50,9 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.errors import ArtifactError
+from repro.service import faults
+
+logger = logging.getLogger(__name__)
 
 #: Envelope schema written by this version of the store.
 STORE_SCHEMA = 1
@@ -61,6 +69,13 @@ def request_key(request: dict) -> str:
     return hashlib.sha256(canonical_json(request).encode("utf-8")).hexdigest()
 
 
+def envelope_integrity(envelope: dict) -> str:
+    """The integrity digest of *envelope*: SHA-256 over its canonical
+    JSON with the ``integrity`` field itself removed."""
+    core = {k: v for k, v in envelope.items() if k != "integrity"}
+    return hashlib.sha256(canonical_json(core).encode("utf-8")).hexdigest()
+
+
 @dataclass
 class StoreStats:
     """Hit/miss accounting since the store object was created."""
@@ -68,6 +83,8 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Corrupt/unsupported envelopes moved to ``quarantine/``.
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -81,6 +98,7 @@ class ArtifactStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self._objects = self.root / "objects"
+        self._quarantine_dir = self.root / "quarantine"
         self._objects.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._stats = StoreStats()
@@ -137,36 +155,78 @@ class ArtifactStore:
         return request_key(request)
 
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Atomically move a bad envelope to ``quarantine/`` (evidence,
+        not garbage); best-effort — losing the race to a concurrent
+        reader or a re-put is fine."""
+        self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self._quarantine_dir / f"{key}.json"
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = self._quarantine_dir / f"{key}.{suffix}.json"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return
+        with self._lock:
+            self._stats.quarantined += 1
+        logger.warning(
+            "quarantined artifact %s (%s) -> %s", key, reason, dest
+        )
+
     def get(self, key: str) -> dict | None:
         """The envelope stored under *key*, or ``None`` on a miss.
 
-        Unreadable JSON counts as a miss; an envelope declaring a newer
-        schema than this code understands raises
-        :class:`~repro.errors.ArtifactError`.  A hit under a legacy
-        layout is migrated to the sharded path as a side effect.
+        Every read is verified: unparseable JSON, a failed ``integrity``
+        digest, a non-dict envelope, or a schema newer than this code
+        understands moves the file to ``quarantine/`` and counts as a
+        miss (the caller recomputes).  A hit under a legacy layout is
+        migrated to the sharded path as a side effect.
         """
         path = self._locate(key) or self._path_for(key)
         try:
+            if faults.ACTIVE is not None and faults.ACTIVE.should_fire(
+                "store.get.io"
+            ):
+                raise OSError(f"injected I/O fault reading {key}")
             text = path.read_text(encoding="utf-8")
+        except OSError:
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        try:
             envelope = json.loads(text)
-        except (OSError, json.JSONDecodeError):
+            if not isinstance(envelope, dict):
+                raise json.JSONDecodeError("not an object", text, 0)
+        except json.JSONDecodeError:
+            self._quarantine(path, key, "unparseable envelope")
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        schema = envelope.get("schema", STORE_SCHEMA)
+        if not isinstance(schema, int) or schema > STORE_SCHEMA:
+            self._quarantine(path, key, f"unsupported schema {schema!r}")
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        declared = envelope.get("integrity")
+        if declared is not None and declared != envelope_integrity(envelope):
+            self._quarantine(path, key, "integrity digest mismatch")
             with self._lock:
                 self._stats.misses += 1
             return None
         if path != self._path_for(key):
             self._migrate(path, key)
-        schema = envelope.get("schema", STORE_SCHEMA)
-        if not isinstance(schema, int) or schema > STORE_SCHEMA:
-            raise ArtifactError(
-                f"artifact {key} has unsupported schema {schema!r} "
-                "(written by a newer version?)"
-            )
         with self._lock:
             self._stats.hits += 1
         return envelope
 
     def put(self, key: str, kind: str, request: dict, payload: dict) -> dict:
-        """Store *payload* under *key* and return the written envelope."""
+        """Store *payload* under *key* and return the written envelope.
+
+        The envelope carries an ``integrity`` digest over its canonical
+        form so a later read can prove the bytes are the ones written."""
         envelope = {
             "schema": STORE_SCHEMA,
             "kind": kind,
@@ -174,9 +234,20 @@ class ArtifactStore:
             "request": request,
             "payload": payload,
         }
+        envelope["integrity"] = envelope_integrity(envelope)
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+        if faults.ACTIVE is not None:
+            if faults.ACTIVE.should_fire("store.put.io"):
+                raise OSError(f"injected I/O fault writing {key}")
+            rule = faults.ACTIVE.should_fire("store.put.torn")
+            if rule is not None:
+                # Write real corruption to disk (the returned in-memory
+                # envelope stays good — exactly what a torn write does).
+                text = faults.mangle(
+                    text, faults.ACTIVE.point_rng("store.put.torn")
+                )
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -237,6 +308,7 @@ class ArtifactStore:
                 hits=self._stats.hits,
                 misses=self._stats.misses,
                 writes=self._stats.writes,
+                quarantined=self._stats.quarantined,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

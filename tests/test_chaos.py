@@ -1,0 +1,298 @@
+"""Tests for the chaos harness itself and the service failure paths it
+exercises: list shrinking, plan determinism, torn-write quarantine with
+fresh-compute fall-through, breaker-driven portfolio degradation, and a
+miniature end-to-end campaign."""
+
+import pytest
+
+from repro.qa.chaos import (
+    HTTP_POOL_POINTS,
+    PROCESS_POOL_POINTS,
+    THREAD_POOL_POINTS,
+    ChaosConfig,
+    _parse_gauge,
+    plan_for,
+    run_chaos,
+    scenario_for,
+)
+from repro.qa.profiles import profile_by_name
+from repro.qa.shrink import shrink_list
+from repro.service import faults
+from repro.service.executor import SchedulingExecutor
+from repro.service.faults import FaultPlan, FaultRule, POINTS
+from repro.service.store import ArtifactStore
+
+
+# ---------------------------------------------------------------------------
+# shrink_list
+
+
+class TestShrinkList:
+    def test_minimizes_to_the_culprit(self):
+        result = shrink_list(
+            ["a", "b", "c", "d"], lambda items: "c" in items
+        )
+        assert result == ["c"]
+
+    def test_keeps_jointly_required_items(self):
+        result = shrink_list(
+            ["a", "b", "c"], lambda items: "a" in items and "c" in items
+        )
+        assert result == ["a", "c"]
+
+    def test_non_reproducing_input_returned_unchanged(self):
+        original = ["a", "b"]
+        result = shrink_list(original, lambda items: False)
+        assert result == original
+        assert result is not original  # fresh list, input not aliased
+
+    def test_empty_result_is_reachable(self):
+        # A predicate that holds regardless shrinks to nothing: the
+        # failure needs none of the items.
+        assert shrink_list(["a", "b"], lambda items: True) == []
+
+    def test_respects_evaluation_budget(self):
+        calls = []
+
+        def predicate(items):
+            calls.append(list(items))
+            return True
+
+        shrink_list(list(range(100)), predicate, max_evaluations=5)
+        # One initial reproduction check plus at most 5 candidates.
+        assert len(calls) <= 6
+
+
+# ---------------------------------------------------------------------------
+# Plan and scenario derivation
+
+
+class TestPlanDerivation:
+    def test_scenario_mix_with_defaults(self):
+        config = ChaosConfig()
+        assert scenario_for(0, config) == "thread"
+        assert scenario_for(6, config) == "http"
+        assert scenario_for(9, config) == "process"
+        # Process wins where the strides collide.
+        assert scenario_for(69, config) == "process"
+
+    def test_strides_can_be_disabled(self):
+        config = ChaosConfig(process_stride=0, http_stride=0)
+        assert all(
+            scenario_for(index, config) == "thread" for index in range(30)
+        )
+
+    def test_plans_are_deterministic(self):
+        for seed in range(20):
+            for scenario in ("thread", "http", "process"):
+                assert plan_for(seed, scenario) == plan_for(seed, scenario)
+
+    def test_plans_only_arm_scenario_points(self):
+        pools = {
+            "thread": set(THREAD_POOL_POINTS),
+            "http": set(HTTP_POOL_POINTS),
+            "process": set(PROCESS_POOL_POINTS),
+        }
+        for seed in range(50):
+            for scenario, pool in pools.items():
+                plan = plan_for(seed, scenario)
+                assert {rule.point for rule in plan.rules} <= pool
+
+    def test_kill_rules_fire_at_most_once(self):
+        for seed in range(200):
+            plan = plan_for(seed, "process")
+            rule = plan.rule_for("procpool.kill")
+            if rule is not None:
+                assert rule.max_fires == 1
+
+    def test_some_seeds_are_fault_free_controls(self):
+        armed = [bool(plan_for(seed, "thread").rules) for seed in range(40)]
+        assert any(armed) and not all(armed)
+
+    def test_pools_cover_every_service_point(self):
+        # Every injection point compiled into the service is reachable
+        # from at least one scenario (else the campaign silently never
+        # exercises it).
+        covered = (
+            set(THREAD_POOL_POINTS)
+            | set(HTTP_POOL_POINTS)
+            | set(PROCESS_POOL_POINTS)
+        )
+        assert covered == set(POINTS)
+
+    def test_parse_gauge(self):
+        text = "hrms_jobs_done 4\nhrms_faults_injected 7\n# comment\n"
+        assert _parse_gauge(text, "hrms_faults_injected") == 7.0
+        assert _parse_gauge(text, "hrms_jobs_done") == 4.0
+        assert _parse_gauge(text, "no_such_gauge") is None
+
+
+# ---------------------------------------------------------------------------
+# Torn-write quarantine and fall-through
+
+
+def _schedule_request(seed=1):
+    from repro.graph.serialization import graph_to_dict
+
+    graph = profile_by_name("tiny").build(seed, prefix="torn")
+    return {
+        "kind": "schedule",
+        "graph": graph_to_dict(graph),
+        "machine": "generic4",
+        "scheduler": "hrms",
+    }
+
+
+class TestTornWriteQuarantine:
+    def _torn_seed_that_corrupts(self, tmp_path):
+        """A plan seed whose mangle output actually breaks the envelope
+        (mode 0 may truncate only the trailing newline, which is still
+        a valid envelope — skip such seeds)."""
+        request = _schedule_request()
+        for plan_seed in range(10):
+            root = tmp_path / f"probe-{plan_seed}"
+            store = ArtifactStore(root)
+            executor = SchedulingExecutor(store)
+            plan = FaultPlan(
+                seed=plan_seed,
+                rules=(FaultRule("store.put.torn", max_fires=1),),
+            )
+            with faults.injected(plan):
+                result = executor.execute_request("schedule", request)
+            if store.get(result["artifact"]) is None:
+                return plan_seed
+        pytest.fail("no probe seed produced a corrupt envelope")
+
+    def test_torn_write_quarantines_and_recomputes(self, tmp_path):
+        plan_seed = self._torn_seed_that_corrupts(tmp_path)
+        store = ArtifactStore(tmp_path / "store")
+        executor = SchedulingExecutor(store)
+        request = _schedule_request()
+        plan = FaultPlan(
+            seed=plan_seed,
+            rules=(FaultRule("store.put.torn", max_fires=1),),
+        )
+        with faults.injected(plan) as injector:
+            result = executor.execute_request("schedule", request)
+            assert injector.fired()["store.put.torn"] == 1
+        # The job itself succeeded (the in-memory envelope was good)...
+        assert result["cached"] is False
+        key = result["artifact"]
+        # ...but the bytes on disk are corrupt: the verified read
+        # quarantines them and reports a miss, never corrupt data.
+        assert store.get(key) is None
+        stats = store.stats()
+        assert stats.quarantined == 1
+        quarantined = list((store.root / "quarantine").glob("*.json"))
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith(key)
+        # The request falls through to a fresh compute...
+        retry = executor.execute_request("schedule", request)
+        assert retry["cached"] is False
+        assert retry["artifact"] == key
+        # ...and this time the stored envelope verifies.
+        envelope = store.get(key)
+        assert envelope is not None
+        assert envelope["payload"]["ii"] == result["ii"]
+
+
+# ---------------------------------------------------------------------------
+# Breaker-driven portfolio degradation
+
+
+class TestDegradedPortfolio:
+    def _portfolio_request(self):
+        from repro.graph.serialization import graph_to_dict
+
+        graph = profile_by_name("tiny").build(7, prefix="degraded")
+        return {
+            "kind": "schedule",
+            "graph": graph_to_dict(graph),
+            "machine": "generic4",
+            "scheduler": "portfolio",
+        }
+
+    def test_open_breaker_degrades_the_race(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        executor = SchedulingExecutor(store)
+        executor.breaker.force_open()
+        result = executor.execute_request(
+            "schedule", self._portfolio_request()
+        )
+        assert result["degraded"] is True
+        assert result["degrade_reason"] == "breaker-open"
+        assert result["winner"] == "hrms"
+        assert executor.metrics.counter("portfolios_degraded") == 1
+        # The member schedule is a real cached artifact...
+        envelope = store.get(result["artifact"])
+        assert envelope is not None
+        assert envelope["kind"] == "schedule"
+        # ...but no portfolio envelope was written anywhere, and nothing
+        # stored carries the degraded marker.
+        for key in store.iter_keys():
+            stored = store.get(key)
+            assert stored["kind"] != "portfolio"
+            assert not stored["payload"].get("degraded")
+
+    def test_closed_breaker_races_and_caches_canonically(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        executor = SchedulingExecutor(store)
+        executor.breaker.force_open()
+        degraded = executor.execute_request(
+            "schedule", self._portfolio_request()
+        )
+        # Once the breaker closes, the same request races for real and
+        # produces the canonical portfolio artifact.
+        executor.breaker.record_success()
+        full = executor.execute_request("schedule", self._portfolio_request())
+        assert "degraded" not in full
+        assert full["cached"] is False  # the degraded pass cached nothing
+        envelope = store.get(full["artifact"])
+        assert envelope["kind"] == "portfolio"
+        # The degraded answer pointed at the member artifact, not this one.
+        assert degraded["artifact"] != full["artifact"]
+
+    def test_overload_degrades_the_race(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        executor = SchedulingExecutor(store)
+        executor.load_factor = lambda: 2.0
+        result = executor.execute_request(
+            "schedule", self._portfolio_request()
+        )
+        assert result["degraded"] is True
+        assert result["degrade_reason"] == "overload"
+
+
+# ---------------------------------------------------------------------------
+# Miniature end-to-end campaign
+
+
+class TestMiniCampaign:
+    def test_small_campaign_holds_every_invariant(self):
+        config = ChaosConfig(
+            seeds=6,
+            jobs_per_seed=2,
+            process_stride=0,  # the process pool has its own tests
+            http_stride=3,
+            settle_timeout=60.0,
+            shrink=False,
+        )
+        report = run_chaos(config)
+        assert report.ok, [v.describe() for v in report.violations]
+        assert report.seeds == 6
+        assert report.scenarios.get("http", 0) >= 1
+        assert report.scenarios.get("thread", 0) >= 1
+        assert sum(report.settled.values()) == report.jobs
+
+    def test_wall_budget_stops_the_sweep_early(self):
+        config = ChaosConfig(
+            seeds=50,
+            jobs_per_seed=1,
+            process_stride=0,
+            http_stride=0,
+            max_seconds=0.0,  # spent before the first seed
+            shrink=False,
+        )
+        report = run_chaos(config)
+        assert report.seeds == 0
+        assert report.ok

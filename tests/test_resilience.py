@@ -1,0 +1,414 @@
+"""Unit tests for the resilience primitives: retry backoff, circuit
+breaker, cooperative deadlines, fault injection, and the worker pool's
+deadline/backpressure paths."""
+
+import threading
+import time
+
+import pytest
+
+from repro import cancel
+from repro.errors import DeadlineExceededError, QueueFullError
+from repro.service import faults
+from repro.service.faults import (
+    POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    mangle,
+)
+from repro.service.jobs import Job, JobQueue, JobStatus, WorkerPool
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, factor=2.0, max_delay=10.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.8)
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(base_delay=0.1, factor=2.0, max_delay=0.3, jitter=0.0)
+        assert policy.delay(5) == pytest.approx(0.3)
+        assert policy.delay(50) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, factor=2.0, max_delay=2.0, jitter=0.5)
+        first = policy.delay(3, "job-a")
+        # Pure function of (policy, token, attempt): replays identically.
+        assert policy.delay(3, "job-a") == first
+        # Within the jitter band [capped * (1 - jitter), capped].
+        capped = 0.4
+        assert capped * 0.5 <= first <= capped
+        # A different token lands elsewhere in the band.
+        assert policy.delay(3, "job-b") != first
+
+    def test_zero_base_delay_is_zero(self):
+        policy = RetryPolicy(base_delay=0.0, factor=2.0, max_delay=1.0)
+        assert policy.delay(1, "x") == 0.0
+        assert policy.delay(9, "x") == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": -0.1},
+            {"factor": 0.5},
+            {"base_delay": 1.0, "max_delay": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_threshold_trips_open(self):
+        breaker = CircuitBreaker(failure_threshold=3, recovery_s=60.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_s=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        # The streak restarted: one failure is below the threshold.
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=0.05)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        time.sleep(0.06)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()          # the probe
+        assert not breaker.allow()      # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_force_open_and_snapshot(self):
+        breaker = CircuitBreaker()
+        breaker.force_open()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        snap = breaker.snapshot()
+        assert snap["state"] == CircuitBreaker.OPEN
+        assert snap["trips"] == 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# Cooperative deadlines
+
+
+class TestDeadlines:
+    def test_unarmed_thread_is_free(self):
+        cancel.clear_deadline()
+        assert cancel.get_deadline() is None
+        assert cancel.remaining() is None
+        assert not cancel.expired()
+        cancel.check()  # must not raise
+
+    def test_scope_arms_and_restores(self):
+        cancel.clear_deadline()
+        at = time.time() + 60.0
+        with cancel.deadline_scope(at):
+            assert cancel.get_deadline() == at
+            assert cancel.remaining() is not None
+            assert cancel.remaining() > 0
+        assert cancel.get_deadline() is None
+
+    def test_scope_restores_previous_deadline(self):
+        outer = time.time() + 60.0
+        with cancel.deadline_scope(outer):
+            with cancel.deadline_scope(outer + 10.0):
+                assert cancel.get_deadline() == outer + 10.0
+            assert cancel.get_deadline() == outer
+
+    def test_expired_deadline_raises_on_check(self):
+        with cancel.deadline_scope(time.time() - 1.0):
+            assert cancel.expired()
+            with pytest.raises(DeadlineExceededError):
+                cancel.check()
+
+    def test_deadline_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = cancel.get_deadline()
+
+        with cancel.deadline_scope(time.time() + 60.0):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+
+
+class TestFaultInjection:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultRule("no.such.point")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("store.get.io", probability=1.5)
+
+    def test_plan_round_trips_through_dict(self):
+        plan = FaultPlan(
+            seed=7,
+            rules=(
+                FaultRule("store.get.io", probability=0.5, max_fires=2),
+                FaultRule("executor.latency", delay_s=0.1),
+            ),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unarmed_point_never_fires(self):
+        injector = FaultInjector(FaultPlan(seed=1, rules=()))
+        assert injector.should_fire("store.get.io") is None
+        assert injector.total_fired == 0
+
+    def test_max_fires_is_respected(self):
+        plan = FaultPlan(
+            seed=1, rules=(FaultRule("store.get.io", max_fires=2),)
+        )
+        injector = FaultInjector(plan)
+        assert injector.should_fire("store.get.io") is not None
+        assert injector.should_fire("store.get.io") is not None
+        assert injector.should_fire("store.get.io") is None
+        assert injector.fired() == {"store.get.io": 2}
+
+    def test_probability_stream_is_deterministic(self):
+        plan = FaultPlan(
+            seed=42, rules=(FaultRule("store.get.io", probability=0.5),)
+        )
+
+        def decisions():
+            injector = FaultInjector(plan)
+            return [
+                injector.should_fire("store.get.io") is not None
+                for _ in range(64)
+            ]
+
+        first = decisions()
+        assert first == decisions()
+        # A 0.5 probability over 64 draws fires some but not all.
+        assert any(first) and not all(first)
+
+    def test_points_are_independent(self):
+        """Disarming one rule must not perturb another's decisions —
+        this is what makes plan shrinking sound."""
+        both = FaultPlan(
+            seed=9,
+            rules=(
+                FaultRule("store.get.io", probability=0.5),
+                FaultRule("store.put.io", probability=0.5),
+            ),
+        )
+        alone = both.without("store.put.io")
+
+        def stream(plan):
+            injector = FaultInjector(plan)
+            return [
+                injector.should_fire("store.get.io") is not None
+                for _ in range(32)
+            ]
+
+        assert stream(both) == stream(alone)
+
+    def test_injected_context_activates_and_clears(self):
+        assert faults.ACTIVE is None
+        plan = FaultPlan(seed=1, rules=(FaultRule("store.get.io"),))
+        with faults.injected(plan) as injector:
+            assert faults.ACTIVE is injector
+            with pytest.raises(RuntimeError, match="already active"):
+                faults.activate(FaultInjector(plan))
+        assert faults.ACTIVE is None
+
+    def test_plan_without_disarms_point(self):
+        plan = FaultPlan(
+            seed=1,
+            rules=(FaultRule("store.get.io"), FaultRule("store.put.io")),
+        )
+        reduced = plan.without("store.get.io")
+        assert reduced.rule_for("store.get.io") is None
+        assert reduced.rule_for("store.put.io") is not None
+        assert reduced.seed == plan.seed
+
+    def test_mangle_always_damages(self):
+        import random
+
+        rng = random.Random(5)
+        text = '{"schema": 3, "payload": {"x": 1}}'
+        for _ in range(50):
+            assert mangle(text, rng) != text
+
+    def test_every_point_is_documented(self):
+        for point, description in POINTS.items():
+            assert ":" in description
+            assert point.count(".") >= 1
+
+
+# ---------------------------------------------------------------------------
+# Bounded queue backpressure
+
+
+class TestQueueBackpressure:
+    def test_push_past_depth_raises(self):
+        queue = JobQueue(max_depth=2)
+        queue.push(Job(kind="schedule", request={}))
+        queue.push(Job(kind="schedule", request={}))
+        with pytest.raises(QueueFullError):
+            queue.push(Job(kind="schedule", request={}))
+
+    def test_requeue_bypasses_depth_cap(self):
+        queue = JobQueue(max_depth=1)
+        queue.push(Job(kind="schedule", request={}))
+        # The retry path must never shed an already-admitted job.
+        queue.requeue(Job(kind="schedule", request={}))
+        assert queue.depth == 2
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+
+    def test_pop_frees_capacity(self):
+        queue = JobQueue(max_depth=1)
+        queue.push(Job(kind="schedule", request={}))
+        assert queue.pop(timeout=1.0) is not None
+        queue.push(Job(kind="schedule", request={}))  # fits again
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool deadline paths (run_job called synchronously — no threads)
+
+
+def _pool(execute, **kwargs):
+    kwargs.setdefault("retry_policy", RetryPolicy(base_delay=0.01, jitter=0.0))
+    return WorkerPool(JobQueue(), execute, workers=1, **kwargs)
+
+
+class TestWorkerPoolDeadlines:
+    def test_expired_in_queue_times_out_without_running(self):
+        ran = []
+        pool = _pool(lambda job: ran.append(job) or {})
+        job = Job(kind="schedule", request={}, deadline=time.time() - 1.0)
+        pool.run_job(job)
+        assert job.status == JobStatus.TIMEOUT
+        assert job.attempts == 0
+        assert not ran
+        assert job.error["type"] == "DeadlineExceededError"
+
+    def test_deadline_exceeded_error_settles_as_timeout(self):
+        def execute(job):
+            raise DeadlineExceededError("blew the budget")
+
+        pool = _pool(execute)
+        job = Job(kind="schedule", request={}, deadline=time.time() + 60.0)
+        pool.run_job(job)
+        assert job.status == JobStatus.TIMEOUT
+        assert job.attempts == 1
+
+    def test_backoff_that_blows_deadline_times_out_instead(self):
+        def execute(job):
+            raise RuntimeError("transient")
+
+        pool = _pool(
+            execute,
+            retry_policy=RetryPolicy(
+                base_delay=5.0, max_delay=10.0, jitter=0.0
+            ),
+        )
+        # Deadline leaves far less room than the 5s backoff needs.
+        job = Job(
+            kind="schedule",
+            request={},
+            deadline=time.time() + 0.5,
+            max_attempts=3,
+        )
+        pool.run_job(job)
+        assert job.status == JobStatus.TIMEOUT
+        assert "backoff" in job.error["message"]
+
+    def test_transient_failure_retries_with_backoff_then_succeeds(self):
+        calls = []
+
+        def execute(job):
+            calls.append(time.monotonic())
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return {"ok": True}
+
+        pool = _pool(execute)
+        pool.start()
+        job = Job(kind="schedule", request={}, max_attempts=2)
+        pool.queue.push(job)
+        deadline = time.monotonic() + 10.0
+        while job.status not in JobStatus.SETTLED:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        pool.stop()
+        assert job.status == JobStatus.DONE
+        assert job.attempts == 2
+        assert len(calls) == 2
+
+    def test_worker_crash_forgiven_once_without_consuming_attempt(self):
+        calls = []
+
+        def execute(job):
+            calls.append(job.id)
+            if len(calls) == 1:
+                error = RuntimeError("worker died")
+                error.worker_crash = True
+                raise error
+            return {"ok": True}
+
+        pool = _pool(execute)
+        pool.start()
+        job = Job(kind="schedule", request={}, max_attempts=1)
+        pool.queue.push(job)
+        deadline = time.monotonic() + 10.0
+        while job.status not in JobStatus.SETTLED:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        pool.stop()
+        assert job.status == JobStatus.DONE
+        assert job.crash_requeues == 1
+        # The crash did not consume the single attempt.
+        assert job.attempts == 1

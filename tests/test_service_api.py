@@ -363,6 +363,152 @@ class TestHttpErrors:
         assert all(job["status"] == "done" for job in body["jobs"])
 
 
+class TestBackpressureAndReadiness:
+    """Bounded-queue shedding (429 + Retry-After) and the liveness /
+    readiness split."""
+
+    def _raw(self, url, method, path, body=None):
+        data = None if body is None else body.encode("utf-8")
+        request = urllib.request.Request(
+            url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                return resp.status, dict(resp.headers), json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.loads(exc.read())
+
+    @pytest.fixture
+    def stalled(self, tmp_path, gov_suite):
+        """A bounded service whose pool never starts: submissions stay
+        queued, so the depth cap is hit deterministically."""
+        import threading
+
+        from repro.service import ExecutorConfig
+        from repro.service.api import SchedulingService, make_server
+
+        service = SchedulingService(
+            tmp_path / "store",
+            config=ExecutorConfig(workers=1, max_queue_depth=2),
+        )
+        httpd = make_server(service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", service
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+            service.queue.close()
+
+    def _submission(self, gov_suite):
+        return json.dumps(
+            {
+                "kind": "schedule",
+                "graph": _graph_dict(gov_suite[0].graph),
+                "machine": "govindarajan",
+            }
+        )
+
+    def test_full_queue_sheds_with_429(self, stalled, gov_suite):
+        url, service = stalled
+        body = self._submission(gov_suite)
+        for _ in range(2):
+            code, _, _ = self._raw(url, "POST", "/v1/jobs", body)
+            assert code == 202
+        code, headers, payload = self._raw(url, "POST", "/v1/jobs", body)
+        assert code == 429
+        assert headers.get("Retry-After") == "1"
+        assert "full" in payload["error"]
+        assert service.metrics.counter("jobs_rejected") == 1
+        # The shed submission was never admitted.
+        assert service.metrics.counter("jobs_submitted") == 2
+        assert len(service.jobs()) == 2
+
+    def test_unready_server_is_still_live(self, stalled):
+        url, _ = stalled
+        code, _, payload = self._raw(url, "GET", "/healthz")
+        assert code == 200
+        assert payload["live"] is True
+        assert payload["ready"] is False
+        assert "not running" in payload["reason"]
+        code, _, payload = self._raw(url, "GET", "/readyz")
+        assert code == 503
+        assert payload["ready"] is False
+
+    def test_readyz_200_on_healthy_server(self, server):
+        import urllib.request as request_lib
+
+        with request_lib.urlopen(server.url + "/readyz", timeout=10) as resp:
+            assert resp.status == 200
+            assert json.loads(resp.read())["ready"] is True
+
+    def test_full_queue_flips_readiness(self, stalled, monkeypatch):
+        url, service = stalled
+        # With the pool faked as running, a saturated queue is what
+        # makes the server unready.
+        monkeypatch.setattr(
+            type(service.pool), "started", property(lambda self: True)
+        )
+        ready, reason = service.readiness()
+        assert ready
+        from repro.service.jobs import Job
+
+        service.queue.push(Job(kind="schedule", request={}))
+        service.queue.push(Job(kind="schedule", request={}))
+        ready, reason = service.readiness()
+        assert not ready
+        assert "full" in reason
+        code, _, _ = self._raw(url, "GET", "/readyz")
+        assert code == 503
+
+
+class TestDeadlinesOverHttp:
+    def test_job_timeout_settles_with_timeout_status(
+        self, server, client, gov_suite
+    ):
+        """A deadline blown under injected scheduler latency must come
+        back over HTTP as the distinct ``timeout`` status."""
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            seed=1,
+            rules=(
+                FaultRule("executor.latency", max_fires=1, delay_s=0.3),
+            ),
+        )
+        with faults.injected(plan):
+            job_id = client.submit_graph(
+                gov_suite[0].graph,
+                machine="govindarajan",
+                timeout=0.05,
+            )
+            record = client.wait(job_id, timeout=30)
+        assert record["status"] == "timeout"
+        assert record["result"] is None
+        assert record["error"]["type"] == "DeadlineExceededError"
+        text = client.metrics()
+        assert "hrms_jobs_timeout_total 1" in text
+
+    def test_bad_timeout_rejected(self, server):
+        import urllib.request as request_lib
+
+        body = json.dumps(
+            {"kind": "schedule", "source": DAXPY, "timeout": -1}
+        ).encode("utf-8")
+        request = request_lib.Request(
+            server.url + "/v1/jobs", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            request_lib.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+
 class TestMetricsEndpoint:
     def test_counters_progress(self, client, gov_suite):
         job_id = client.submit_graph(

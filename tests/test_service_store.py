@@ -75,15 +75,117 @@ class TestPutGet:
         store.put(key, "schedule", {"x": 1}, {"ii": 1})
         assert store.get(key)["payload"]["ii"] == 1
 
-    def test_newer_schema_rejected(self, store):
+    def test_newer_schema_quarantined(self, store):
+        """An envelope from a newer version is evidence of a rollback,
+        not garbage: it is quarantined (kept) and the read is a miss."""
         key = store.key_for({"x": 1})
         store.put(key, "schedule", {"x": 1}, {})
         path = store._path_for(key)
         envelope = json.loads(path.read_text())
         envelope["schema"] = 99
         path.write_text(json.dumps(envelope))
-        with pytest.raises(ArtifactError):
-            store.get(key)
+        assert store.get(key) is None
+        assert not path.exists()
+        assert (store.root / "quarantine" / f"{key}.json").exists()
+        assert store.stats().quarantined == 1
+
+
+class TestQuarantine:
+    """Corrupt envelopes are quarantined (kept as evidence, never
+    served, never silently deleted) and the read falls through to a
+    fresh compute."""
+
+    def _put(self, store, marker="x"):
+        request = {"kind": "schedule", "probe": marker}
+        key = store.key_for(request)
+        store.put(key, "schedule", request, {"ii": 3, "marker": marker})
+        return key
+
+    def test_truncated_envelope_quarantined(self, store):
+        key = self._put(store)
+        path = store._path_for(key)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert store.get(key) is None
+        assert not path.exists()
+        assert (store.root / "quarantine" / f"{key}.json").exists()
+        assert store.stats().quarantined == 1
+
+    def test_bad_integrity_digest_quarantined(self, store):
+        key = self._put(store)
+        path = store._path_for(key)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        # Valid JSON, valid schema — but the payload was tampered with
+        # after the digest was computed.
+        envelope["payload"]["ii"] = 99
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.get(key) is None
+        assert not path.exists()
+        quarantined = store.root / "quarantine" / f"{key}.json"
+        assert quarantined.exists()
+        # The evidence is intact: the tampered bytes, not a rewrite.
+        assert json.loads(quarantined.read_text())["payload"]["ii"] == 99
+        assert store.stats().quarantined == 1
+
+    def test_quarantine_never_clobbers_earlier_evidence(self, store):
+        key = self._put(store)
+        path = store._path_for(key)
+        path.write_text("{torn", encoding="utf-8")
+        assert store.get(key) is None
+        self._put(store)
+        path.write_text("#junk", encoding="utf-8")
+        assert store.get(key) is None
+        names = sorted(
+            entry.name for entry in (store.root / "quarantine").iterdir()
+        )
+        assert names == [f"{key}.1.json", f"{key}.json"]
+        assert store.stats().quarantined == 2
+
+    def test_pre_digest_envelope_still_verifies(self, store):
+        """Envelopes written before the integrity digest existed carry
+        no digest — they must keep reading cleanly, not quarantine."""
+        key = self._put(store)
+        path = store._path_for(key)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        del envelope["integrity"]
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert store.get(key)["payload"]["ii"] == 3
+        assert store.stats().quarantined == 0
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda text: text[: len(text) // 2],  # truncation
+            lambda text: "#" * len(text),  # same-length junk
+            lambda text: text.replace('"kind"', '"k1nd"', 1),  # bit rot
+        ],
+    )
+    def test_corruption_falls_through_to_fresh_compute(
+        self, tmp_path, gov_suite, damage
+    ):
+        from repro.service.executor import SchedulingExecutor
+
+        store = ArtifactStore(tmp_path / "store")
+        executor = SchedulingExecutor(store)
+        request = {
+            "kind": "schedule",
+            "graph": graph_to_dict(gov_suite[0].graph),
+            "machine": "govindarajan",
+        }
+        first = executor.execute_request("schedule", request)
+        key = first["artifact"]
+        path = store._path_for(key)
+        path.write_text(
+            damage(path.read_text(encoding="utf-8")), encoding="utf-8"
+        )
+        # The corrupt read is a miss, so the request recomputes...
+        again = executor.execute_request("schedule", request)
+        assert again["cached"] is False
+        assert again["artifact"] == key
+        assert again["ii"] == first["ii"]
+        # ...the healed envelope verifies, and the evidence is kept.
+        assert store.get(key)["payload"]["ii"] == first["ii"]
+        assert store.stats().quarantined == 1
 
 
 class TestStudyCacheBacking:
