@@ -13,6 +13,7 @@ setup(
             "hrms-compile = repro.frontend.cli:main",
             "hrms-serve = repro.service.cli:serve_main",
             "hrms-submit = repro.service.cli:submit_main",
+            "hrms-report = repro.obs.report:main",
             "hrms-fuzz = repro.qa.cli:main",
             "hrms-chaos = repro.qa.chaos:main",
         ]

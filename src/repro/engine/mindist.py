@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.ddg import DependenceGraph
+from repro.obs import trace
 
 #: Sentinel for "no path" — avoids -inf arithmetic warnings.
 NO_PATH = -(10**9)
@@ -198,7 +199,13 @@ class MinDistSolver:
         # Solve outside the lock; concurrent first requests for the same
         # (graph, II) may duplicate this work, but the results are
         # identical and only the first writer charges the byte budget.
-        result = self._solve_uncached(factors, ii)
+        # Only the miss path is traced: warm hits are microseconds and
+        # sit inside the per-attempt hot loop.
+        if trace.ACTIVE is None:
+            result = self._solve_uncached(factors, ii)
+        else:
+            with trace.span("mindist.solve", ii=ii, ops=len(graph)):
+                result = self._solve_uncached(factors, ii)
         with self._lock:
             if ii not in factors.cache:
                 factors.cache[ii] = result

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import MachineError
 from repro.graph.ops import Operation
 from repro.machine.machine import MachineModel
+from repro.obs import trace
 
 
 class ModuloReservationTable:
@@ -116,12 +117,22 @@ class ModuloReservationTable:
         rows = cycles % self.ii
         feasible = row_free[rows]
         first = int(feasible.argmax())
-        if not feasible[first]:
-            return None
-        row = int(rows[first])
-        index = int(unit_free[:, row].argmax())  # first free unit
-        self._reserve(unit_class.name, index, row, span, op.name)
-        return int(cycles[first])
+        placed = None
+        if feasible[first]:
+            row = int(rows[first])
+            index = int(unit_free[:, row].argmax())  # first free unit
+            self._reserve(unit_class.name, index, row, span, op.name)
+            placed = int(cycles[first])
+        # Only failed scans are recorded: successful placements are
+        # implied by the schedule itself, and scan_place is the inner
+        # placement loop — eventing every call would dominate the
+        # enabled-tracing overhead budget.
+        if placed is None and trace.ACTIVE is not None:
+            trace.add_event(
+                "mrt.scan",
+                {"op": op.name, "candidates": int(cycles.size)},
+            )
+        return placed
 
     def _reserve(
         self, class_name: str, index: int, row: int, span: int, name: str

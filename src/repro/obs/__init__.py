@@ -1,0 +1,33 @@
+"""Observability: tracing, structured events, and artifact analytics.
+
+Three zero-dependency layers, each usable on its own:
+
+- :mod:`repro.obs.trace` — end-to-end spans threaded through the
+  service, schedulers, engine, and store, propagated across threads,
+  worker processes, and HTTP.
+- :mod:`repro.obs.events` — an append-only, size-rotated JSONL journal
+  of job-lifecycle and decision events, each stamped with the trace id.
+- :mod:`repro.obs.stats` — a small semantic model (declared dimensions
+  and measures with dependency-checked derivations) over artifact
+  envelopes and the event journal, served at ``GET /v1/stats`` and
+  rendered by the ``hrms-report`` console script.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog
+from repro.obs.stats import DIMENSIONS, MEASURES, StatsError, StatsModel
+from repro.obs.trace import Span, TraceCollector, arm, disarm, span
+
+__all__ = [
+    "DIMENSIONS",
+    "EventLog",
+    "MEASURES",
+    "Span",
+    "StatsError",
+    "StatsModel",
+    "TraceCollector",
+    "arm",
+    "disarm",
+    "span",
+]

@@ -1,0 +1,152 @@
+"""Append-only, size-rotated JSONL journal of service events.
+
+Every record is one JSON object per line with at least ``ts`` (epoch
+seconds), ``type`` (dotted event name), and — when the emitting code
+runs inside a trace — ``trace_id``, so events join against spans and
+the journal doubles as the auditable history future learned-routing
+work needs.
+
+Rotation is by size: when ``events.jsonl`` would exceed *max_bytes*,
+it is renamed to ``events.jsonl.1`` (shifting older generations up,
+dropping the one past *keep*) and a fresh file is opened.  Writes are
+serialized by a lock; one service process owns a journal.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.obs import trace
+
+#: Default rotation threshold (bytes) for the active journal file.
+MAX_BYTES = 4 * 1024 * 1024
+
+#: Default number of rotated generations kept beside the active file.
+KEEP = 4
+
+
+class EventLog:
+    """Thread-safe rotating JSONL event journal."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = MAX_BYTES,
+        keep: int = KEEP,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: io.TextIOWrapper | None = self.path.open(
+            "a", encoding="utf-8"
+        )
+        self._size = self.path.stat().st_size
+        self.emitted = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, type_: str, **fields: object) -> None:
+        """Append one event; silently drops if the log is closed."""
+        record: dict = {"ts": time.time(), "type": type_}
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        data_len = len(line.encode("utf-8"))
+        with self._lock:
+            if self._handle is None:
+                return
+            if self._size and self._size + data_len > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += data_len
+            self.emitted += 1
+
+    def _rotate_locked(self) -> None:
+        self._handle.close()
+        if self.keep == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.keep}")
+            oldest.unlink(missing_ok=True)
+            for generation in range(self.keep - 1, 0, -1):
+                source = self.path.with_name(f"{self.path.name}.{generation}")
+                if source.exists():
+                    os.replace(
+                        source,
+                        self.path.with_name(
+                            f"{self.path.name}.{generation + 1}"
+                        ),
+                    )
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def files(self) -> list[Path]:
+        """Journal files oldest-first (rotated generations then active)."""
+        generations = []
+        for generation in range(self.keep, 0, -1):
+            candidate = self.path.with_name(f"{self.path.name}.{generation}")
+            if candidate.exists():
+                generations.append(candidate)
+        if self.path.exists():
+            generations.append(self.path)
+        return generations
+
+    def read(self) -> Iterator[dict]:
+        """Yield every surviving event oldest-first."""
+        yield from read_events(self.path, keep=self.keep)
+
+
+def read_events(path: str | Path, keep: int = KEEP) -> Iterator[dict]:
+    """Read a journal (rotated generations included) without an EventLog.
+
+    Malformed lines — possible if a previous process died mid-write —
+    are skipped rather than fatal.
+    """
+    path = Path(path)
+    files = []
+    for generation in range(keep, 0, -1):
+        candidate = path.with_name(f"{path.name}.{generation}")
+        if candidate.exists():
+            files.append(candidate)
+    if path.exists():
+        files.append(path)
+    for file in files:
+        with file.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue

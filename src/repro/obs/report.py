@@ -1,0 +1,255 @@
+"""``hrms-report`` — offline analytics over an artifact store directory.
+
+Renders the semantic layer of :mod:`repro.obs.stats` as console
+tables: a per-scheduler quality table (win rate, II/MII ratio,
+MaxLive, wall time), the per-graph Pareto fronts over ``(II,
+MaxLive)``, and — with ``--group-by``/``--measures`` — any ad-hoc
+query the ``/v1/stats`` endpoint would answer.  ``--json`` emits the
+raw query result instead of tables, for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.stats import (
+    DEFAULT_MEASURES,
+    DIMENSIONS,
+    MEASURES,
+    StatsModel,
+)
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """A plain monospace table (no dependencies, stable widths)."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def scheduler_quality(model: StatsModel) -> str:
+    """The headline table: per-scheduler quality and race results."""
+    quality = model.query(
+        group_by=["scheduler"],
+        measures=[
+            "count",
+            "ii_mii_ratio",
+            "mii_hit_rate",
+            "maxlive_mean",
+            "seconds_p50",
+        ],
+    )
+    races = model.query(group_by=["scheduler"], measures=["races", "win_rate"])
+    race_by_name = {row["scheduler"]: row for row in races["rows"]}
+    headers = [
+        "scheduler",
+        "schedules",
+        "ii/mii",
+        "mii hit",
+        "maxlive",
+        "p50 s",
+        "races",
+        "win rate",
+    ]
+    rows = []
+    for row in quality["rows"]:
+        race = race_by_name.pop(row["scheduler"], {})
+        rows.append(
+            [
+                row["scheduler"],
+                row["count"],
+                row["ii_mii_ratio"],
+                row["mii_hit_rate"],
+                row["maxlive_mean"],
+                row["seconds_p50"],
+                race.get("races"),
+                race.get("win_rate"),
+            ]
+        )
+    for name, race in sorted(race_by_name.items()):
+        # Members that raced but never produced a standalone artifact.
+        rows.append(
+            [name, None, None, None, None, None,
+             race.get("races"), race.get("win_rate")]
+        )
+    return render_table(headers, rows)
+
+
+def pareto_tables(model: StatsModel) -> str:
+    """Per-graph ``(II, MaxLive)`` fronts plus front-appearance rates."""
+    fronts = model.pareto_fronts()
+    if not fronts:
+        return "no portfolio races recorded"
+    sections = []
+    appearances: dict[str, int] = {}
+    for graph, front in fronts.items():
+        rows = [
+            [row["scheduler"], row["ii"], row["maxlive"], row["seconds"]]
+            for row in front
+        ]
+        for row in front:
+            name = row["scheduler"]
+            appearances[name] = appearances.get(name, 0) + 1
+        sections.append(
+            f"{graph}\n"
+            + render_table(["scheduler", "ii", "maxlive", "seconds"], rows)
+        )
+    total = len(fronts)
+    rate_rows = [
+        [name, count, round(count / total, 4)]
+        for name, count in sorted(
+            appearances.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    sections.append(
+        "front appearance rate\n"
+        + render_table(["scheduler", "fronts", "rate"], rate_rows)
+    )
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hrms-report",
+        description=(
+            "Analytics tables over an hrms artifact store: scheduler "
+            "quality, portfolio win rates, and (II, MaxLive) Pareto "
+            "fronts."
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="artifact store directory (the hrms-serve --store path)",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        help=(
+            "event journal path (defaults to events.jsonl inside the "
+            "store directory when present)"
+        ),
+    )
+    parser.add_argument(
+        "--group-by",
+        default=None,
+        help=(
+            "comma-separated dimensions for an ad-hoc query; known: "
+            + ", ".join(sorted(DIMENSIONS))
+        ),
+    )
+    parser.add_argument(
+        "--measures",
+        default=None,
+        help=(
+            "comma-separated measures for an ad-hoc query; known: "
+            + ", ".join(sorted(MEASURES))
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit raw JSON query results instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    store_root = Path(args.store)
+    if not store_root.is_dir():
+        parser.error(f"no such store directory: {store_root}")
+    events = (
+        Path(args.events)
+        if args.events
+        else store_root / "events.jsonl"
+    )
+    model = StatsModel(store_root, events_path=events if events.exists() else None)
+
+    try:
+        if args.group_by is not None or args.measures is not None:
+            result = model.query(
+                group_by=(
+                    [n for n in args.group_by.split(",") if n]
+                    if args.group_by
+                    else None
+                ),
+                measures=(
+                    [n for n in args.measures.split(",") if n]
+                    if args.measures
+                    else list(DEFAULT_MEASURES)
+                ),
+            )
+            if args.json:
+                print(json.dumps(result, indent=2, sort_keys=True))
+            else:
+                headers = result["group_by"] + result["measures"]
+                print(
+                    render_table(
+                        headers,
+                        [[row.get(h) for h in headers] for row in result["rows"]],
+                    )
+                )
+            return 0
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "quality": model.query(
+                            group_by=["scheduler"],
+                            measures=[
+                                "count",
+                                "ii_mii_ratio",
+                                "mii_hit_rate",
+                                "maxlive_mean",
+                                "seconds_p50",
+                            ],
+                        ),
+                        "races": model.query(
+                            group_by=["scheduler"],
+                            measures=["races", "win_rate"],
+                        ),
+                        "pareto_fronts": model.pareto_fronts(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print("scheduler quality")
+        print(scheduler_quality(model))
+        print()
+        print("pareto fronts (II, MaxLive)")
+        print(pareto_tables(model))
+        return 0
+    except ReproError as exc:
+        print(f"hrms-report: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

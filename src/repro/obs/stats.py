@@ -1,0 +1,500 @@
+"""A small semantic layer over artifact envelopes and the event journal.
+
+The model follows the boring-semantic-layer design: *dimensions* and
+*measures* are declared up front with the row source each one is
+derived from, and a query is validated against those declarations
+before any data is touched — grouping a measure by a dimension its
+source does not carry is a :class:`StatsError`, not a silent empty
+column.
+
+Three row sources are materialised lazily from a store directory:
+
+``artifacts``
+    One row per stored schedule — standalone ``"schedule"`` artifacts
+    plus the winning schedule of every ``"portfolio"`` envelope.
+``races``
+    One row per portfolio member outcome (the full scoreboard of every
+    race, win/loss included), from ``"portfolio"`` envelopes.
+``jobs``
+    One row per ``job.settled`` record in the event journal.
+
+Everything here is stdlib-only at import time; the artifact store is
+imported lazily so ``repro.obs`` stays a leaf package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.obs.events import read_events
+
+
+class StatsError(ReproError):
+    """An invalid stats query (unknown name, unsatisfied dependency)."""
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named grouping axis, valid on the listed row sources."""
+
+    name: str
+    sources: tuple[str, ...]
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A named aggregate derived from one row source.
+
+    ``depends_on`` names the row fields the derivation reads; the
+    loaders below must supply them, and :meth:`StatsModel.query`
+    checks the wiring once per query so a refactor that drops a field
+    fails loudly instead of aggregating garbage.
+    """
+
+    name: str
+    source: str
+    depends_on: tuple[str, ...]
+    compute: Callable[[list[dict]], float | int | None] = field(repr=False)
+    description: str = ""
+
+
+def _mean(values: list[float]) -> float | None:
+    return round(sum(values) / len(values), 6) if values else None
+
+
+def _quantile(values: list[float], q: float) -> float | None:
+    """Nearest-rank quantile (deterministic, no interpolation)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return round(ordered[rank], 6)
+
+
+def _ratio(rows: list[dict], predicate: Callable[[dict], bool]) -> float | None:
+    if not rows:
+        return None
+    return round(sum(1 for row in rows if predicate(row)) / len(rows), 6)
+
+
+def _values(rows: list[dict], key: str) -> list[float]:
+    return [float(row[key]) for row in rows if row.get(key) is not None]
+
+
+DIMENSIONS: dict[str, Dimension] = {
+    dim.name: dim
+    for dim in (
+        Dimension(
+            "scheduler",
+            ("artifacts", "races", "jobs"),
+            "scheduler name (portfolio winners report 'portfolio')",
+        ),
+        Dimension("machine", ("artifacts",), "machine model name"),
+        Dimension(
+            "op_bucket",
+            ("artifacts",),
+            "graph size bucket: 1-16, 17-64, 65-160, 161+",
+        ),
+        Dimension("graph", ("artifacts", "races"), "dependence graph name"),
+        Dimension("profile", ("jobs",), "requested machine profile"),
+        Dimension(
+            "degraded", ("jobs",), "whether the job settled degraded"
+        ),
+        Dimension("status", ("races", "jobs"), "outcome status"),
+        Dimension("policy", ("races",), "portfolio scoring policy"),
+    )
+}
+
+MEASURES: dict[str, Measure] = {
+    measure.name: measure
+    for measure in (
+        Measure(
+            "count",
+            "artifacts",
+            ("ii",),
+            lambda rows: len(rows),
+            "stored schedules",
+        ),
+        Measure(
+            "ii_mii_ratio",
+            "artifacts",
+            ("ii", "mii"),
+            lambda rows: _mean(
+                [
+                    row["ii"] / row["mii"]
+                    for row in rows
+                    if row.get("mii")
+                ]
+            ),
+            "mean achieved II / MII (1.0 = every lower bound met)",
+        ),
+        Measure(
+            "mii_hit_rate",
+            "artifacts",
+            ("ii", "mii"),
+            lambda rows: _ratio(
+                [row for row in rows if row.get("mii")],
+                lambda row: row["ii"] == row["mii"],
+            ),
+            "fraction of schedules achieving II == MII",
+        ),
+        Measure(
+            "maxlive_mean",
+            "artifacts",
+            ("maxlive",),
+            lambda rows: _mean(_values(rows, "maxlive")),
+            "mean MaxLive register pressure",
+        ),
+        Measure(
+            "maxlive_max",
+            "artifacts",
+            ("maxlive",),
+            lambda rows: (
+                max(_values(rows, "maxlive"))
+                if _values(rows, "maxlive")
+                else None
+            ),
+            "worst MaxLive register pressure",
+        ),
+        Measure(
+            "seconds_p50",
+            "artifacts",
+            ("seconds",),
+            lambda rows: _quantile(_values(rows, "seconds"), 0.50),
+            "median scheduling wall time",
+        ),
+        Measure(
+            "seconds_p95",
+            "artifacts",
+            ("seconds",),
+            lambda rows: _quantile(_values(rows, "seconds"), 0.95),
+            "p95 scheduling wall time",
+        ),
+        Measure(
+            "races",
+            "races",
+            ("won",),
+            lambda rows: len(rows),
+            "portfolio member outcomes recorded",
+        ),
+        Measure(
+            "win_rate",
+            "races",
+            ("won",),
+            lambda rows: _ratio(rows, lambda row: bool(row["won"])),
+            "fraction of races this group won",
+        ),
+        Measure(
+            "jobs",
+            "jobs",
+            ("status",),
+            lambda rows: len(rows),
+            "settled jobs journaled",
+        ),
+        Measure(
+            "degraded_rate",
+            "jobs",
+            ("degraded",),
+            lambda rows: _ratio(rows, lambda row: bool(row["degraded"])),
+            "fraction of settled jobs served degraded",
+        ),
+        Measure(
+            "latency_p50",
+            "jobs",
+            ("latency",),
+            lambda rows: _quantile(_values(rows, "latency"), 0.50),
+            "median submit-to-settle latency",
+        ),
+        Measure(
+            "latency_p95",
+            "jobs",
+            ("latency",),
+            lambda rows: _quantile(_values(rows, "latency"), 0.95),
+            "p95 submit-to-settle latency",
+        ),
+    )
+}
+
+DEFAULT_GROUP_BY = ("scheduler",)
+DEFAULT_MEASURES = ("count", "ii_mii_ratio", "maxlive_mean", "seconds_p50")
+
+
+def op_bucket(operations: int) -> str:
+    """Graph-size bucket used by the ``op_bucket`` dimension."""
+    if operations <= 16:
+        return "1-16"
+    if operations <= 64:
+        return "17-64"
+    if operations <= 160:
+        return "65-160"
+    return "161+"
+
+
+# ----------------------------------------------------------------------
+# Row loaders
+
+
+def _schedule_row(payload: Mapping[str, Any], scheduler: str) -> dict:
+    graph = payload.get("graph", {})
+    operations = int(graph.get("operations", 0))
+    return {
+        "scheduler": scheduler,
+        "machine": payload.get("machine", {}).get("name"),
+        "graph": graph.get("name"),
+        "op_bucket": op_bucket(operations),
+        "operations": operations,
+        "ii": payload.get("ii"),
+        "mii": payload.get("mii"),
+        "maxlive": payload.get("maxlive"),
+        "seconds": payload.get("seconds"),
+    }
+
+
+def _race_rows(payload: Mapping[str, Any]) -> list[dict]:
+    graph = payload.get("schedule", {}).get("graph", {}).get("name")
+    winner = payload.get("winner")
+    policy = payload.get("policy")
+    rows = []
+    for member in payload.get("members", ()):
+        score = member.get("score") or {}
+        rows.append(
+            {
+                "scheduler": member.get("name"),
+                "graph": graph,
+                "status": member.get("status"),
+                "policy": policy,
+                "won": member.get("name") == winner,
+                "ii": score.get("ii"),
+                "maxlive": score.get("maxlive"),
+                "seconds": member.get("seconds"),
+            }
+        )
+    return rows
+
+
+def _job_row(record: Mapping[str, Any]) -> dict:
+    return {
+        "scheduler": record.get("scheduler"),
+        "profile": record.get("profile"),
+        "status": record.get("status"),
+        "degraded": bool(record.get("degraded")),
+        "attempts": record.get("attempts"),
+        "latency": record.get("latency"),
+    }
+
+
+class StatsModel:
+    """Queryable dimensions/measures over a store and event journal."""
+
+    def __init__(
+        self,
+        store: Any,
+        events_path: str | Path | None = None,
+    ) -> None:
+        if not hasattr(store, "iter_keys"):
+            # Accept a directory path; the store import stays lazy so
+            # ``repro.obs`` never drags the service layer in at import.
+            from repro.service.store import ArtifactStore
+
+            store = ArtifactStore(store)
+        self.store = store
+        self.events_path = Path(events_path) if events_path else None
+        self._rows: dict[str, list[dict]] | None = None
+
+    # -- loading -------------------------------------------------------
+    def rows(self, source: str) -> list[dict]:
+        """Materialised rows for *source* (loaded once, then cached)."""
+        if self._rows is None:
+            self._rows = self._load()
+        try:
+            return self._rows[source]
+        except KeyError:
+            raise StatsError(f"unknown row source {source!r}") from None
+
+    def _load(self) -> dict[str, list[dict]]:
+        artifacts: list[dict] = []
+        races: list[dict] = []
+        for key in sorted(self.store.iter_keys()):
+            envelope = self.store.get(key)
+            if envelope is None:  # quarantined between listing and read
+                continue
+            kind = envelope.get("kind")
+            payload = envelope.get("payload", {})
+            if kind == "schedule":
+                artifacts.append(
+                    _schedule_row(payload, payload.get("scheduler", ""))
+                )
+            elif kind == "portfolio":
+                artifacts.append(
+                    _schedule_row(payload.get("schedule", {}), "portfolio")
+                )
+                races.extend(_race_rows(payload))
+        jobs = []
+        if self.events_path is not None:
+            for record in read_events(self.events_path):
+                if record.get("type") == "job.settled":
+                    jobs.append(_job_row(record))
+        return {"artifacts": artifacts, "races": races, "jobs": jobs}
+
+    # -- validation ----------------------------------------------------
+    @staticmethod
+    def _resolve(
+        group_by: Iterable[str] | None, measures: Iterable[str] | None
+    ) -> tuple[list[Dimension], list[Measure]]:
+        dim_names = list(group_by) if group_by is not None else list(
+            DEFAULT_GROUP_BY
+        )
+        measure_names = list(measures) if measures is not None else list(
+            DEFAULT_MEASURES
+        )
+        if not measure_names:
+            raise StatsError("a stats query needs at least one measure")
+        dims = []
+        for name in dim_names:
+            if name not in DIMENSIONS:
+                raise StatsError(
+                    f"unknown dimension {name!r}; "
+                    f"known: {', '.join(sorted(DIMENSIONS))}"
+                )
+            dims.append(DIMENSIONS[name])
+        resolved = []
+        for name in measure_names:
+            if name not in MEASURES:
+                raise StatsError(
+                    f"unknown measure {name!r}; "
+                    f"known: {', '.join(sorted(MEASURES))}"
+                )
+            measure = MEASURES[name]
+            for dim in dims:
+                if measure.source not in dim.sources:
+                    raise StatsError(
+                        f"measure {measure.name!r} is derived from "
+                        f"{measure.source!r}, which has no dimension "
+                        f"{dim.name!r} (valid on: "
+                        f"{', '.join(dim.sources)})"
+                    )
+            resolved.append(measure)
+        return dims, resolved
+
+    def _check_dependencies(self, measure: Measure) -> None:
+        """A measure's declared inputs must exist on its source rows."""
+        rows = self.rows(measure.source)
+        if not rows:
+            return
+        missing = [
+            dep for dep in measure.depends_on if dep not in rows[0]
+        ]
+        if missing:
+            raise StatsError(
+                f"measure {measure.name!r} depends on "
+                f"{', '.join(missing)} which source "
+                f"{measure.source!r} does not provide"
+            )
+
+    # -- querying ------------------------------------------------------
+    def query(
+        self,
+        group_by: Iterable[str] | None = None,
+        measures: Iterable[str] | None = None,
+    ) -> dict:
+        """Group, aggregate, and return a deterministic result table.
+
+        Returns ``{"group_by": [...], "measures": [...], "rows":
+        [{dim: value, ..., measure: value, ...}, ...]}`` with rows
+        sorted by dimension values (``None`` groups last).
+        """
+        dims, resolved = self._resolve(group_by, measures)
+        for measure in resolved:
+            self._check_dependencies(measure)
+        groups: dict[tuple, dict] = {}
+        for measure in resolved:
+            buckets: dict[tuple, list[dict]] = {}
+            for row in self.rows(measure.source):
+                dim_key = tuple(row.get(dim.name) for dim in dims)
+                buckets.setdefault(dim_key, []).append(row)
+            for dim_key, bucket in buckets.items():
+                out = groups.setdefault(
+                    dim_key,
+                    {dim.name: value for dim, value in zip(dims, dim_key)},
+                )
+                out[measure.name] = measure.compute(bucket)
+        rows = []
+        for dim_key in sorted(
+            groups, key=lambda key: tuple(
+                (value is None, str(value)) for value in key
+            )
+        ):
+            out = groups[dim_key]
+            for measure in resolved:  # absent-in-group measures → null
+                out.setdefault(measure.name, None)
+            rows.append(out)
+        return {
+            "group_by": [dim.name for dim in dims],
+            "measures": [measure.name for measure in resolved],
+            "rows": rows,
+        }
+
+    # -- report helpers ------------------------------------------------
+    def pareto_fronts(self) -> dict[str, list[dict]]:
+        """Per-graph Pareto-optimal ``(ii, maxlive)`` member outcomes.
+
+        A member outcome is on its graph's front when no other ``ok``
+        outcome for the same graph is at least as good on both axes
+        and strictly better on one.  Returns ``{graph: [outcome
+        rows]}`` with each front sorted by ``(ii, maxlive)``.
+        """
+        by_graph: dict[str, list[dict]] = {}
+        for row in self.rows("races"):
+            if (
+                row.get("status") == "ok"
+                and row.get("graph") is not None
+                and row.get("ii") is not None
+                and row.get("maxlive") is not None
+            ):
+                by_graph.setdefault(row["graph"], []).append(row)
+        fronts: dict[str, list[dict]] = {}
+        for graph, rows in sorted(by_graph.items()):
+            front = [
+                row
+                for row in rows
+                if not any(
+                    (other["ii"], other["maxlive"])
+                    != (row["ii"], row["maxlive"])
+                    and other["ii"] <= row["ii"]
+                    and other["maxlive"] <= row["maxlive"]
+                    for other in rows
+                )
+            ]
+            fronts[graph] = sorted(
+                front, key=lambda row: (row["ii"], row["maxlive"], row["scheduler"] or "")
+            )
+        return fronts
+
+    def describe(self) -> dict:
+        """The declared semantic model (for docs and ``/v1/stats``)."""
+        return {
+            "dimensions": {
+                dim.name: {
+                    "sources": list(dim.sources),
+                    "description": dim.description,
+                }
+                for dim in DIMENSIONS.values()
+            },
+            "measures": {
+                measure.name: {
+                    "source": measure.source,
+                    "depends_on": list(measure.depends_on),
+                    "description": measure.description,
+                }
+                for measure in MEASURES.values()
+            },
+        }

@@ -42,6 +42,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import ScheduleVerificationError, SchedulingError
 from repro.graph.ddg import DependenceGraph
+from repro.obs import trace
 from repro.machine.machine import MachineModel
 from repro.mii.analysis import MIIResult, compute_mii
 from repro.portfolio.policies import Policy, make_policy
@@ -185,6 +186,12 @@ class _MemberRun:
         #: The member's own runtime — not the race-elapsed time at
         #: which the racer happened to observe it.
         self.seconds: float = 0.0
+        self.name = name
+        # Trace context is thread-local: snapshot it on the racing
+        # thread so the member thread can re-parent onto the race.
+        self._trace_ctx = (
+            trace.current() if trace.ACTIVE is not None else None
+        )
         self._done = threading.Event()
         self._thread = threading.Thread(
             target=self._run, args=(fn,),
@@ -195,7 +202,12 @@ class _MemberRun:
     def _run(self, fn: Callable[[], Schedule]) -> None:
         began = time.perf_counter()
         try:
-            self.result = fn()
+            if self._trace_ctx is not None and trace.ACTIVE is not None:
+                with trace.attach(*self._trace_ctx):
+                    with trace.span("portfolio.member", member=self.name):
+                        self.result = fn()
+            else:
+                self.result = fn()
         except BaseException as exc:  # noqa: BLE001 - scoreboard entry
             self.error = exc
         finally:
@@ -331,14 +343,18 @@ def race_portfolio(
     # Verify every finisher (not just the front-runner): an "ok" status
     # is a promise consumers rely on — the service layer caches ok
     # member schedules as individually-servable artifacts.
-    for outcome in outcomes:
-        if outcome.status != MemberStatus.OK:
-            continue
-        try:
-            verify_schedule(outcome.schedule)
-        except ScheduleVerificationError as exc:
-            outcome.status = MemberStatus.INVALID
-            outcome.error = str(exc)
+    with trace.span(
+        "portfolio.verify",
+        finishers=sum(1 for o in outcomes if o.status == MemberStatus.OK),
+    ):
+        for outcome in outcomes:
+            if outcome.status != MemberStatus.OK:
+                continue
+            try:
+                verify_schedule(outcome.schedule)
+            except ScheduleVerificationError as exc:
+                outcome.status = MemberStatus.INVALID
+                outcome.error = str(exc)
 
     ranked = sorted(
         (

@@ -24,6 +24,7 @@ from typing import Any, Iterable
 
 from repro import cancel
 from repro.errors import IterationLimitError
+from repro.obs import trace
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
 from repro.machine.mrt import ModuloReservationTable
@@ -258,9 +259,27 @@ class ModuloScheduler(abc.ABC):
         analysis: MIIResult | None = None,
     ) -> Schedule:
         """Produce a schedule, searching II upward from the MII."""
-        wall_start = time.perf_counter()
         if analysis is None:
             analysis = compute_mii(graph, machine)
+        if trace.ACTIVE is None:
+            return self._search(graph, machine, analysis)
+        with trace.span(
+            "scheduler.search", scheduler=self.name, mii=analysis.mii
+        ) as tspan:
+            schedule = self._search(graph, machine, analysis)
+            if tspan is not None:
+                tspan.attrs["ii"] = schedule.ii
+                tspan.attrs["attempts"] = schedule.stats.attempts
+            return schedule
+
+    def _search(
+        self,
+        graph: DependenceGraph,
+        machine: MachineModel,
+        analysis: MIIResult,
+    ) -> Schedule:
+        """The II search itself (tracing-agnostic)."""
+        wall_start = time.perf_counter()
 
         prep_start = time.perf_counter()
         context = self.prepare(graph, machine, analysis)
@@ -276,6 +295,10 @@ class ModuloScheduler(abc.ABC):
             cancel.check()
             attempts += 1
             start = self.attempt(graph, machine, ii, context)
+            if trace.ACTIVE is not None:
+                trace.add_event(
+                    "attempt", {"ii": ii, "placed": start is not None}
+                )
             if start is not None:
                 now = time.perf_counter()
                 stats = ScheduleStats(

@@ -45,6 +45,8 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import JobError, QueueFullError, ReproError
+from repro.obs import trace
+from repro.obs.events import EventLog
 from repro.schedulers import registry
 from repro.service import faults
 from repro.service.executor import (
@@ -98,7 +100,22 @@ class SchedulingService:
             backend=backend, workers=workers, max_attempts=max_attempts
         )
         self.metrics = ServiceMetrics()
-        self.executor = SchedulingExecutor(self.store, self.metrics)
+        #: Append-only audit journal beside the artifacts.
+        self.events = EventLog(self.store.root / "events.jsonl")
+        self.store.events = self.events
+        self.executor = SchedulingExecutor(
+            self.store, self.metrics, events=self.events
+        )
+        self.executor.breaker.on_transition = (
+            lambda old, new: self.events.emit(
+                "breaker.transition", old=old, new=new
+            )
+        )
+        #: Where ``GET /v1/traces/<id>`` reads from (the process-wide
+        #: collector, so traces survive a service stop); ``None`` only
+        #: when tracing is configured off.
+        self.tracer = trace.COLLECTOR if self.config.tracing else None
+        self._tracing_armed = False
         self.queue = JobQueue(max_depth=self.config.max_queue_depth)
         # The executor degrades portfolio races when the queue is at
         # (or past) its depth cap — saturation is the overload signal.
@@ -121,11 +138,15 @@ class SchedulingService:
             store_root=self.store.root,
             metrics=self.metrics,
             on_finish=self._finished,
+            events=self.events,
         )
 
     # ------------------------------------------------------------------
     def start(self) -> "SchedulingService":
         """Start the worker pool; returns ``self`` for chaining."""
+        if self.config.tracing and not self._tracing_armed:
+            self.tracer = trace.arm()
+            self._tracing_armed = True
         self.pool.start()
         return self
 
@@ -137,6 +158,10 @@ class SchedulingService:
         the Ctrl-C/SIGTERM path of ``hrms-serve``.
         """
         self.pool.stop(wait=wait, abort=abort)
+        if self._tracing_armed:
+            trace.disarm()
+            self._tracing_armed = False
+        self.events.close()
 
     # ------------------------------------------------------------------
     def _build_job(self, body: dict) -> Job:
@@ -180,20 +205,59 @@ class SchedulingService:
             deadline=None if timeout is None else time.time() + timeout,
         )
 
+    def _begin_trace(self, job: Job, trace_id: str | None = None) -> None:
+        """Mint (or adopt) a trace id and open the root span for *job*."""
+        if trace.ACTIVE is None:
+            return
+        job.trace_id = str(trace_id) if trace_id else trace.new_trace_id()
+        job.trace_root = trace.begin_root(
+            "request",
+            job.trace_id,
+            {
+                "job": job.id,
+                "kind": job.kind,
+                "scheduler": str(
+                    job.request.get("scheduler", DEFAULT_SCHEDULER)
+                ),
+            },
+        )
+
+    def _job_event_fields(self, job: Job) -> dict:
+        fields: dict = {"job": job.id, "kind": job.kind}
+        if job.trace_id is not None:
+            fields["trace_id"] = job.trace_id
+        return fields
+
     def _enqueue(self, job: Job) -> Job:
         try:
             self.queue.push(job)
         except QueueFullError:
             self.metrics.inc("jobs_rejected")
+            if job.trace_root is not None:
+                trace.finish(job.trace_root, status="rejected")
+                job.trace_root = None
+            self.events.emit("job.rejected", **self._job_event_fields(job))
             raise
         with self._jobs_lock:
             self._jobs[job.id] = job
         self.metrics.inc("jobs_submitted")
+        self.events.emit(
+            "job.submitted",
+            priority=job.priority,
+            **self._job_event_fields(job),
+        )
         return job
 
-    def submit(self, body: dict) -> Job:
-        """Validate *body* and enqueue a job."""
-        return self._enqueue(self._build_job(body))
+    def submit(self, body: dict, trace_id: str | None = None) -> Job:
+        """Validate *body* and enqueue a job.
+
+        *trace_id* adopts a caller-supplied trace (the
+        ``X-Hrms-Trace-Id`` header); otherwise a fresh one is minted
+        when tracing is armed.
+        """
+        job = self._build_job(body)
+        self._begin_trace(job, trace_id)
+        return self._enqueue(job)
 
     def submit_batch(self, bodies: list[dict]) -> list[Job]:
         """Submit a suite of jobs in order; all-or-nothing validation.
@@ -205,6 +269,8 @@ class SchedulingService:
         if not isinstance(bodies, list) or not bodies:
             raise JobError("'jobs' must be a non-empty list of requests")
         jobs = [self._build_job(body) for body in bodies]
+        for job in jobs:
+            self._begin_trace(job)
         return [self._enqueue(job) for job in jobs]
 
     # ------------------------------------------------------------------
@@ -275,18 +341,57 @@ class SchedulingService:
 
     # ------------------------------------------------------------------
     def _finished(self, job: Job) -> None:
+        degraded = bool(job.result is not None and job.result.get("degraded"))
         if job.status == JobStatus.DONE:
             self.metrics.inc("jobs_done")
         elif job.status == JobStatus.TIMEOUT:
             self.metrics.inc("jobs_timeout")
         else:
             self.metrics.inc("jobs_failed")
-        if job.result is not None and job.result.get("degraded"):
+        if degraded:
             self.metrics.inc("jobs_degraded")
         if job.attempts > 1:
             self.metrics.inc("jobs_retried", job.attempts - 1)
         if job.latency is not None:
             self.metrics.observe_latency(job.latency)
+        # Per-phase latency families for /metrics.
+        if job.started_at is not None:
+            self.metrics.observe(
+                "phase_seconds",
+                max(0.0, job.started_at - job.submitted_at),
+                phase="queue",
+            )
+            if job.finished_at is not None:
+                self.metrics.observe(
+                    "phase_seconds",
+                    max(0.0, job.finished_at - job.started_at),
+                    phase="execute",
+                )
+        if job.trace_root is not None:
+            trace.finish(
+                job.trace_root, status=job.status, attempts=job.attempts
+            )
+            job.trace_root = None
+        settled = self._job_event_fields(job)
+        settled.update(
+            status=job.status,
+            attempts=job.attempts,
+            degraded=degraded,
+            scheduler=str(job.request.get("scheduler", DEFAULT_SCHEDULER)),
+        )
+        if job.request.get("profile") is not None:
+            settled["profile"] = str(job.request["profile"])
+        if job.latency is not None:
+            settled["latency"] = round(job.latency, 6)
+        if job.error is not None:
+            settled["error"] = job.error.get("type")
+        self.events.emit("job.settled", **settled)
+        if degraded:
+            self.events.emit(
+                "job.degraded",
+                reason=(job.result or {}).get("degrade_reason"),
+                **self._job_event_fields(job),
+            )
         # Bound the in-memory registry: settled jobs are evicted oldest
         # first once the retention window is full (queued/running jobs
         # are never touched — they only enter this path when they settle).
@@ -295,6 +400,25 @@ class SchedulingService:
             while len(self._finished_order) > self.finished_jobs_kept:
                 evicted = self._finished_order.popleft()
                 self._jobs.pop(evicted, None)
+
+    def stats(
+        self,
+        group_by: list[str] | None = None,
+        measures: list[str] | None = None,
+    ) -> dict:
+        """The ``GET /v1/stats`` body: the semantic model queried over
+        this service's artifact store and event journal."""
+        from repro.obs.stats import StatsModel
+
+        model = StatsModel(self.store, events_path=self.events.path)
+        return model.query(group_by=group_by, measures=measures)
+
+    def trace_spans(self, trace_id: str) -> list[dict] | None:
+        """Finished spans of *trace_id* (``GET /v1/traces/<id>``), or
+        ``None`` when unknown or tracing is configured off."""
+        if self.tracer is None:
+            return None
+        return self.tracer.trace(trace_id)
 
     def readiness(self) -> tuple[bool, str]:
         """``(ready, reason)`` for the ``/readyz`` probe.
@@ -341,9 +465,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     service: SchedulingService  # injected by make_server
 
-    # Silence the default stderr-per-request logging.
+    # Silence the default stderr-per-request logging; with
+    # ``--access-log`` each request lands in the structured event
+    # journal instead (log_request fires from send_response).
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        service = getattr(self, "service", None)
+        if service is None or not service.config.access_log:
+            return
+        try:
+            status = int(code)  # HTTPStatus is an IntEnum
+        except (TypeError, ValueError):
+            status = str(code)
+        service.events.emit(
+            "http.access",
+            method=self.command,
+            path=self.path,
+            code=status,
+            client=self.client_address[0],
+        )
 
     # -- helpers -------------------------------------------------------
     def _reply(
@@ -380,7 +522,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         message: str,
         headers: dict[str, str] | None = None,
     ) -> None:
+        if code >= 500:
+            service = getattr(self, "service", None)
+            if service is not None:
+                service.metrics.inc("http_errors")
         self._json(code, {"error": message}, headers=headers)
+
+    def _handler_error(self, exc: BaseException) -> None:
+        """A handler blew up: journal it and answer 500 (best effort —
+        the connection may already be half-written)."""
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.events.emit(
+                "http.error",
+                method=getattr(self, "command", "?"),
+                path=getattr(self, "path", "?"),
+                error=type(exc).__name__,
+                message=str(exc),
+            )
+        try:
+            # _error counts the 5xx before writing, so the counter is
+            # right even when the reply channel is already broken.
+            self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+        except Exception:  # noqa: BLE001 - reply channel already broken
+            pass
 
     def _injected_fault(self) -> bool:
         """Apply armed api.* faults; ``True`` when a 500 was served."""
@@ -488,12 +653,43 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     self._error(404, f"no such artifact {parts[2]!r}")
                 else:
                     self._json(200, envelope)
+            elif parts == ["v1", "stats"]:
+                query = parse_qs(url.query)
+                group_by = [
+                    name
+                    for raw in query.get("group_by", [])
+                    for name in raw.split(",")
+                    if name
+                ]
+                measures = [
+                    name
+                    for raw in query.get("measures", [])
+                    for name in raw.split(",")
+                    if name
+                ]
+                self._json(
+                    200,
+                    self.service.stats(
+                        group_by=group_by or None,
+                        measures=measures or None,
+                    ),
+                )
+            elif parts[:2] == ["v1", "traces"] and len(parts) == 3:
+                spans = self.service.trace_spans(parts[2])
+                if not spans:
+                    self._error(404, f"no trace {parts[2]!r}")
+                else:
+                    self._json(
+                        200, {"trace_id": parts[2], "spans": spans}
+                    )
             else:
                 self._error(404, f"no route for GET {url.path}")
         except ReproError as exc:
             self._error(400, str(exc))
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
+        except Exception as exc:  # noqa: BLE001 - journal + 500
+            self._handler_error(exc)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlsplit(self.path)
@@ -504,20 +700,29 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 body = self._read_body()
                 if not isinstance(body, dict):
                     raise JobError("a job submission must be a JSON object")
-                job = self.service.submit(body)
-                self._json(202, {"id": job.id, "status": job.status})
+                job = self.service.submit(
+                    body, trace_id=self.headers.get("X-Hrms-Trace-Id")
+                )
+                payload = {"id": job.id, "status": job.status}
+                headers = None
+                if job.trace_id is not None:
+                    payload["trace"] = job.trace_id
+                    headers = {"X-Hrms-Trace-Id": job.trace_id}
+                self._json(202, payload, headers=headers)
             elif url.path == "/v1/batch":
                 body = self._read_body()
                 if not isinstance(body, dict):
                     raise JobError("a batch submission must be a JSON object")
                 jobs = self.service.submit_batch(body.get("jobs"))
-                self._json(
-                    202,
-                    {
-                        "ids": [job.id for job in jobs],
-                        "count": len(jobs),
-                    },
-                )
+                batch_payload = {
+                    "ids": [job.id for job in jobs],
+                    "count": len(jobs),
+                }
+                if any(job.trace_id is not None for job in jobs):
+                    batch_payload["traces"] = [
+                        job.trace_id for job in jobs
+                    ]
+                self._json(202, batch_payload)
             elif url.path == "/v1/verify":
                 body = self._read_body()
                 if not isinstance(body, dict):
@@ -541,6 +746,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._error(400, str(exc))
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
+        except Exception as exc:  # noqa: BLE001 - journal + 500
+            self._handler_error(exc)
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):

@@ -86,6 +86,17 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="cap on the transient-retry backoff in seconds "
              "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable end-to-end tracing (spans for every request, "
+             "scheduler attempt, portfolio member and store write; "
+             "served at GET /v1/traces/<id>)",
+    )
+    parser.add_argument(
+        "--access-log", action="store_true",
+        help="journal one http.access event per request into the "
+             "store's events.jsonl",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -97,6 +108,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             retry_base_delay=args.retry_base_delay,
             retry_max_delay=args.retry_max_delay,
             max_queue_depth=args.queue_depth or None,
+            tracing=not args.no_tracing,
+            access_log=args.access_log,
         )
     except ReproError as exc:
         print(f"hrms-serve: {exc}", file=sys.stderr)
@@ -156,6 +169,45 @@ def _read_input(spec: str) -> str:
     if spec == "-":
         return sys.stdin.read()
     return Path(spec).read_text(encoding="utf-8")
+
+
+def _print_trace(client: ServiceClient, trace_id: str) -> None:
+    """Fetch and pretty-print a span tree (``hrms-submit --trace``).
+
+    Spans arrive flat; indent each under its parent, siblings ordered
+    by start time, with duration and the interesting attributes.
+    Cross-process children whose parent span is missing (e.g. dropped
+    by the per-trace cap) are shown at the root level, not lost.
+    """
+    try:
+        spans = client.trace(trace_id)
+    except ReproError as exc:
+        print(f"hrms-submit: trace {trace_id}: {exc}", file=sys.stderr)
+        return
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict[str | None, list[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphaned subtree → treat as a root
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: (span["start"], span["name"]))
+
+    def emit(span: dict, depth: int) -> None:
+        ms = (span["end"] - span["start"]) * 1000.0
+        attrs = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(span.get("attrs", {}).items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        print(f"{'  ' * depth}{span['name']}  {ms:.2f}ms{suffix}")
+        for child in children.get(span["span_id"], ()):
+            emit(child, depth + 1)
+
+    print(f"trace {trace_id}")
+    for root in children.get(None, ()):
+        emit(root, 1)
 
 
 def submit_main(argv: list[str] | None = None) -> int:
@@ -228,6 +280,11 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-wait", action="store_true",
         help="print the job id and exit instead of polling",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="after the job settles, fetch its end-to-end trace and "
+             "print the span tree (implies waiting)",
     )
     parser.add_argument(
         "--timeout", type=float, default=120.0,
@@ -333,9 +390,13 @@ def submit_main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
-        job_id = client.submit(request)
-        if args.no_wait:
+        accepted = client.submit_record(request)
+        job_id = accepted["id"]
+        trace_id = accepted.get("trace")
+        if args.no_wait and not args.trace:
             print(job_id)
+            if trace_id:
+                print(f"trace {trace_id}")
             return 0
         record = client.wait(job_id, timeout=args.timeout)
         if record["status"] != "done":
@@ -347,6 +408,8 @@ def submit_main(argv: list[str] | None = None) -> int:
                 f"{error.get('type')}: {error.get('message')}",
                 file=sys.stderr,
             )
+            if args.trace and trace_id:
+                _print_trace(client, trace_id)
             return 1
         result = record["result"]
         described = result["scheduler"]
@@ -362,6 +425,10 @@ def submit_main(argv: list[str] | None = None) -> int:
             f"{'  [store hit]' if result['cached'] else ''}"
         )
         print(f"artifact {result['artifact']}")
+        if trace_id:
+            print(f"trace {trace_id}")
+        if args.trace and trace_id:
+            _print_trace(client, trace_id)
         return 0
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"hrms-submit: {exc}", file=sys.stderr)

@@ -256,7 +256,13 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def submit(self, request: dict) -> str:
         """Submit one raw job request; returns the job id."""
-        return self._call("POST", "/v1/jobs", request)["id"]
+        return self.submit_record(request)["id"]
+
+    def submit_record(self, request: dict) -> dict:
+        """Submit one raw job request and return the full acceptance
+        record — ``{"id", "status"}`` plus ``"trace"`` (the end-to-end
+        trace id) when the server has tracing armed."""
+        return self._call("POST", "/v1/jobs", request)
 
     def submit_batch(self, requests: list[dict]) -> list[str]:
         """Submit a suite of requests; returns the job ids in order."""
@@ -340,6 +346,24 @@ class ServiceClient:
     def artifact(self, key: str) -> dict:
         """The stored JSON envelope for *key*."""
         return self._call("GET", f"/v1/artifacts/{key}")
+
+    def stats(
+        self,
+        group_by: list[str] | None = None,
+        measures: list[str] | None = None,
+    ) -> dict:
+        """Query the server's semantic stats layer (``GET /v1/stats``)."""
+        query = []
+        if group_by:
+            query.append("group_by=" + ",".join(group_by))
+        if measures:
+            query.append("measures=" + ",".join(measures))
+        path = "/v1/stats" + ("?" + "&".join(query) if query else "")
+        return self._call("GET", path)
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """The finished spans of *trace_id* (``GET /v1/traces/<id>``)."""
+        return self._call("GET", f"/v1/traces/{trace_id}")["spans"]
 
     def verify(self, key: str, graph: DependenceGraph | dict) -> dict:
         """Re-verify a stored schedule artifact (``POST /v1/verify``).

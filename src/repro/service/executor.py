@@ -39,6 +39,7 @@ from repro.machine.configs import (
 )
 from repro.machine.machine import MachineModel
 from repro.mii.analysis import compute_mii
+from repro.obs import trace
 from repro.schedule.maxlive import max_live
 from repro.schedule.schedule import Schedule, ScheduleStats
 from repro.schedulers import registry
@@ -129,9 +130,12 @@ class SchedulingExecutor:
         self,
         store: ArtifactStore,
         metrics: ServiceMetrics | None = None,
+        events: object | None = None,
     ) -> None:
         self.store = store
         self.metrics = metrics or ServiceMetrics()
+        #: Optional :class:`repro.obs.events.EventLog` for decision events.
+        self.events = events
         self._study_cache = persistent_study_cache(store)
         #: Guards the portfolio race: repeated member failures trip it
         #: open and portfolio requests degrade to DEGRADED_SCHEDULER.
@@ -230,14 +234,20 @@ class SchedulingExecutor:
             # Honour a job deadline before starting a compute (the II
             # search polls it again per attempt).
             cancel.check()
-            analysis = compute_mii(graph, machine)
-            schedule = make_scheduler(scheduler, **options).schedule(
-                graph, machine, analysis
-            )
+            with trace.span("schedule.compute", scheduler=scheduler):
+                analysis = compute_mii(graph, machine)
+                schedule = make_scheduler(scheduler, **options).schedule(
+                    graph, machine, analysis
+                )
             envelope = self.store.put(
                 key, "schedule", cache_request, schedule_payload(schedule)
             )
             self.metrics.inc("schedules_computed")
+            self.metrics.observe(
+                "scheduler_seconds",
+                envelope["payload"]["seconds"],
+                scheduler=scheduler,
+            )
         return key, envelope["payload"], cached
 
     def _schedule(self, request: dict) -> dict:
@@ -278,6 +288,13 @@ class SchedulingExecutor:
         answer must never be served as the canonical portfolio artifact
         once the breaker closes again."""
         self.metrics.inc("portfolios_degraded")
+        if self.events is not None:
+            self.events.emit(
+                "portfolio.degraded",
+                graph=graph.name,
+                reason=reason,
+                fallback=DEGRADED_SCHEDULER,
+            )
         key, payload, cached = self._schedule_one(
             graph, machine, DEGRADED_SCHEDULER, options
         )
@@ -411,17 +428,22 @@ class SchedulingExecutor:
                         member_envelope["payload"], graph, machine
                     )
             try:
-                result = race_portfolio(
-                    graph,
-                    machine,
-                    members=members,
-                    policy=policy,
-                    member_budget=member_budget,
-                    include_exact=include_exact,
-                    register_budget=register_budget,
-                    precomputed=precomputed,
-                    **options,
-                )
+                with trace.span(
+                    "portfolio.race",
+                    members=list(members),
+                    policy=policy_name,
+                ):
+                    result = race_portfolio(
+                        graph,
+                        machine,
+                        members=members,
+                        policy=policy,
+                        member_budget=member_budget,
+                        include_exact=include_exact,
+                        register_budget=register_budget,
+                        precomputed=precomputed,
+                        **options,
+                    )
             except Exception:
                 # A race that produced nothing usable at all is the
                 # strongest breaker signal there is (and a half-open
@@ -460,6 +482,24 @@ class SchedulingExecutor:
             decision = result.decision_record()
             for member in decision["members"]:
                 member["artifact"] = member_artifacts.get(member["name"])
+            if self.events is not None:
+                self.events.emit(
+                    "portfolio.settled",
+                    graph=graph.name,
+                    winner=decision["winner"],
+                    policy=decision["policy"],
+                    members=[
+                        {
+                            "name": member["name"],
+                            "status": member["status"],
+                            "ii": (member.get("score") or {}).get("ii"),
+                            "maxlive": (member.get("score") or {}).get(
+                                "maxlive"
+                            ),
+                        }
+                        for member in decision["members"]
+                    ],
+                )
             payload = {
                 **decision,
                 "schedule": schedule_payload(
@@ -544,13 +584,16 @@ class SchedulingExecutor:
         envelope = self.store.get(key)
         cached = envelope is not None
         if envelope is None:
-            study = run_study_parallel(
-                loops=loops,
-                schedulers=schedulers,
-                machine=machine,
-                mode="thread",
-                cache=self._study_cache,
-            )
+            with trace.span(
+                "suite.run", suite=name, loops=len(loops)
+            ):
+                study = run_study_parallel(
+                    loops=loops,
+                    schedulers=schedulers,
+                    machine=machine,
+                    mode="thread",
+                    cache=self._study_cache,
+                )
             payload = {
                 "suite": name,
                 "schedulers": list(schedulers),

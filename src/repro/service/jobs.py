@@ -36,6 +36,7 @@ from typing import Callable
 
 from repro import cancel
 from repro.errors import DeadlineExceededError, QueueFullError, ReproError
+from repro.obs import trace
 from repro.service.resilience import RetryPolicy
 
 logger = logging.getLogger(__name__)
@@ -81,6 +82,10 @@ class Job:
     finished_at: float | None = None
     result: dict | None = None
     error: dict | None = None
+    #: Trace id stamped at submission when tracing is armed.
+    trace_id: str | None = None
+    #: The live root ("request") span — internal, not serialized.
+    trace_root: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def latency(self) -> float | None:
@@ -103,6 +108,7 @@ class Job:
             "finished_at": self.finished_at,
             "result": self.result,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -216,12 +222,15 @@ class WorkerPool:
         on_finish: Callable[[Job], None] | None = None,
         join_timeout: float = 10.0,
         retry_policy: RetryPolicy | None = None,
+        events: object | None = None,
     ) -> None:
         import os
 
         self.queue = queue
         self._execute = execute
         self._on_finish = on_finish
+        #: Optional :class:`repro.obs.events.EventLog` for lifecycle events.
+        self.events = events
         self.workers = workers or min(8, os.cpu_count() or 1)
         self.join_timeout = join_timeout
         self.retry_policy = retry_policy or RetryPolicy()
@@ -337,9 +346,28 @@ class WorkerPool:
         job.attempts += 1
         job.status = JobStatus.RUNNING
         job.started_at = time.time()
+        if self.events is not None:
+            self._emit("job.started", job, attempt=job.attempts)
         try:
-            with cancel.deadline_scope(job.deadline):
-                result = self._execute(job)
+            root = job.trace_root
+            if root is not None and trace.ACTIVE is not None:
+                with trace.attach(job.trace_id, root.span_id):
+                    if job.attempts == 1:
+                        # The wait was not bracketed by code; synthesize
+                        # it from the job's own timestamps.
+                        trace.record_span(
+                            "queue.wait",
+                            job.trace_id,
+                            root.span_id,
+                            start=job.submitted_at,
+                            end=job.started_at,
+                        )
+                    with trace.span("executor", attempt=job.attempts):
+                        with cancel.deadline_scope(job.deadline):
+                            result = self._execute(job)
+            else:
+                with cancel.deadline_scope(job.deadline):
+                    result = self._execute(job)
         except DeadlineExceededError as exc:
             self._timeout(job, exc)
         except ReproError as exc:
@@ -379,10 +407,27 @@ class WorkerPool:
             if self._on_finish is not None:
                 self._on_finish(job)
 
+    def _emit(self, type_: str, job: Job, **fields: object) -> None:
+        """Journal a job-lifecycle event (no-op without an event log)."""
+        if self.events is None:
+            return
+        if job.trace_id is not None:
+            fields.setdefault("trace_id", job.trace_id)
+        self.events.emit(type_, job=job.id, kind=job.kind, **fields)
+
     def _requeue_after(
         self, job: Job, exc: BaseException, delay: float
     ) -> None:
         """Put *job* back on the queue after *delay* seconds (0 = now)."""
+        if self.events is not None:
+            self._emit(
+                "job.retried",
+                job,
+                attempt=job.attempts,
+                delay=round(delay, 6),
+                crash=bool(getattr(exc, "worker_crash", False)),
+                error=type(exc).__name__,
+            )
         job.status = JobStatus.QUEUED
         if delay <= 0.0:
             try:

@@ -48,6 +48,7 @@ from typing import Callable
 import repro.errors as errors_module
 from repro import cancel
 from repro.errors import JobError, ReproError, ServiceError
+from repro.obs import trace
 from repro.service import faults
 from repro.service.jobs import Job, JobQueue, WorkerPool
 from repro.service.metrics import ServiceMetrics
@@ -85,6 +86,12 @@ class ExecutorConfig:
     #: Bound on queued jobs (``None`` = unbounded); past it, submissions
     #: are rejected with 429 + Retry-After.
     max_queue_depth: int | None = None
+    #: Arm end-to-end tracing (:mod:`repro.obs.trace`) for the service
+    #: and, on the process backend, inside every worker process.
+    tracing: bool = True
+    #: Journal HTTP access lines into the event log (hrms-serve
+    #: ``--access-log``).
+    access_log: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -132,7 +139,9 @@ _WORKER_EXECUTOR = None
 _WORKER_METRICS: ServiceMetrics | None = None
 
 
-def _init_worker(store_root: str, warm_start: bool) -> None:
+def _init_worker(
+    store_root: str, warm_start: bool, tracing: bool = False
+) -> None:
     """Build this worker process's executor and warm its caches.
 
     Runs exactly once per worker process (the pool initializer).  The
@@ -148,6 +157,10 @@ def _init_worker(store_root: str, warm_start: bool) -> None:
     _WORKER_EXECUTOR = SchedulingExecutor(
         ArtifactStore(store_root), _WORKER_METRICS
     )
+    if tracing:
+        # Worker-side spans collect locally and ride back to the parent
+        # in the result envelope (see run_wire_job).
+        trace.arm()
     if warm_start:
         from repro.engine import warm_start as warm_engine
         from repro.machine.configs import canonical_machines
@@ -164,6 +177,9 @@ def job_wire(job: Job) -> dict:
     wire = {"kind": job.kind, "request": job.request}
     if job.deadline is not None:
         wire["deadline"] = job.deadline
+    context = trace.wire_context()
+    if context is not None:
+        wire["trace"] = context
     return wire
 
 
@@ -175,8 +191,24 @@ def run_wire_job(wire: dict) -> dict:
     "permanent": bool, "error_type": …, "message": …}`` —
     ``permanent`` mirrors the thread pool's rule that
     :class:`~repro.errors.ReproError` is deterministic (no retry) while
-    anything else may be transient.
+    anything else may be transient.  When the wire carries a ``trace``
+    context (and this worker armed tracing), the job executes attached
+    to it and the worker-side spans ride home on the envelope under
+    ``"spans"``.
     """
+    context = wire.get("trace")
+    if context is None or trace.ACTIVE is None:
+        return _run_wire_job(wire)
+    trace_id = str(context["id"])
+    with trace.attach(trace_id, str(context["parent"])):
+        envelope = _run_wire_job(wire)
+    spans = trace.COLLECTOR.drain(trace_id)
+    if spans:
+        envelope["spans"] = spans
+    return envelope
+
+
+def _run_wire_job(wire: dict) -> dict:
     if _WORKER_EXECUTOR is None or _WORKER_METRICS is None:
         return {
             "ok": False,
@@ -280,6 +312,8 @@ class ProcessWorkerPool(WorkerPool):
         warm_start: bool = True,
         join_timeout: float = 10.0,
         retry_policy: RetryPolicy | None = None,
+        tracing: bool = False,
+        events: object | None = None,
     ) -> None:
         super().__init__(
             queue,
@@ -288,10 +322,12 @@ class ProcessWorkerPool(WorkerPool):
             on_finish=on_finish,
             join_timeout=join_timeout,
             retry_policy=retry_policy,
+            events=events,
         )
         self._store_root = str(store_root)
         self._metrics = metrics
         self._warm_start = warm_start
+        self._tracing = tracing
         self._executor: ProcessPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._stopping = False
@@ -302,7 +338,7 @@ class ProcessWorkerPool(WorkerPool):
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(self._store_root, self._warm_start),
+            initargs=(self._store_root, self._warm_start, self._tracing),
         )
 
     # ------------------------------------------------------------------
@@ -485,6 +521,10 @@ class ProcessWorkerPool(WorkerPool):
             )
             error.worker_crash = True
             raise error from exc
+        if trace.ACTIVE is not None and envelope.get("spans"):
+            # Worker-side spans (even from failed attempts) join the
+            # parent's trace here.
+            trace.ACTIVE.merge(envelope["spans"])
         if envelope.get("ok"):
             if self._metrics is not None:
                 for name, amount in envelope.get("computed", {}).items():
@@ -505,6 +545,7 @@ def make_worker_pool(
     store_root: str | Path,
     metrics: ServiceMetrics | None = None,
     on_finish: Callable[[Job], None] | None = None,
+    events: object | None = None,
 ) -> WorkerPool:
     """Build the worker pool *config* asks for.
 
@@ -522,6 +563,8 @@ def make_worker_pool(
             warm_start=config.warm_start,
             join_timeout=config.join_timeout,
             retry_policy=config.retry_policy(),
+            tracing=config.tracing,
+            events=events,
         )
     return WorkerPool(
         queue,
@@ -530,4 +573,5 @@ def make_worker_pool(
         on_finish=on_finish,
         join_timeout=config.join_timeout,
         retry_policy=config.retry_policy(),
+        events=events,
     )

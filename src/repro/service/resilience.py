@@ -74,6 +74,7 @@ class CircuitBreaker:
         self,
         failure_threshold: int = 5,
         recovery_s: float = 30.0,
+        on_transition=None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -88,11 +89,26 @@ class CircuitBreaker:
         self._probe_in_flight = False
         #: Lifetime count of closed→open transitions (metrics).
         self.trips = 0
+        #: ``on_transition(old_state, new_state)`` fires outside the
+        #: lock on every state change (the service journals these).
+        self.on_transition = on_transition
+
+    def _fire(self, old: str, new: str) -> None:
+        """Invoke the transition hook (never under the lock, and a
+        failing hook must not break breaker semantics)."""
+        if old != new and self.on_transition is not None:
+            try:
+                self.on_transition(old, new)
+            except Exception:  # noqa: BLE001 - observer must not interfere
+                pass
 
     @property
     def state(self) -> str:
         with self._lock:
-            return self._observe()
+            old = self._state
+            new = self._observe()
+        self._fire(old, new)
+        return new
 
     def _observe(self) -> str:
         """Current state with the open→half-open timeout applied.
@@ -110,22 +126,29 @@ class CircuitBreaker:
 
         Closed: yes.  Open: no.  Half-open: one probe at a time."""
         with self._lock:
+            old = self._state
             state = self._observe()
             if state == self.CLOSED:
-                return True
-            if state == self.HALF_OPEN and not self._probe_in_flight:
+                allowed = True
+            elif state == self.HALF_OPEN and not self._probe_in_flight:
                 self._probe_in_flight = True
-                return True
-            return False
+                allowed = True
+            else:
+                allowed = False
+        self._fire(old, state)
+        return allowed
 
     def record_success(self) -> None:
         with self._lock:
+            old = self._state
             self._failures = 0
             self._probe_in_flight = False
             self._state = self.CLOSED
+        self._fire(old, self.CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
+            old = self._state
             state = self._observe()
             self._failures += 1
             if state == self.HALF_OPEN or (
@@ -137,15 +160,19 @@ class CircuitBreaker:
                 self._probe_in_flight = False
                 self._failures = 0
                 self.trips += 1
+            new = self._state
+        self._fire(old, new)
 
     def force_open(self) -> None:
         """Trip the breaker immediately (chaos harness hook)."""
         with self._lock:
+            old = self._state
             self._state = self.OPEN
             self._opened_at = time.time()
             self._probe_in_flight = False
             self._failures = 0
             self.trips += 1
+        self._fire(old, self.OPEN)
 
     def snapshot(self) -> dict:
         with self._lock:

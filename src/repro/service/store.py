@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.errors import ArtifactError
+from repro.obs import trace
 from repro.service import faults
 
 logger = logging.getLogger(__name__)
@@ -102,6 +103,9 @@ class ArtifactStore:
         self._objects.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._stats = StoreStats()
+        #: Optional :class:`repro.obs.events.EventLog`; the service
+        #: installs one so quarantines land in the audit journal.
+        self.events: Any = None
 
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Path:
@@ -174,6 +178,13 @@ class ArtifactStore:
         logger.warning(
             "quarantined artifact %s (%s) -> %s", key, reason, dest
         )
+        if self.events is not None:
+            self.events.emit(
+                "store.quarantined",
+                key=key,
+                reason=reason,
+                dest=str(dest),
+            )
 
     def get(self, key: str) -> dict | None:
         """The envelope stored under *key*, or ``None`` on a miss.
@@ -184,6 +195,15 @@ class ArtifactStore:
         miss (the caller recomputes).  A hit under a legacy layout is
         migrated to the sharded path as a side effect.
         """
+        if trace.ACTIVE is None:
+            return self._get(key)
+        with trace.span("store.get", key=key[:12]) as tspan:
+            envelope = self._get(key)
+            if tspan is not None:
+                tspan.attrs["hit"] = envelope is not None
+            return envelope
+
+    def _get(self, key: str) -> dict | None:
         path = self._locate(key) or self._path_for(key)
         try:
             if faults.ACTIVE is not None and faults.ACTIVE.should_fire(
@@ -227,6 +247,12 @@ class ArtifactStore:
 
         The envelope carries an ``integrity`` digest over its canonical
         form so a later read can prove the bytes are the ones written."""
+        if trace.ACTIVE is None:
+            return self._put(key, kind, request, payload)
+        with trace.span("store.put", key=key[:12], kind=kind):
+            return self._put(key, kind, request, payload)
+
+    def _put(self, key: str, kind: str, request: dict, payload: dict) -> dict:
         envelope = {
             "schema": STORE_SCHEMA,
             "kind": kind,

@@ -19,7 +19,7 @@ class TestRepoDocs:
         names = console_scripts(REPO_ROOT / "setup.py")
         assert set(names) == {
             "hrms-experiments", "hrms-compile", "hrms-serve",
-            "hrms-submit", "hrms-fuzz", "hrms-chaos",
+            "hrms-submit", "hrms-report", "hrms-fuzz", "hrms-chaos",
         }
 
 

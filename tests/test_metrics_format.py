@@ -1,0 +1,145 @@
+"""Prometheus text-exposition-format compliance of ``/metrics``.
+
+A strict line-level lint: every sample parses, every series is
+preceded by its ``# HELP``/``# TYPE`` headers, label values with
+backslashes, quotes, and newlines are escaped per the spec.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.service.metrics import (
+    ServiceMetrics,
+    escape_help,
+    escape_label_value,
+)
+
+#: ``metric_name{labels} value`` — names per the Prometheus data model.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+#: One ``key="value"`` pair; values may contain escaped specials.
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def lint(text: str) -> list[str]:
+    """Every format violation found in *text* (empty = compliant)."""
+    problems = []
+    helped: set[str] = set()
+    typed: dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line:
+            problems.append(f"line {number}: blank line")
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {number}: unknown comment {line!r}")
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        # A summary's samples belong to the family name (strip the
+        # _count/_sum suffix when the family itself was declared).
+        family = name
+        for suffix in ("_count", "_sum"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+        if family not in typed:
+            problems.append(f"line {number}: sample {name!r} has no # TYPE")
+        if family not in helped:
+            problems.append(f"line {number}: sample {name!r} has no # HELP")
+        try:
+            float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {number}: non-numeric value {match.group('value')!r}"
+            )
+        labels = match.group("labels")
+        if labels is not None:
+            inner = labels[1:-1]
+            stripped = _LABEL.sub("", inner).replace(",", "")
+            if stripped:
+                problems.append(
+                    f"line {number}: malformed labels {labels!r}"
+                )
+    return problems
+
+
+def _populated_metrics() -> ServiceMetrics:
+    metrics = ServiceMetrics()
+    metrics.inc("jobs_submitted")
+    metrics.inc("jobs_done", 3)
+    metrics.observe_latency(0.125)
+    metrics.observe_latency(0.5)
+    metrics.observe("phase_seconds", 0.01, phase="queue")
+    metrics.observe("phase_seconds", 0.25, phase="execute")
+    metrics.observe("scheduler_seconds", 0.04, scheduler="hrms")
+    return metrics
+
+
+class TestFormatLint:
+    def test_rendered_output_is_compliant(self):
+        metrics = _populated_metrics()
+        text = metrics.render_prometheus(
+            gauges={"queue_depth": 2, "breaker_state": 0}
+        )
+        assert lint(text) == []
+        assert text.endswith("\n")
+
+    def test_nasty_label_values_escape(self):
+        metrics = ServiceMetrics()
+        metrics.observe(
+            "phase_seconds", 0.5, phase='we"ird\\path\nnewline'
+        )
+        text = metrics.render_prometheus()
+        assert lint(text) == []
+        assert '\\"' in text
+        assert "\\\\" in text
+        assert "\\n" in text
+        # The raw newline must never split a sample line.
+        for line in text.splitlines():
+            assert line.startswith(("#", "hrms_"))
+
+    def test_counters_carry_total_suffix_and_headers(self):
+        text = _populated_metrics().render_prometheus()
+        assert "# HELP hrms_jobs_submitted_total" in text
+        assert "# TYPE hrms_jobs_submitted_total counter" in text
+        assert "hrms_jobs_submitted_total 1" in text
+
+    def test_summary_family_quantiles_and_count(self):
+        text = _populated_metrics().render_prometheus()
+        assert "# TYPE hrms_job_latency_seconds summary" in text
+        assert 'hrms_job_latency_seconds{quantile="0.5"}' in text
+        assert "hrms_job_latency_seconds_count 2" in text
+        assert '# TYPE hrms_phase_seconds summary' in text
+        assert 'hrms_phase_seconds{phase="queue",quantile="0.5"}' in text
+        assert 'hrms_phase_seconds_count{phase="queue"} 1' in text
+        assert 'hrms_scheduler_seconds{quantile="0.9",scheduler="hrms"}' in text
+
+    def test_escape_helpers(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        assert escape_help("x\\y\nz") == "x\\\\y\\nz"
+
+    def test_live_service_endpoint_is_compliant(self, tmp_path):
+        from repro.service.api import SchedulingService
+
+        service = SchedulingService(tmp_path / "store", workers=1)
+        service.start()
+        try:
+            text = service.metrics_text()
+        finally:
+            service.stop()
+        assert lint(text) == []
+        assert "hrms_queue_depth" in text

@@ -1,0 +1,143 @@
+"""The rotating JSONL event journal."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import trace
+from repro.obs.events import EventLog, read_events
+
+
+class TestEmit:
+    def test_roundtrip_and_stamps(self, tmp_path):
+        with EventLog(tmp_path / "events.jsonl") as log:
+            log.emit("job.submitted", job="abc123", priority=2)
+        (record,) = list(read_events(tmp_path / "events.jsonl"))
+        assert record["type"] == "job.submitted"
+        assert record["job"] == "abc123"
+        assert record["priority"] == 2
+        assert record["ts"] > 0
+        assert "trace_id" not in record
+
+    def test_trace_id_stamped_from_context(self, tmp_path):
+        trace.arm()
+        try:
+            root = trace.begin_root("request", trace.new_trace_id())
+            with EventLog(tmp_path / "events.jsonl") as log:
+                with trace.attach(root.trace_id, root.span_id):
+                    log.emit("job.started", job="abc123")
+                log.emit("job.settled", job="abc123")
+        finally:
+            trace.disarm()
+        started, settled = list(read_events(tmp_path / "events.jsonl"))
+        assert started["trace_id"] == root.trace_id
+        assert "trace_id" not in settled
+
+    def test_explicit_trace_id_wins_over_context(self, tmp_path):
+        with EventLog(tmp_path / "events.jsonl") as log:
+            log.emit("job.settled", trace_id="explicit")
+        (record,) = list(read_events(tmp_path / "events.jsonl"))
+        assert record["trace_id"] == "explicit"
+
+    def test_closed_log_drops_silently(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.close()
+        log.emit("late", job="x")  # must not raise
+        assert list(read_events(tmp_path / "events.jsonl")) == []
+
+    def test_non_json_values_coerced(self, tmp_path):
+        with EventLog(tmp_path / "events.jsonl") as log:
+            log.emit("odd", where=tmp_path)  # Path is not JSON-native
+        (record,) = list(read_events(tmp_path / "events.jsonl"))
+        assert record["where"] == str(tmp_path)
+
+
+class TestRotation:
+    def test_rotates_by_size_and_keeps_generations(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=512, keep=3) as log:
+            for i in range(200):
+                log.emit("tick", i=i, pad="x" * 40)
+            assert log.rotations > 0
+            files = log.files()
+        names = [f.name for f in files]
+        assert names[-1] == "events.jsonl"
+        assert set(names) <= {
+            "events.jsonl", "events.jsonl.1", "events.jsonl.2",
+            "events.jsonl.3",
+        }
+        # No generation past keep, and the active file respects the cap.
+        assert not (tmp_path / "events.jsonl.4").exists()
+        for file in files:
+            assert file.stat().st_size <= 512 + 128  # one record of slack
+
+    def test_rotation_under_concurrent_load(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, max_bytes=2048, keep=4)
+        errors: list[Exception] = []
+
+        def pump(worker):
+            try:
+                for i in range(150):
+                    log.emit("tick", worker=worker, i=i, pad="y" * 30)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=pump, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        assert errors == []
+        assert log.emitted == 600
+        assert log.rotations > 0
+        # Every surviving line is intact JSON (no torn/interleaved
+        # writes), and the newest records are all present.
+        records = list(read_events(path))
+        assert records, "rotation dropped everything"
+        for record in records:
+            assert record["type"] == "tick"
+        # The globally last write always survives in the active file
+        # (earlier workers' tails may rotate past the keep window).
+        assert records[-1]["i"] == 149
+
+    def test_keep_zero_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=256, keep=0) as log:
+            for i in range(50):
+                log.emit("tick", i=i, pad="z" * 30)
+        assert not path.with_name("events.jsonl.1").exists()
+        assert path.stat().st_size <= 256 + 128
+
+
+class TestRead:
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps({"ts": 1.0, "type": "ok"})
+        path.write_text(
+            f"{good}\n{{torn half-record\n\n{good}\n", encoding="utf-8"
+        )
+        records = list(read_events(path))
+        assert [r["type"] for r in records] == ["ok", "ok"]
+
+    def test_generations_read_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.with_name("events.jsonl.2").write_text(
+            json.dumps({"type": "oldest"}) + "\n", encoding="utf-8"
+        )
+        path.with_name("events.jsonl.1").write_text(
+            json.dumps({"type": "middle"}) + "\n", encoding="utf-8"
+        )
+        path.write_text(
+            json.dumps({"type": "newest"}) + "\n", encoding="utf-8"
+        )
+        assert [r["type"] for r in read_events(path)] == [
+            "oldest", "middle", "newest",
+        ]
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert list(read_events(tmp_path / "absent.jsonl")) == []

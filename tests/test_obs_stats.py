@@ -1,0 +1,254 @@
+"""The semantic stats layer: hand-built fixture, queries, the report."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.obs.stats import StatsError, StatsModel, op_bucket
+from repro.service.store import ArtifactStore
+
+
+def _key(token: str) -> str:
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+def _schedule_payload(graph, ops, scheduler, ii, mii, maxlive, seconds,
+                      machine="gov"):
+    return {
+        "graph": {"name": graph, "digest": _key(graph), "operations": ops},
+        "machine": {"name": machine, "units": []},
+        "scheduler": scheduler,
+        "ii": ii,
+        "mii": mii,
+        "maxlive": maxlive,
+        "seconds": seconds,
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A store with a known population: three schedules + one race."""
+    store = ArtifactStore(tmp_path / "store")
+    rows = [
+        # graph, ops, scheduler, ii, mii, maxlive, seconds
+        ("liv1", 10, "hrms", 4, 4, 6, 0.010),
+        ("liv1", 10, "topdown", 5, 4, 9, 0.002),
+        ("big", 120, "hrms", 12, 10, 20, 0.200),
+    ]
+    for graph, ops, scheduler, ii, mii, maxlive, seconds in rows:
+        request = {"kind": "schedule", "id": f"{graph}:{scheduler}"}
+        store.put(
+            _key(f"{graph}:{scheduler}"), "schedule", request,
+            _schedule_payload(graph, ops, scheduler, ii, mii, maxlive,
+                              seconds),
+        )
+    portfolio = {
+        "winner": "sms",
+        "policy": "min_ii",
+        "members": [
+            {"name": "hrms", "status": "ok", "source": "raced",
+             "seconds": 0.01,
+             "score": {"ii": 4, "maxlive": 6, "length": 9, "spills": 0,
+                       "seconds": 0.01}},
+            {"name": "sms", "status": "ok", "source": "raced",
+             "seconds": 0.008,
+             "score": {"ii": 4, "maxlive": 5, "length": 9, "spills": 0,
+                       "seconds": 0.008}},
+            {"name": "topdown", "status": "error", "source": "raced",
+             "seconds": 0.001, "score": None},
+        ],
+        "schedule": _schedule_payload("liv1", 10, "sms", 4, 4, 5, 0.008),
+    }
+    store.put(_key("race:liv1"), "portfolio",
+              {"kind": "schedule", "id": "race:liv1"}, portfolio)
+    return store
+
+
+@pytest.fixture
+def events_path(tmp_path):
+    path = tmp_path / "events.jsonl"
+    records = [
+        {"ts": 1.0, "type": "job.submitted", "job": "a"},
+        {"ts": 2.0, "type": "job.settled", "job": "a", "status": "done",
+         "attempts": 1, "degraded": False, "scheduler": "hrms",
+         "latency": 0.5},
+        {"ts": 3.0, "type": "job.settled", "job": "b", "status": "done",
+         "attempts": 2, "degraded": True, "scheduler": "portfolio",
+         "latency": 1.5},
+        {"ts": 4.0, "type": "job.settled", "job": "c", "status": "failed",
+         "attempts": 2, "degraded": False, "scheduler": "hrms"},
+    ]
+    path.write_text(
+        "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+    )
+    return path
+
+
+class TestQuery:
+    def test_artifact_measures_by_scheduler(self, store):
+        result = StatsModel(store).query(
+            group_by=["scheduler"],
+            measures=["count", "ii_mii_ratio", "mii_hit_rate",
+                      "maxlive_mean", "maxlive_max"],
+        )
+        assert result["group_by"] == ["scheduler"]
+        rows = {row["scheduler"]: row for row in result["rows"]}
+        # hrms: liv1 (4/4) and big (12/10) -> mean 1.1; topdown 5/4.
+        assert rows["hrms"]["count"] == 2
+        assert rows["hrms"]["ii_mii_ratio"] == 1.1
+        assert rows["hrms"]["mii_hit_rate"] == 0.5
+        assert rows["hrms"]["maxlive_mean"] == 13.0
+        assert rows["hrms"]["maxlive_max"] == 20
+        assert rows["topdown"]["ii_mii_ratio"] == 1.25
+        # The portfolio winner schedule is an artifact row of its own.
+        assert rows["portfolio"]["count"] == 1
+        assert rows["portfolio"]["maxlive_mean"] == 5.0
+
+    def test_op_bucket_dimension(self, store):
+        result = StatsModel(store).query(
+            group_by=["op_bucket"], measures=["count"]
+        )
+        rows = {row["op_bucket"]: row["count"] for row in result["rows"]}
+        assert rows == {"1-16": 3, "65-160": 1}
+        assert op_bucket(16) == "1-16"
+        assert op_bucket(17) == "17-64"
+        assert op_bucket(161) == "161+"
+
+    def test_race_measures(self, store):
+        result = StatsModel(store).query(
+            group_by=["scheduler"], measures=["races", "win_rate"]
+        )
+        rows = {row["scheduler"]: row for row in result["rows"]}
+        assert rows["sms"] == {"scheduler": "sms", "races": 1,
+                               "win_rate": 1.0}
+        assert rows["hrms"]["win_rate"] == 0.0
+        assert rows["topdown"]["races"] == 1
+
+    def test_job_measures_from_journal(self, store, events_path):
+        model = StatsModel(store, events_path=events_path)
+        result = model.query(group_by=[], measures=["jobs", "degraded_rate",
+                                                    "latency_p50"])
+        (row,) = result["rows"]
+        assert row["jobs"] == 3
+        assert row["degraded_rate"] == round(1 / 3, 6)
+        assert row["latency_p50"] == 0.5  # failed job has no latency
+
+    def test_default_query_is_deterministic(self, store):
+        first = StatsModel(store).query()
+        second = StatsModel(store).query()
+        assert first == second
+        assert first["group_by"] == ["scheduler"]
+        names = [row["scheduler"] for row in first["rows"]]
+        assert names == sorted(names)
+
+    def test_mixed_source_measures_join_on_dims(self, store):
+        result = StatsModel(store).query(
+            group_by=["scheduler"], measures=["count", "win_rate"]
+        )
+        rows = {row["scheduler"]: row for row in result["rows"]}
+        assert rows["sms"]["win_rate"] == 1.0
+        # sms never produced a standalone "schedule" artifact here, but
+        # the winner copy counts; hrms has both kinds of rows.
+        assert rows["hrms"]["count"] == 2
+        assert rows["hrms"]["win_rate"] == 0.0
+
+
+class TestValidation:
+    def test_unknown_dimension_rejected(self, store):
+        with pytest.raises(StatsError, match="unknown dimension"):
+            StatsModel(store).query(group_by=["flavour"])
+
+    def test_unknown_measure_rejected(self, store):
+        with pytest.raises(StatsError, match="unknown measure"):
+            StatsModel(store).query(measures=["vibes"])
+
+    def test_dimension_not_on_measure_source_rejected(self, store):
+        # win_rate comes from race rows, which carry no machine dim.
+        with pytest.raises(StatsError, match="machine"):
+            StatsModel(store).query(
+                group_by=["machine"], measures=["win_rate"]
+            )
+
+    def test_empty_measures_rejected(self, store):
+        with pytest.raises(StatsError, match="at least one measure"):
+            StatsModel(store).query(measures=[])
+
+    def test_store_path_accepted(self, store):
+        model = StatsModel(store.root)
+        assert model.query(measures=["count"])["rows"]
+
+
+class TestPareto:
+    def test_fronts_per_graph(self, store):
+        fronts = StatsModel(store).pareto_fronts()
+        assert list(fronts) == ["liv1"]
+        # sms (4, 5) dominates hrms (4, 6); errored topdown excluded.
+        assert [(r["scheduler"], r["ii"], r["maxlive"])
+                for r in fronts["liv1"]] == [("sms", 4, 5)]
+
+
+class TestHTTPEndpoint:
+    def test_stats_and_errors_over_http(self, store, events_path):
+        import urllib.error
+        import urllib.request
+
+        from repro.service.api import ServiceServer
+
+        server = ServiceServer(store.root, port=0)
+        server.start()
+        try:
+            base = server.url
+            with urllib.request.urlopen(
+                base + "/v1/stats?group_by=scheduler&measures=count",
+                timeout=10,
+            ) as resp:
+                body = json.loads(resp.read())
+            assert body["measures"] == ["count"]
+            rows = {row["scheduler"]: row["count"] for row in body["rows"]}
+            assert rows["hrms"] == 2
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(
+                    base + "/v1/stats?measures=vibes", timeout=10
+                )
+            assert info.value.code == 400
+        finally:
+            server.stop()
+
+
+class TestReport:
+    def test_default_tables(self, store, events_path, capsys):
+        from repro.obs.report import main
+
+        assert main(["--store", str(store.root),
+                     "--events", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler quality" in out
+        assert "pareto fronts" in out
+        assert "sms" in out and "hrms" in out
+        assert "win rate" in out
+
+    def test_adhoc_query_json(self, store, capsys):
+        from repro.obs.report import main
+
+        assert main(["--store", str(store.root), "--json",
+                     "--group-by", "scheduler",
+                     "--measures", "races,win_rate"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        winners = [row for row in body["rows"] if row["win_rate"] == 1.0]
+        assert [row["scheduler"] for row in winners] == ["sms"]
+
+    def test_bad_measure_is_a_clean_error(self, store, capsys):
+        from repro.obs.report import main
+
+        assert main(["--store", str(store.root),
+                     "--measures", "vibes"]) == 2
+        assert "unknown measure" in capsys.readouterr().err
+
+    def test_missing_store_dir_errors(self, tmp_path, capsys):
+        from repro.obs.report import main
+
+        with pytest.raises(SystemExit):
+            main(["--store", str(tmp_path / "nope")])

@@ -1,0 +1,286 @@
+"""End-to-end tracing: spans, context propagation, the collector."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture
+def armed():
+    collector = trace.arm()
+    try:
+        yield collector
+    finally:
+        trace.disarm()
+
+
+def _root(name="request"):
+    span = trace.begin_root(name, trace.new_trace_id())
+    return span
+
+
+class TestDisarmed:
+    def test_span_is_shared_null_object(self):
+        assert trace.ACTIVE is None
+        assert trace.span("anything") is trace.span("else")
+        with trace.span("noop") as span:
+            assert span is None
+
+    def test_helpers_are_noops(self):
+        assert trace.begin_root("r", trace.new_trace_id()) is None
+        trace.finish(None)  # must not raise
+        trace.record_span("x", "t", None, 0.0, 1.0)
+        assert trace.wire_context() is None
+        assert not trace.enabled()
+
+
+class TestArming:
+    def test_refcounted_arm_disarm(self):
+        trace.arm()
+        trace.arm()
+        trace.disarm()
+        assert trace.ACTIVE is not None  # one reference still held
+        trace.disarm()
+        assert trace.ACTIVE is None
+
+    def test_excess_disarm_is_harmless(self):
+        trace.disarm()
+        assert trace.ACTIVE is None
+        trace.arm()
+        assert trace.ACTIVE is not None
+        trace.disarm()
+
+
+class TestSpans:
+    def test_root_and_children_link_up(self, armed):
+        root = _root()
+        with trace.attach(root.trace_id, root.span_id):
+            with trace.span("outer", color="red") as outer:
+                with trace.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                assert outer.parent_id == root.span_id
+        trace.finish(root, status="done")
+        spans = armed.trace(root.trace_id)
+        assert [s["name"] for s in spans] == ["request", "outer", "inner"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["outer"]["attrs"] == {"color": "red"}
+        assert by_name["request"]["attrs"]["status"] == "done"
+        assert all(s["end"] >= s["start"] for s in spans)
+
+    def test_span_without_context_records_nothing(self, armed):
+        before = len(armed)  # the collector is process-wide
+        with trace.span("orphan") as span:
+            assert span is None
+        assert len(armed) == before
+
+    def test_exception_marks_span_and_propagates(self, armed):
+        root = _root()
+        with pytest.raises(ValueError):
+            with trace.attach(root.trace_id, root.span_id):
+                with trace.span("boom"):
+                    raise ValueError("nope")
+        spans = armed.trace(root.trace_id)
+        assert spans[0]["attrs"]["error"] == "ValueError"
+
+    def test_record_span_synthesizes_interval(self, armed):
+        root = _root()
+        trace.record_span(
+            "queue.wait", root.trace_id, root.span_id, start=1.0, end=3.5
+        )
+        spans = armed.trace(root.trace_id)
+        assert spans[0]["duration"] == 2.5
+        assert spans[0]["parent_id"] == root.span_id
+
+    def test_events_capped_with_drop_counter(self, armed):
+        root = _root()
+        with trace.attach(root.trace_id, root.span_id):
+            with trace.span("busy"):
+                for i in range(trace.MAX_EVENTS + 7):
+                    trace.add_event("tick", {"i": i})
+        (span,) = armed.trace(root.trace_id)
+        assert len(span["events"]) == trace.MAX_EVENTS
+        assert span["events_dropped"] == 7
+
+
+class TestThreadPropagation:
+    def test_attach_carries_context_to_worker_thread(self, armed):
+        root = _root()
+        context = (root.trace_id, root.span_id)
+
+        def worker():
+            with trace.attach(*context):
+                with trace.span("worker.step"):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        spans = armed.trace(root.trace_id)
+        assert spans[0]["name"] == "worker.step"
+        assert spans[0]["parent_id"] == root.span_id
+
+    def test_context_is_thread_local(self, armed):
+        root = _root()
+        seen = []
+
+        def worker():
+            seen.append(trace.current())
+
+        with trace.attach(root.trace_id, root.span_id):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert trace.current() == (root.trace_id, root.span_id)
+        assert seen == [None]
+
+
+class TestCollector:
+    def test_lru_eviction(self):
+        collector = trace.TraceCollector(traces_kept=2)
+        ids = [trace.new_trace_id() for _ in range(3)]
+        for trace_id in ids:
+            span = trace.Span("s", trace_id, None)
+            span.end = span.start
+            collector.record(span)
+        assert collector.trace(ids[0]) is None
+        assert collector.trace(ids[1]) is not None
+        assert collector.trace(ids[2]) is not None
+
+    def test_drain_and_merge_roundtrip(self):
+        source = trace.TraceCollector()
+        sink = trace.TraceCollector()
+        trace_id = trace.new_trace_id()
+        span = trace.Span("shipped", trace_id, "abcd", {"k": "v"})
+        span.add_event("e", {"n": 1})
+        span.end = span.start + 0.25
+        source.record(span)
+        records = source.drain(trace_id)
+        assert source.trace(trace_id) is None
+        sink.merge(records)
+        (merged,) = sink.trace(trace_id)
+        assert merged["name"] == "shipped"
+        assert merged["parent_id"] == "abcd"
+        assert merged["attrs"] == {"k": "v"}
+        assert merged["events"] == [
+            {"ts": merged["events"][0]["ts"], "name": "e", "n": 1}
+        ]
+
+    def test_wire_context_snapshot(self, armed):
+        root = _root()
+        with trace.attach(root.trace_id, root.span_id):
+            assert trace.wire_context() == {
+                "id": root.trace_id,
+                "parent": root.span_id,
+            }
+        assert trace.wire_context() is None
+
+
+class TestServiceIntegration:
+    """Tracing across a real service round trip, both backends."""
+
+    @pytest.fixture
+    def loop(self):
+        from repro.workloads.govindarajan import govindarajan_suite
+
+        return govindarajan_suite()[0]
+
+    def _roundtrip(self, tmp_path, loop, backend):
+        from repro.graph.serialization import graph_to_dict
+        from repro.service.api import SchedulingService
+
+        service = SchedulingService(
+            tmp_path / "store", workers=2, backend=backend
+        )
+        service.start()
+        try:
+            job = service.submit(
+                {
+                    "kind": "schedule",
+                    "graph": graph_to_dict(loop.graph),
+                    "machine": "govindarajan",
+                    "scheduler": "portfolio",
+                }
+            )
+            assert job.trace_id is not None
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                record = service.job(job.id)
+                if record.status in ("done", "failed", "timeout"):
+                    break
+                time.sleep(0.02)
+            assert record.status == "done"
+            return job.trace_id, service.trace_spans(job.trace_id)
+        finally:
+            service.stop()
+
+    def _assert_full_trace(self, trace_id, spans):
+        names = {span["name"] for span in spans}
+        # The acceptance surface: queue wait, executor, every raced
+        # member, and the store write all appear in one trace.
+        assert {
+            "request",
+            "queue.wait",
+            "executor",
+            "portfolio.race",
+            "portfolio.member",
+            "store.put",
+        } <= names
+        by_id = {span["span_id"]: span for span in spans}
+        orphans = [
+            span["name"]
+            for span in spans
+            if span["parent_id"] and span["parent_id"] not in by_id
+        ]
+        assert orphans == []
+        members = {
+            span["attrs"]["member"]
+            for span in spans
+            if span["name"] == "portfolio.member"
+        }
+        race = next(s for s in spans if s["name"] == "portfolio.race")
+        assert members == set(race["attrs"]["members"])
+        assert all(span["trace_id"] == trace_id for span in spans)
+
+    def test_thread_backend_full_trace(self, tmp_path, loop):
+        trace_id, spans = self._roundtrip(tmp_path, loop, "thread")
+        self._assert_full_trace(trace_id, spans)
+
+    def test_process_backend_propagates_trace(self, tmp_path, loop):
+        trace_id, spans = self._roundtrip(tmp_path, loop, "process")
+        self._assert_full_trace(trace_id, spans)
+
+    def test_artifacts_bit_identical_tracing_on_or_off(self, tmp_path, loop):
+        from repro.graph.serialization import graph_to_dict
+        from repro.service.executor import SchedulingExecutor
+        from repro.service.store import ArtifactStore
+
+        request = {
+            "kind": "schedule",
+            "graph": graph_to_dict(loop.graph),
+            "machine": "govindarajan",
+            "scheduler": "hrms",
+        }
+
+        def run(store_dir, tracing):
+            executor = SchedulingExecutor(ArtifactStore(store_dir))
+            if tracing:
+                trace.arm()
+            try:
+                result = executor.execute_request("schedule", dict(request))
+            finally:
+                if tracing:
+                    trace.disarm()
+            envelope = executor.store.get(result["artifact"])
+            payload = dict(envelope["payload"])
+            payload.pop("seconds", None)  # timing is never bit-stable
+            return result["artifact"], payload
+
+        key_off, payload_off = run(tmp_path / "off", tracing=False)
+        key_on, payload_on = run(tmp_path / "on", tracing=True)
+        assert key_off == key_on
+        assert payload_off == payload_on

@@ -237,7 +237,14 @@ class TestSubmitCLI:
             again = capsys.readouterr().out
             assert "[store hit]" in again
             # Same artifact line both times: served bit-identically.
-            assert first.splitlines()[-1] == again.splitlines()[-1]
+            # (The trailing "trace <id>" line is fresh per submission.)
+            def artifact_line(out):
+                return [
+                    line for line in out.splitlines()
+                    if not line.startswith("trace ")
+                ][-1]
+
+            assert artifact_line(first) == artifact_line(again)
 
     def test_list_schedulers(self, tmp_path, capsys):
         with ServiceServer(tmp_path / "store") as server:

@@ -518,6 +518,8 @@ class TestMetricsEndpoint:
         text = client.metrics()
         metrics = {}
         for line in text.strip().splitlines():
+            if line.startswith("#"):  # HELP/TYPE headers
+                continue
             name, value = line.rsplit(" ", 1)
             metrics[name] = float(value)
         assert metrics["hrms_jobs_submitted_total"] >= 1

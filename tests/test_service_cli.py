@@ -63,7 +63,10 @@ class TestSubmitMain:
         path.write_text(DAXPY, encoding="utf-8")
         code = submit_main([str(path), "--server", server.url, "--no-wait"])
         assert code == 0
-        assert len(capsys.readouterr().out.strip()) == 12  # a job id
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines[0]) == 12  # a job id
+        if len(lines) > 1:  # tracing armed: the trace id rides along
+            assert lines[1].startswith("trace ")
 
     def test_failed_job_reports_error(self, tmp_path, server, capsys):
         path = tmp_path / "bad.loop"
