@@ -9,8 +9,12 @@ tier (thread-vs-process backend throughput + artifact parity), the qa
 tier (fixed-seed mini fuzzing campaign, zero oracle failures gated —
 see ``hrms-fuzz`` for the full-strength version), the chaos tier
 (seeded fault-injection mini-campaign, zero resilience-invariant
-violations gated — see ``hrms-chaos`` for the full-strength version)
-and the documentation consistency gate (``scripts/check_docs.py``).
+violations gated — see ``hrms-chaos`` for the full-strength version),
+the conformance tier (golden kernel matrix diffed against
+``tests/goldens/conformance/`` — see ``hrms-conformance`` for the
+full-strength version with the exact schedulers) and the documentation
+consistency gate (``scripts/check_docs.py``).  ``--tier NAME`` runs a
+single tier, e.g. ``--tier conformance``.
 Writes
 the numbers to ``BENCH_scalability.json``, and **fails loudly** when
 any measurement regresses more than ``--threshold`` (default 2x)
@@ -48,6 +52,19 @@ from repro.workloads.synthetic import random_ddg  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_scalability.json"
 DEFAULT_SIZES = (16, 64, 160)
+#: Every tier ``--tier`` can select (and the --no-* flags can disable;
+#: "sizes" has no disable flag — deselect it by picking other tiers).
+TIER_NAMES = (
+    "sizes",
+    "service",
+    "portfolio",
+    "procpool",
+    "qa",
+    "chaos",
+    "obs",
+    "conformance",
+    "docs",
+)
 TIMING_KEYS = (
     "mindist_cold_s",
     "mindist_warm_s",
@@ -617,6 +634,79 @@ def compare_chaos(current: dict, baseline: dict, threshold: float) -> list[str]:
     return problems
 
 
+def measure_conformance(workers: int = 4) -> dict:
+    """Conformance tier: the golden kernel matrix, heuristics-only.
+
+    Runs every bundled front-end kernel × every registered heuristic
+    scheduler (+ the portfolio race) × every canonical machine through
+    a live in-process scheduling service, oracle-checks every cell, and
+    diffs the matching slice of the committed goldens under
+    ``tests/goldens/conformance/``.  The exact (MILP) cells are left to
+    ``hrms-conformance`` / the nightly pytest tier — they cost minutes
+    where this tier costs seconds — but the goldens they are diffed
+    against are the same files.
+    """
+    from repro.qa.conformance import (
+        GOLDEN_DIRNAME,
+        ConformanceConfig,
+        diff_goldens,
+        run_conformance,
+    )
+
+    began = time.perf_counter()
+    report = run_conformance(
+        ConformanceConfig(include_exact=False, workers=workers)
+    )
+    drift = diff_goldens(report, REPO_ROOT / GOLDEN_DIRNAME)
+    return {
+        "kernels": len(report.kernels()),
+        "cells_ok": report.count("ok"),
+        "cells_skipped": report.count("skipped"),
+        "cells_failed": report.count("failed"),
+        "oracle_checks": report.oracle_checks,
+        "failures": len(report.failures),
+        "failure_descriptions": report.failures[:10],
+        "drift": len(drift),
+        "drift_descriptions": drift[:10],
+        "wall_s": time.perf_counter() - began,
+    }
+
+
+def compare_conformance(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Conformance regressions: oracle failures and golden drift are
+    absolute (zero, always — drift is re-blessed, never waved through);
+    the matrix shape must match the baseline; wall time by ratio."""
+    problems = []
+    if current["failures"]:
+        problems.append(
+            f"conformance: {current['failures']} oracle/scheduler "
+            "failure(s): "
+            + "; ".join(current["failure_descriptions"][:3])
+        )
+    if current["drift"]:
+        problems.append(
+            f"conformance: {current['drift']} golden drift(s): "
+            + "; ".join(current["drift_descriptions"][:3])
+            + " — intentional changes are re-recorded with "
+            "'hrms-conformance --bless'"
+        )
+    for key in ("kernels", "cells_ok", "cells_skipped", "oracle_checks"):
+        if key in baseline and current[key] != baseline[key]:
+            problems.append(
+                f"conformance: {key} changed {baseline[key]} -> "
+                f"{current[key]} (the matrix is no longer deterministic!)"
+            )
+    base_wall = baseline.get("wall_s")
+    if base_wall and current["wall_s"] > base_wall * threshold:
+        problems.append(
+            f"conformance: matrix wall time regressed "
+            f"{base_wall:.2f}s -> {current['wall_s']:.2f}s"
+        )
+    return problems
+
+
 def measure_portfolio(size: int = 160) -> dict:
     """Portfolio tier: race 5 heuristics on the 160-op workload.
 
@@ -786,7 +876,26 @@ def main(argv=None) -> int:
         help="skip the obs tier (tracing overhead <= 2%%, artifact "
              "parity tracing on/off, stats determinism)",
     )
+    parser.add_argument(
+        "--no-conformance", action="store_true",
+        help="skip the conformance tier (golden kernel matrix, "
+             "heuristics-only; fails on any oracle failure or golden "
+             "drift)",
+    )
+    parser.add_argument(
+        "--tier", action="append", choices=TIER_NAMES, metavar="NAME",
+        help="run only the named tier(s) — repeatable; one of "
+        f"{', '.join(TIER_NAMES)}.  Default: every tier not disabled "
+        "by a --no-* flag",
+    )
     args = parser.parse_args(argv)
+    if args.tier:
+        enabled = set(args.tier)
+    else:
+        enabled = set(TIER_NAMES)
+        for name in TIER_NAMES:
+            if getattr(args, f"no_{name}", False):
+                enabled.discard(name)
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s]
     except ValueError:
@@ -795,10 +904,12 @@ def main(argv=None) -> int:
     if not sizes or any(size < 2 for size in sizes):
         parser.error(f"--sizes wants loop sizes >= 2, got {args.sizes!r}")
 
-    print(f"perf_check: measuring sizes {sizes} ...")
-    current = run_measurements(sizes)
+    current = {}
+    if "sizes" in enabled:
+        print(f"perf_check: measuring sizes {sizes} ...")
+        current = run_measurements(sizes)
     service = None
-    if not args.no_service:
+    if "service" in enabled:
         print("perf_check: service smoke tier (live HTTP batch) ...")
         service = measure_service()
         print(
@@ -807,7 +918,7 @@ def main(argv=None) -> int:
             f"p95 {service['p95_latency_s'] * 1e3:.1f} ms)"
         )
     portfolio = None
-    if not args.no_portfolio:
+    if "portfolio" in enabled:
         print("perf_check: portfolio tier (5-heuristic race, 160 ops) ...")
         portfolio = measure_portfolio()
         print(
@@ -817,7 +928,7 @@ def main(argv=None) -> int:
             f"(II {portfolio['ii']}, MaxLive {portfolio['maxlive']})"
         )
     procpool = None
-    if not args.no_procpool:
+    if "procpool" in enabled:
         print("perf_check: procpool tier (thread vs process backend) ...")
         procpool = measure_procpool()
         print(
@@ -829,7 +940,7 @@ def main(argv=None) -> int:
             f"{procpool['identical_artifacts']}"
         )
     qa = None
-    if not args.no_qa:
+    if "qa" in enabled:
         print("perf_check: qa tier (fixed-seed mini fuzzing campaign) ...")
         qa = measure_qa()
         print(
@@ -838,7 +949,7 @@ def main(argv=None) -> int:
             f"{qa['failures']} failure(s) in {qa['wall_s']:.1f}s"
         )
     chaos = None
-    if not args.no_chaos:
+    if "chaos" in enabled:
         print("perf_check: chaos tier (seeded fault-injection campaign) ...")
         chaos = measure_chaos()
         print(
@@ -848,7 +959,7 @@ def main(argv=None) -> int:
             f"{chaos['violations']} violation(s) in {chaos['wall_s']:.1f}s"
         )
     obs = None
-    if not args.no_obs:
+    if "obs" in enabled:
         print("perf_check: obs tier (tracing overhead + stats) ...")
         obs = measure_obs()
         print(
@@ -859,8 +970,21 @@ def main(argv=None) -> int:
             f"{obs['identical_artifacts']}, stats deterministic: "
             f"{obs['stats_deterministic']}"
         )
+    conformance = None
+    if "conformance" in enabled:
+        print("perf_check: conformance tier (golden kernel matrix) ...")
+        conformance = measure_conformance()
+        print(
+            f"  conformance: {conformance['kernels']} kernels, "
+            f"{conformance['cells_ok']} cells ok / "
+            f"{conformance['cells_skipped']} skipped, "
+            f"{conformance['oracle_checks']} oracle checks, "
+            f"{conformance['failures']} failure(s), "
+            f"{conformance['drift']} drift(s) in "
+            f"{conformance['wall_s']:.1f}s"
+        )
     docs_problems: list[str] = []
-    if not args.no_docs:
+    if "docs" in enabled:
         print("perf_check: documentation consistency gate ...")
         from check_docs import check_docs
 
@@ -892,6 +1016,8 @@ def main(argv=None) -> int:
         document["chaos"] = chaos
     if obs is not None:
         document["obs"] = obs
+    if conformance is not None:
+        document["conformance"] = conformance
 
     if args.baseline.exists():
         baseline_doc = json.loads(args.baseline.read_text())
@@ -916,6 +1042,8 @@ def main(argv=None) -> int:
                 document["chaos"] = baseline_doc["chaos"]
             if obs is None and "obs" in baseline_doc:
                 document["obs"] = baseline_doc["obs"]
+            if conformance is None and "conformance" in baseline_doc:
+                document["conformance"] = baseline_doc["conformance"]
             args.baseline.write_text(json.dumps(document, indent=2) + "\n")
             print(f"perf_check: baseline updated -> {args.baseline}")
             return 0
@@ -944,6 +1072,11 @@ def main(argv=None) -> int:
         if obs is not None:
             problems += compare_obs(
                 obs, baseline_doc.get("obs", {}), args.threshold
+            )
+        if conformance is not None:
+            problems += compare_conformance(
+                conformance, baseline_doc.get("conformance", {}),
+                args.threshold,
             )
         problems += docs_problems
         if problems:

@@ -16,6 +16,7 @@ setup(
             "hrms-report = repro.obs.report:main",
             "hrms-fuzz = repro.qa.cli:main",
             "hrms-chaos = repro.qa.chaos:main",
+            "hrms-conformance = repro.qa.conformance:main",
         ]
     }
 )

@@ -305,6 +305,139 @@ _kernel(
     """,
 )
 
+_kernel(
+    "fir8",
+    """
+    ! 8-tap FIR filter: read-only window, wide multiply-accumulate tree
+    real c0, c1, c2, c3, c4, c5, c6, c7
+    real x(1000), y(1000)
+    do i = 8, 999
+      y(i) = c0 * x(i) + c1 * x(i - 1) + c2 * x(i - 2) + c3 * x(i - 3) + c4 * x(i - 4) + c5 * x(i - 5) + c6 * x(i - 6) + c7 * x(i - 7)
+    end do
+    """,
+)
+
+_kernel(
+    "iir_biquad",
+    """
+    ! Direct-form-I biquad IIR filter: output recurrence through memory
+    ! at distances 1 and 2, plus a read-only input window.
+    real b0, b1, b2, a1, a2
+    real x(1000), y(1000)
+    do i = 3, 999
+      y(i) = b0 * x(i) + b1 * x(i - 1) + b2 * x(i - 2) - a1 * y(i - 1) - a2 * y(i - 2)
+    end do
+    """,
+)
+
+_kernel(
+    "banded_matvec",
+    """
+    ! Pentadiagonal (banded) matrix-vector product: five diagonals,
+    ! read-only neighbourhood, resource bound.
+    real d0(1000), d1(1000), d2(1000), d3(1000), d4(1000)
+    real x(1000), y(1000)
+    do i = 3, 997
+      y(i) = d0(i) * x(i - 2) + d1(i) * x(i - 1) + d2(i) * x(i) + d3(i) * x(i + 1) + d4(i) * x(i + 2)
+    end do
+    """,
+)
+
+_kernel(
+    "liv9_integrate",
+    """
+    ! Livermore kernel 9 fragment: integrate predictors — one long
+    ! coefficient fan-in per point, no loop-carried recurrence.
+    real dm, c0, c1, c2, c3, c4
+    real px(1000), z0(1000), z1(1000), z2(1000), z3(1000), z4(1000)
+    do i = 1, 1000
+      px(i) = px(i) + dm * (c0 * z0(i) + c1 * z1(i) + c2 * z2(i) + c3 * z3(i) + c4 * z4(i))
+    end do
+    """,
+)
+
+_kernel(
+    "liv10_diff",
+    """
+    ! Livermore kernel 10 fragment: difference predictors — a chain of
+    ! scalar temporaries makes a deep intra-iteration dependence chain
+    ! (and conservative scalar output dependences across iterations).
+    real ar
+    real px(1000), dm1(1000), dm2(1000), dm3(1000)
+    real t1, t2, t3
+    do i = 1, 1000
+      t1 = ar - px(i)
+      t2 = t1 - dm1(i)
+      t3 = t2 - dm2(i)
+      dm1(i) = t1
+      dm2(i) = t2
+      dm3(i) = t3
+    end do
+    """,
+)
+
+_kernel(
+    "running_max",
+    """
+    ! Running maximum: an order-statistic recurrence through the max
+    ! intrinsic, with the prefix written out per element.
+    real m
+    real x(1000), y(1000)
+    do i = 1, 1000
+      m = max(m, x(i))
+      y(i) = m
+    end do
+    """,
+)
+
+_kernel(
+    "abs_error_sum",
+    """
+    ! L1-error reduction: s = s + |x - y| (abs feeding an accumulator)
+    real s
+    real x(1000), y(1000)
+    do i = 1, 1000
+      s = s + abs(x(i) - y(i))
+    end do
+    """,
+)
+
+_kernel(
+    "hypot",
+    """
+    ! Pointwise vector magnitude: sqrt-unit pressure, no recurrence
+    real x(1000), y(1000), r(1000)
+    do i = 1, 1000
+      r(i) = sqrt(x(i) * x(i) + y(i) * y(i))
+    end do
+    """,
+)
+
+_kernel(
+    "tridiag_backsub",
+    """
+    ! Tri-diagonal back substitution: the loop runs backward, so the
+    ! x(i+1) read is a loop-carried recurrence at distance 1.
+    real b(1000), y(1000), x(1000)
+    do i = 998, 2, -1
+      x(i) = y(i) - b(i) * x(i + 1)
+    end do
+    """,
+)
+
+_kernel(
+    "gather_reduce",
+    """
+    ! Indirect gather feeding a reduction: unknown-address load inside
+    ! a scalar accumulation recurrence.
+    real s
+    real w(1000), ind(1000)
+    do i = 1, 1000
+      s = s + w(ind(i))
+    end do
+    """,
+)
+
 
 def kernel_names() -> list[str]:
     """All bundled kernel names, definition order."""

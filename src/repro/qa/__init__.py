@@ -27,13 +27,28 @@ that makes them meet *systematically*:
   ``tests/corpus/`` and its replay machinery: every bug the campaign
   ever surfaced is pinned as a corpus entry the test-suite re-asserts
   forever.
+* :mod:`~repro.qa.conformance` — the golden kernel conformance suite:
+  every bundled front-end kernel × the registered scheduler catalog ×
+  the canonical machines, run through a live scheduling service,
+  oracle-checked, and diffed against committed per-cell goldens
+  (expected II, MII bounds, MaxLive, DDG digests) under
+  ``tests/goldens/``.
 
 Entry points: the ``hrms-fuzz`` console script (:mod:`repro.qa.cli`),
+the ``hrms-conformance`` console script (:mod:`repro.qa.conformance`),
 the service's ``POST /v1/verify`` endpoint (re-verify any stored
-artifact), and the ``qa`` tier of ``scripts/perf_check.py``.
+artifact), and the ``qa`` and ``conformance`` tiers of
+``scripts/perf_check.py``.
 """
 
 from repro.qa.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.qa.conformance import (
+    ConformanceConfig,
+    ConformanceResult,
+    bless,
+    diff_goldens,
+    run_conformance,
+)
 from repro.qa.corpus import (
     load_corpus,
     make_reproducer,
@@ -52,7 +67,12 @@ from repro.qa.shrink import shrink_case
 __all__ = [
     "CampaignConfig",
     "CampaignReport",
+    "ConformanceConfig",
+    "ConformanceResult",
     "FuzzProfile",
+    "bless",
+    "diff_goldens",
+    "run_conformance",
     "OracleFailure",
     "OracleReport",
     "fuzz_profiles",

@@ -120,6 +120,33 @@ _UNPIPELINED = GeneratorProfile(
 )
 
 
+def _build_kernel(rng: random.Random, n_ops: int, name: str) -> DependenceGraph:
+    """A *real* loop body: one bundled front-end kernel, compiled.
+
+    The synthetic generator explores the statistical edges of the loop
+    space; this profile anchors the campaign to the structured shapes
+    real code actually produces (reductions, stencils, IIR recurrences,
+    indirect accesses) by drawing from
+    :data:`repro.frontend.kernels.KERNEL_SOURCES` under a
+    deterministically chosen lowering profile.
+    """
+    from repro.frontend.kernels import kernel_names, kernel_source
+    from repro.frontend.pipeline import compile_source, profile_by_name
+
+    kernel = rng.choice(kernel_names())
+    lowering = rng.choice(("perfect_club", "govindarajan"))
+    loop = compile_source(
+        kernel_source(kernel),
+        name=kernel,
+        profile=profile_by_name(lowering),
+    )
+    graph = loop.graph
+    # Rename to the campaign's case name so reproducers stay traceable
+    # to their (profile, seed) origin like every other profile's graphs.
+    graph.name = f"{name}-{kernel}-{lowering}"
+    return graph
+
+
 def fuzz_profiles() -> tuple[FuzzProfile, ...]:
     """Every diversity profile, in the round-robin order campaigns use."""
     return (
@@ -128,6 +155,7 @@ def fuzz_profiles() -> tuple[FuzzProfile, ...]:
         FuzzProfile("wide-parallel", 8, 64, _generator(_WIDE)),
         FuzzProfile("unpipelined-heavy", 4, 24, _generator(_UNPIPELINED)),
         FuzzProfile("tiny", 1, 4, _build_tiny),
+        FuzzProfile("kernels", 3, 26, _build_kernel),
     )
 
 

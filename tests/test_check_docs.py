@@ -20,6 +20,7 @@ class TestRepoDocs:
         assert set(names) == {
             "hrms-experiments", "hrms-compile", "hrms-serve",
             "hrms-submit", "hrms-report", "hrms-fuzz", "hrms-chaos",
+            "hrms-conformance",
         }
 
 
