@@ -36,19 +36,14 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.ordering import OrderingResult, hrms_order
-from repro.engine.windows import StartBounds
+from repro.engine.session import SchedulingSession
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
 from repro.schedulers.base import (
     ModuloScheduler,
-    downward_window,
+    bidirectional_attempt,
     neighbor_directed_attempt,
-    scan_place,
-    upward_window,
 )
-from repro.schedulers.mindist import mindist_matrix
 
 
 class HRMSScheduler(ModuloScheduler):
@@ -64,27 +59,22 @@ class HRMSScheduler(ModuloScheduler):
         super().__init__(max_ii=max_ii)
         self._initial_hypernode = initial_hypernode
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> OrderingResult:
+    def prepare(self, session: SchedulingSession) -> OrderingResult:
         return hrms_order(
-            graph,
-            mii_result=analysis,
+            session.graph,
+            mii_result=session.analysis,
             initial_hypernode=self._initial_hypernode,
         )
 
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
-        result = self._attempt_directional(graph, machine, ii, context,
-                                           both_down=False)
+        ordering: OrderingResult = context
+        result = bidirectional_attempt(session, ii, ordering.order,
+                                       both_down=False)
         if result is not None:
             return result
         # Fallback for overlapping recurrences: a node constrained from
@@ -94,8 +84,8 @@ class HRMSScheduler(ModuloScheduler):
         # II-invariant).  Retrying with the two-sided windows scanned from
         # the LateStart end resolves those cases without affecting
         # recurrence-free loops, which never produce two-sided windows.
-        result = self._attempt_directional(graph, machine, ii, context,
-                                           both_down=True)
+        result = bidirectional_attempt(session, ii, ordering.order,
+                                       both_down=True)
         if result is not None:
             return result
         # Last resort: the paper's own direction rule.  The transitive
@@ -112,66 +102,19 @@ class HRMSScheduler(ModuloScheduler):
         # loops, usually at the MII itself.  It runs only after both
         # standard attempts failed, so every previously-schedulable loop
         # keeps its bit-identical schedule.
-        ordering: OrderingResult = context
         for closers_down, stagger in (
             (False, 0), (True, 0), (False, 1), (True, 1),
         ):
             result = neighbor_directed_attempt(
-                graph, machine, ii, ordering.order,
+                session, ii, ordering.order,
                 closers_down=closers_down, stagger=stagger,
             )
             if result is not None:
                 return result
         return None
 
-    def _attempt_directional(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        ii: int,
-        context: Any,
-        both_down: bool,
-    ) -> dict[str, int] | None:
-        ordering: OrderingResult = context
-        solved = mindist_matrix(graph, ii)
-        if solved is None:
-            return None  # II below RecMII; cannot happen from the driver
-        dist, names = solved
-        index = {name: i for i, name in enumerate(names)}
-        bounds = StartBounds(dist)
-        mrt = ModuloReservationTable(machine, ii)
-        start: dict[str, int] = {}
-        for name in ordering.order:
-            op = graph.operation(name)
-            es = bounds.early_start(index[name])
-            ls = bounds.late_start(index[name])
-            if es is not None and ls is None:
-                window = upward_window(es, ii)
-            elif ls is not None and es is None:
-                window = downward_window(ls, ii)
-            elif es is not None and ls is not None:
-                if es > ls:
-                    return None
-                if both_down:
-                    # Anchor the II-length scan at the LateStart end: the
-                    # upward window [ES, ES+II-1] can miss the feasible
-                    # region entirely when LS - ES exceeds II.
-                    window = downward_window(ls, ii, es)
-                else:
-                    window = upward_window(es, ii, ls)
-            else:
-                window = upward_window(0, ii)
-            cycle = scan_place(mrt, op, window)
-            if cycle is None:
-                return None
-            start[name] = cycle
-            bounds.place(index[name], cycle)
-        return start
-
     def ordering_for(
         self, graph: DependenceGraph, machine: MachineModel
     ) -> list[str]:
         """Expose the pre-ordering (tests and the ablation study use this)."""
-        from repro.mii.analysis import compute_mii
-
-        return self.prepare(graph, machine, compute_mii(graph, machine)).order
+        return self.prepare(SchedulingSession(graph, machine)).order

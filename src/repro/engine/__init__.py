@@ -13,6 +13,18 @@ structure out once per graph and keeps the per-II work vectorized:
   memoizes ``(graph, II) -> (dist, names)`` (including infeasible ``None``
   results) so the driver's II+1 retries and the two-pass HRMS attempt hit
   the cache instead of re-solving.
+* :class:`~repro.engine.sweep.MinDistSweep` — the II-sweep solver: it
+  materialises MinDist once at the search's base II and advances to each
+  successive II with an O(n²) shift of the (value, slope) closure plus an
+  O(n·|E|) exactness verification, falling back to a fresh Floyd–Warshall
+  solve whenever the shifted matrix cannot be proven exact.  Results are
+  bit-identical to fresh solves by construction.
+* :class:`~repro.engine.session.SchedulingSession` — one object per
+  (graph, machine) pair owning the MII analysis, the sweep, and the
+  per-thread attempt scratch (StartBounds, reservation tables).
+  :class:`~repro.engine.session.SessionCache` maps request identities
+  onto live sessions so batch submissions and portfolio races share
+  them.
 * :class:`~repro.engine.windows.StartBounds` — incremental, fully
   vectorized transitive EarlyStart/LateStart bounds: one O(n) NumPy
   update per placement instead of an O(n) Python loop per *query*.
@@ -31,16 +43,29 @@ from repro.engine.mindist import (
     mindist_matrix,
     warm_start,
 )
+from repro.engine.session import (
+    SchedulingSession,
+    SessionCache,
+    session_for,
+    shared_session_cache,
+)
+from repro.engine.sweep import MinDistSweep, SweepCrossCheckError
 from repro.engine.windows import StartBounds
 
 __all__ = [
     "NO_PATH",
     "MinDistSolver",
+    "MinDistSweep",
+    "SchedulingSession",
+    "SessionCache",
     "StartBounds",
+    "SweepCrossCheckError",
     "cyclic_asap",
     "default_solver",
     "fingerprint_digest",
     "graph_fingerprint",
     "mindist_matrix",
+    "session_for",
+    "shared_session_cache",
     "warm_start",
 ]

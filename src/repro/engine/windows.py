@@ -32,12 +32,24 @@ class StartBounds:
 
     def __init__(self, dist: np.ndarray) -> None:
         n = dist.shape[0]
+        #: The matrix the bounds were built over (read-only, shared);
+        #: sessions use its identity to decide whether a cached
+        #: instance can be reset instead of rebuilt.
+        self.dist = dist
         self._dist = dist
         self._reach = dist > _NO_PATH_CUTOFF
         self._es = np.full(n, _NEG, dtype=np.int64)
         self._has_es = np.zeros(n, dtype=bool)
         self._ls = np.full(n, _POS, dtype=np.int64)
         self._has_ls = np.zeros(n, dtype=bool)
+
+    def reset(self) -> None:
+        """Forget every placement; equivalent to a fresh construction
+        over the same matrix (the reachability mask is kept)."""
+        self._es.fill(_NEG)
+        self._has_es.fill(False)
+        self._ls.fill(_POS)
+        self._has_ls.fill(False)
 
     def place(self, i: int, cycle: int) -> None:
         """Fold ``operation i scheduled at cycle`` into every bound."""

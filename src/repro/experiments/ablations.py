@@ -20,11 +20,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.scheduler import HRMSScheduler
+from repro.engine.session import SchedulingSession
 from repro.experiments.results import render_table
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
 from repro.schedule.maxlive import max_live
 from repro.schedulers.base import (
     ModuloScheduler,
@@ -100,23 +99,18 @@ class ProgramOrderScheduler(ModuloScheduler):
 
     name = "program-order"
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> list[str]:
-        return graph.node_names()
+    def prepare(self, session: SchedulingSession) -> list[str]:
+        return session.graph.node_names()
 
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
         order: list[str] = context
-        mrt = ModuloReservationTable(machine, ii)
+        graph = session.graph
+        mrt = session.mrt(ii)
         start: dict[str, int] = {}
         for name in order:
             op = graph.operation(name)

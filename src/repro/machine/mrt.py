@@ -47,6 +47,22 @@ class ModuloReservationTable:
         self._placements: dict[str, tuple[str, int, int, int]] = {}
         self._rows = np.arange(ii, dtype=np.int64)
 
+    def reset(self) -> None:
+        """Vacate every slot; equivalent to a fresh table at the same II.
+
+        Sessions reuse one table across a scheduler's repeated attempts
+        at a single II (clearing the arrays in place is far cheaper
+        than reallocating the per-class masks and name tables).
+        """
+        for class_name, index, row, span in self._placements.values():
+            occupied = self._occupied[class_name]
+            unit_names = self._names[class_name][index]
+            for offset in range(span):
+                slot = (row + offset) % self.ii
+                occupied[index, slot] = False
+                unit_names[slot] = None
+        self._placements.clear()
+
     # ------------------------------------------------------------------
     def fits(self, op: Operation, cycle: int) -> bool:
         """Can *op* issue at absolute *cycle* without a resource conflict?"""

@@ -40,15 +40,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.engine.session import SchedulingSession
 from repro.errors import ScheduleVerificationError, SchedulingError
 from repro.graph.ddg import DependenceGraph
 from repro.obs import trace
 from repro.machine.machine import MachineModel
-from repro.mii.analysis import MIIResult, compute_mii
+from repro.mii.analysis import MIIResult
 from repro.portfolio.policies import Policy, make_policy
 from repro.portfolio.score import ScheduleScore, score_schedule
 from repro.schedule.schedule import Schedule
 from repro.schedule.verify import verify_schedule
+from repro.schedulers.base import ModuloScheduler
 from repro.schedulers.registry import (
     EXACT_SCHEDULERS,
     VIRTUAL_SCHEDULERS,
@@ -233,18 +235,25 @@ def race_portfolio(
     register_budget: int | None = None,
     precomputed: Mapping[str, Schedule] | None = None,
     make: Callable[..., Any] | None = None,
+    session: SchedulingSession | None = None,
 ) -> PortfolioResult:
     """Race *members* over *graph* × *machine* and pick a winner.
 
     ``precomputed`` maps member names onto already-known schedules
     (artifact-store hits); those members are scored without racing.
     ``make`` overrides scheduler construction (tests inject slow or
-    canned members through it).
+    canned members through it).  ``session`` shares one
+    :class:`~repro.engine.session.SchedulingSession` — MII analysis and
+    the sweeping MinDist frontier — across every racing member; without
+    one a race-private session is created, so members still share the
+    analysis and matrices among themselves.
     """
     members = resolve_members(members, include_exact)
     selected = make_policy(policy)
+    if session is None:
+        session = SchedulingSession(graph, machine, analysis)
     if analysis is None:
-        analysis = compute_mii(graph, machine)
+        analysis = session.analysis
     precomputed = dict(precomputed or {})
     make = make or _default_make
 
@@ -267,7 +276,14 @@ def race_portfolio(
             options["max_ii"] = max_ii
         if name in EXACT_SCHEDULERS and member_budget is not None:
             options["time_limit"] = member_budget
-        return make(name, **options).schedule(graph, machine, analysis)
+        scheduler = make(name, **options)
+        if isinstance(scheduler, ModuloScheduler):
+            # Library schedulers share the race's session; canned test
+            # members (arbitrary objects) keep the plain signature.
+            return scheduler.schedule(
+                graph, machine, analysis, session=session
+            )
+        return scheduler.schedule(graph, machine, analysis)
 
     # One daemon thread per member: the budget is a wall-clock deadline
     # from race start, so every member must *start* immediately —

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.engine.session import SchedulingSession
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
 from repro.mii.analysis import MIIResult
@@ -58,12 +59,14 @@ class PortfolioScheduler(ModuloScheduler):
         graph: DependenceGraph,
         machine: MachineModel,
         analysis: MIIResult | None = None,
+        session: SchedulingSession | None = None,
     ) -> Schedule:
         """Race the portfolio; the winner is already verified."""
         result = race_portfolio(
             graph,
             machine,
             analysis,
+            session=session,
             members=self._members,
             policy=self._policy,
             member_budget=self._member_budget,
@@ -78,8 +81,8 @@ class PortfolioScheduler(ModuloScheduler):
     # ------------------------------------------------------------------
     # The template hooks never run: schedule() is fully overridden (the
     # members own their II searches).
-    def prepare(self, graph, machine, analysis) -> Any:  # pragma: no cover
+    def prepare(self, session) -> Any:  # pragma: no cover
         raise NotImplementedError("the portfolio delegates to its members")
 
-    def attempt(self, graph, machine, ii, context):  # pragma: no cover
+    def attempt(self, session, ii, context):  # pragma: no cover
         raise NotImplementedError("the portfolio delegates to its members")

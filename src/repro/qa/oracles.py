@@ -37,10 +37,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.session import session_for
 from repro.errors import ReproError, ScheduleVerificationError
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
-from repro.mii.analysis import MIIResult, compute_mii
+from repro.mii.analysis import MIIResult
 from repro.schedule.maxlive import max_live
 from repro.schedule.schedule import Schedule
 from repro.schedule.verify import verify_schedule
@@ -163,7 +164,10 @@ def run_battery(
 ) -> list[OracleReport]:
     """Run every per-schedule oracle; one report per oracle."""
     if analysis is None:
-        analysis = compute_mii(schedule.graph, schedule.machine)
+        # Batteries over schedules of the same loop × machine (fuzz
+        # campaigns, verify endpoints) share one MII analysis through
+        # the process-wide session cache.
+        analysis = session_for(schedule.graph, schedule.machine).analysis
     reports: list[OracleReport] = []
     for oracle, check in (
         ("legal", lambda: oracle_legal(schedule)),
@@ -207,7 +211,7 @@ def verify_artifact_payload(
     from repro.service.executor import schedule_from_payload
 
     schedule = schedule_from_payload(payload, graph, machine)
-    analysis = compute_mii(schedule.graph, schedule.machine)
+    analysis = session_for(schedule.graph, schedule.machine).analysis
     reports = run_battery(schedule, analysis)
     return {
         "ok": all(report.ok for report in reports),

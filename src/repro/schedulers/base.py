@@ -23,12 +23,13 @@ import time
 from typing import Any, Iterable
 
 from repro import cancel
+from repro.engine.session import SchedulingSession
 from repro.errors import IterationLimitError
 from repro.obs import trace
 from repro.graph.ddg import DependenceGraph
 from repro.machine.machine import MachineModel
 from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult, compute_mii
+from repro.mii.analysis import MIIResult
 from repro.schedule.schedule import Schedule, ScheduleStats
 
 
@@ -95,8 +96,7 @@ def default_ii_limit(graph: DependenceGraph, mii: int) -> int:
 
 
 def neighbor_directed_attempt(
-    graph: DependenceGraph,
-    machine: MachineModel,
+    session: SchedulingSession,
     ii: int,
     order: list[str],
     closers_down: bool = False,
@@ -129,16 +129,12 @@ def neighbor_directed_attempt(
     needs; staggering leaves the boundary free whenever an alternative
     slot exists.
     """
-    from repro.engine.windows import StartBounds
-    from repro.schedulers.mindist import mindist_matrix
-
-    solved = mindist_matrix(graph, ii)
-    if solved is None:
+    graph = session.graph
+    bounds = session.start_bounds(ii)
+    if bounds is None:
         return None
-    dist, names = solved
-    index = {name: i for i, name in enumerate(names)}
-    bounds = StartBounds(dist)
-    mrt = ModuloReservationTable(machine, ii)
+    index = session.op_index
+    mrt = session.mrt(ii)
     start: dict[str, int] = {}
     for name in order:
         op = graph.operation(name)
@@ -171,6 +167,57 @@ def neighbor_directed_attempt(
                 shift = stagger % len(cycles)
                 candidates = cycles[shift:] + cycles[:shift]
         cycle = scan_place(mrt, op, candidates)
+        if cycle is None:
+            return None
+        start[name] = cycle
+        bounds.place(index[name], cycle)
+    return start
+
+
+def bidirectional_attempt(
+    session: SchedulingSession,
+    ii: int,
+    order: list[str],
+    both_down: bool = False,
+) -> dict[str, int] | None:
+    """One bidirectional placement pass with transitive bounds.
+
+    The primary attempt shared by HRMS and SMS (their orderings differ,
+    their placement rule does not): each operation in *order* scans an
+    II-long window anchored by its transitive EarlyStart/LateStart —
+    upward when only predecessors constrain it, downward when only
+    successors do, two-sided for recurrence closers.  ``both_down``
+    anchors the two-sided scan at the LateStart end instead (the rescue
+    for windows wider than II; see the HRMS scheduler's notes).
+    """
+    graph = session.graph
+    bounds = session.start_bounds(ii)
+    if bounds is None:
+        return None  # II below RecMII; cannot happen from the driver
+    index = session.op_index
+    mrt = session.mrt(ii)
+    start: dict[str, int] = {}
+    for name in order:
+        op = graph.operation(name)
+        es = bounds.early_start(index[name])
+        ls = bounds.late_start(index[name])
+        if es is not None and ls is None:
+            window = upward_window(es, ii)
+        elif ls is not None and es is None:
+            window = downward_window(ls, ii)
+        elif es is not None and ls is not None:
+            if es > ls:
+                return None
+            if both_down:
+                # Anchor the II-length scan at the LateStart end: the
+                # upward window [ES, ES+II-1] can miss the feasible
+                # region entirely when LS - ES exceeds II.
+                window = downward_window(ls, ii, es)
+            else:
+                window = upward_window(es, ii, ls)
+        else:
+            window = upward_window(0, ii)
+        cycle = scan_place(mrt, op, window)
         if cycle is None:
             return None
         start[name] = cycle
@@ -257,16 +304,25 @@ class ModuloScheduler(abc.ABC):
         graph: DependenceGraph,
         machine: MachineModel,
         analysis: MIIResult | None = None,
+        session: SchedulingSession | None = None,
     ) -> Schedule:
-        """Produce a schedule, searching II upward from the MII."""
+        """Produce a schedule, searching II upward from the MII.
+
+        ``session`` shares per-(graph, machine) engine state — the MII
+        analysis, the sweeping MinDist frontier, per-attempt scratch —
+        across searches (portfolio members, batch requests).  Without
+        one a private session is created for this search.
+        """
+        if session is None:
+            session = SchedulingSession(graph, machine, analysis)
         if analysis is None:
-            analysis = compute_mii(graph, machine)
+            analysis = session.analysis
         if trace.ACTIVE is None:
-            return self._search(graph, machine, analysis)
+            return self._search(graph, machine, session, analysis)
         with trace.span(
             "scheduler.search", scheduler=self.name, mii=analysis.mii
         ) as tspan:
-            schedule = self._search(graph, machine, analysis)
+            schedule = self._search(graph, machine, session, analysis)
             if tspan is not None:
                 tspan.attrs["ii"] = schedule.ii
                 tspan.attrs["attempts"] = schedule.stats.attempts
@@ -276,13 +332,14 @@ class ModuloScheduler(abc.ABC):
         self,
         graph: DependenceGraph,
         machine: MachineModel,
+        session: SchedulingSession,
         analysis: MIIResult,
     ) -> Schedule:
         """The II search itself (tracing-agnostic)."""
         wall_start = time.perf_counter()
 
         prep_start = time.perf_counter()
-        context = self.prepare(graph, machine, analysis)
+        context = self.prepare(session)
         prep_seconds = time.perf_counter() - prep_start
 
         ii_limit = self._ii_limit(graph, analysis)
@@ -294,7 +351,7 @@ class ModuloScheduler(abc.ABC):
             # honoured here, between attempts (no-op when unarmed).
             cancel.check()
             attempts += 1
-            start = self.attempt(graph, machine, ii, context)
+            start = self.attempt(session, ii, context)
             if trace.ACTIVE is not None:
                 trace.add_event(
                     "attempt", {"ii": ii, "placed": start is not None}
@@ -343,20 +400,24 @@ class ModuloScheduler(abc.ABC):
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> Any:
-        """Build II-independent state (orderings, distance matrices, …)."""
+    def prepare(self, session: SchedulingSession) -> Any:
+        """Build II-independent state (orderings, distance matrices, …).
+
+        The session exposes the loop (``session.graph``), the target
+        (``session.machine``) and the shared MII analysis
+        (``session.analysis``).
+        """
 
     @abc.abstractmethod
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
-        """Try to schedule at a fixed *ii*; ``None`` signals failure."""
+        """Try to schedule at a fixed *ii*; ``None`` signals failure.
+
+        Per-II state (the MinDist matrix, StartBounds, the MRT) comes
+        from the session — attempts at consecutive IIs advance the
+        sweep incrementally instead of re-solving from scratch.
+        """

@@ -16,10 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.graph.ddg import DependenceGraph
-from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
+from repro.engine.session import SchedulingSession
 from repro.schedulers.base import (
     ModuloScheduler,
     downward_window,
@@ -35,23 +32,22 @@ class BottomUpScheduler(ModuloScheduler):
 
     name = "bottomup"
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> list[str]:
-        return list(reversed(acyclic_topological_order(graph, analysis)))
+    def prepare(self, session: SchedulingSession) -> list[str]:
+        return list(
+            reversed(
+                acyclic_topological_order(session.graph, session.analysis)
+            )
+        )
 
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
         order: list[str] = context
-        mrt = ModuloReservationTable(machine, ii)
+        graph = session.graph
+        mrt = session.mrt(ii)
         start: dict[str, int] = {}
         for name in order:
             op = graph.operation(name)

@@ -19,10 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.graph.ddg import DependenceGraph
-from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
+from repro.engine.session import SchedulingSession
 from repro.schedulers.base import (
     ModuloScheduler,
     early_start,
@@ -30,7 +27,6 @@ from repro.schedulers.base import (
     scan_place,
     upward_window,
 )
-from repro.schedulers.mindist import cyclic_asap
 
 
 class FRLCScheduler(ModuloScheduler):
@@ -38,28 +34,23 @@ class FRLCScheduler(ModuloScheduler):
 
     name = "frlc"
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> dict[str, int]:
-        return {name: i for i, name in enumerate(graph.node_names())}
+    def prepare(self, session: SchedulingSession) -> dict[str, int]:
+        return dict(session.op_index)
 
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
         position: dict[str, int] = context
-        asap = cyclic_asap(graph, ii)
+        graph = session.graph
+        asap = session.cyclic_asap(ii)
         if asap is None:
             return None
         order = sorted(graph.node_names(), key=lambda n: (asap[n], position[n]))
 
-        mrt = ModuloReservationTable(machine, ii)
+        mrt = session.mrt(ii)
         start: dict[str, int] = {}
         for name in order:
             op = graph.operation(name)

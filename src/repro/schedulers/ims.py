@@ -28,12 +28,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.session import SchedulingSession
 from repro.graph.ddg import DependenceGraph
-from repro.machine.machine import MachineModel
 from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
 from repro.schedulers.base import ModuloScheduler, early_start
-from repro.schedulers.mindist import NO_PATH, mindist_matrix
+from repro.schedulers.mindist import NO_PATH
 
 
 class IMSScheduler(ModuloScheduler):
@@ -47,32 +46,27 @@ class IMSScheduler(ModuloScheduler):
         super().__init__(max_ii=max_ii)
         self._budget_factor = budget_factor
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> dict[str, int]:
+    def prepare(self, session: SchedulingSession) -> dict[str, int]:
         """Program-order tiebreak positions (II-independent)."""
-        return {name: i for i, name in enumerate(graph.node_names())}
+        return dict(session.op_index)
 
     # ------------------------------------------------------------------
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
         position: dict[str, int] = context
-        result = mindist_matrix(graph, ii)
+        graph = session.graph
+        result = session.mindist(ii)
         if result is None:
             return None
         dist, names = result
         heights = self._heights(graph, dist, names)
-        order = {name: i for i, name in enumerate(names)}
+        order = session.op_index
 
-        mrt = ModuloReservationTable(machine, ii)
+        mrt = session.mrt(ii)
         start: dict[str, int] = {}
         unscheduled = set(names)
         last_forced: dict[str, int] = {}

@@ -22,12 +22,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.engine.session import SchedulingSession
 from repro.graph.ddg import DependenceGraph
-from repro.machine.machine import MachineModel
 from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
 from repro.schedulers.base import ModuloScheduler
-from repro.schedulers.mindist import NO_PATH, mindist_matrix
+from repro.schedulers.mindist import NO_PATH
 
 
 class SlackScheduler(ModuloScheduler):
@@ -41,28 +40,23 @@ class SlackScheduler(ModuloScheduler):
         super().__init__(max_ii=max_ii)
         self._budget_factor = budget_factor
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> dict[str, int]:
-        return {name: i for i, name in enumerate(graph.node_names())}
+    def prepare(self, session: SchedulingSession) -> dict[str, int]:
+        return dict(session.op_index)
 
     # ------------------------------------------------------------------
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
         position: dict[str, int] = context
-        result = mindist_matrix(graph, ii)
+        graph = session.graph
+        result = session.mindist(ii)
         if result is None:
             return None
         dist, names = result
-        index = {name: i for i, name in enumerate(names)}
+        index = session.op_index
         latencies = np.array(
             [graph.operation(name).latency for name in names], dtype=np.int64
         )
@@ -74,7 +68,7 @@ class SlackScheduler(ModuloScheduler):
         ls0 = horizon - reach.max(axis=1)
         ls0 = np.maximum(ls0, es0)  # resource pressure may stretch later
 
-        mrt = ModuloReservationTable(machine, ii)
+        mrt = session.mrt(ii)
         start: dict[str, int] = {}
         unscheduled = set(names)
         last_forced: dict[str, int] = {}

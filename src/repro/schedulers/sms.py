@@ -29,17 +29,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.engine.windows import StartBounds
+from repro.engine.session import SchedulingSession
 from repro.graph.ddg import DependenceGraph
-from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
-from repro.mii.analysis import MIIResult
 from repro.schedulers.base import (
     ModuloScheduler,
-    downward_window,
+    bidirectional_attempt,
     neighbor_directed_attempt,
-    scan_place,
-    upward_window,
 )
 from repro.schedulers.mindist import mindist_matrix
 
@@ -49,29 +44,27 @@ class SwingScheduler(ModuloScheduler):
 
     name = "sms"
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> list[str]:
-        return swing_order(graph, analysis.mii)
+    def prepare(self, session: SchedulingSession) -> list[str]:
+        mii = session.analysis.mii
+        return swing_order(
+            session.graph, mii, solved=session.mindist(max(mii, 1))
+        )
 
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
-        result = self._attempt_directional(graph, machine, ii, context,
-                                           both_down=False)
+        order: list[str] = context
+        result = bidirectional_attempt(session, ii, order,
+                                       both_down=False)
         if result is not None:
             return result
         # Same rescue as HRMS: an ES-anchored II-length window can miss
         # the feasible region of a two-sided node when LS - ES > II.
-        result = self._attempt_directional(graph, machine, ii, context,
-                                           both_down=True)
+        result = bidirectional_attempt(session, ii, order,
+                                       both_down=True)
         if result is not None:
             return result
         # Same last resort as HRMS (see neighbor_directed_attempt): the
@@ -83,58 +76,25 @@ class SwingScheduler(ModuloScheduler):
             (False, 0), (True, 0), (False, 1), (True, 1),
         ):
             result = neighbor_directed_attempt(
-                graph, machine, ii, context,
+                session, ii, order,
                 closers_down=closers_down, stagger=stagger,
             )
             if result is not None:
                 return result
         return None
 
-    def _attempt_directional(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        ii: int,
-        context: Any,
-        both_down: bool,
-    ) -> dict[str, int] | None:
-        order: list[str] = context
-        solved = mindist_matrix(graph, ii)
-        if solved is None:
-            return None
-        dist, names = solved
-        index = {name: i for i, name in enumerate(names)}
-        bounds = StartBounds(dist)
-        mrt = ModuloReservationTable(machine, ii)
-        start: dict[str, int] = {}
-        for name in order:
-            op = graph.operation(name)
-            es = bounds.early_start(index[name])
-            ls = bounds.late_start(index[name])
-            if es is not None and ls is None:
-                window = upward_window(es, ii)
-            elif ls is not None and es is None:
-                window = downward_window(ls, ii)
-            elif es is not None and ls is not None:
-                if es > ls:
-                    return None
-                if both_down:
-                    window = downward_window(ls, ii, es)
-                else:
-                    window = upward_window(es, ii, ls)
-            else:
-                window = upward_window(0, ii)
-            cycle = scan_place(mrt, op, window)
-            if cycle is None:
-                return None
-            start[name] = cycle
-            bounds.place(index[name], cycle)
-        return start
 
+def swing_order(
+    graph: DependenceGraph, mii: int, solved=None
+) -> list[str]:
+    """The SMS node order: least mobility first, grown over neighbours.
 
-def swing_order(graph: DependenceGraph, mii: int) -> list[str]:
-    """The SMS node order: least mobility first, grown over neighbours."""
-    solved = mindist_matrix(graph, max(mii, 1))
+    ``solved`` accepts a precomputed MinDist result at ``max(mii, 1)``
+    (the scheduler passes its session's matrix through); without one
+    the shared solver is queried directly.
+    """
+    if solved is None:
+        solved = mindist_matrix(graph, max(mii, 1))
     if solved is None:  # cannot happen for mii >= RecMII
         raise ValueError("infeasible MII for swing ordering")
     dist, names = solved

@@ -38,9 +38,8 @@ from repro.errors import SolverError, SolverTimeoutError
 from repro.graph.ddg import DependenceGraph
 from repro.graph.edges import DependenceKind
 from repro.machine.machine import MachineModel
-from repro.mii.analysis import MIIResult
+from repro.engine.session import SchedulingSession
 from repro.schedulers.base import ModuloScheduler
-from repro.schedulers.mindist import cyclic_asap
 
 
 def _placement_packable(
@@ -88,23 +87,19 @@ class SPILPScheduler(ModuloScheduler):
         self._time_limit = time_limit
         self._horizon_slack = horizon_slack
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> None:
+    def prepare(self, session: SchedulingSession) -> None:
         return None
 
     # ------------------------------------------------------------------
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
-        asap = cyclic_asap(graph, ii)
+        graph = session.graph
+        machine = session.machine
+        asap = session.cyclic_asap(ii)
         if asap is None:
             return None
         names = graph.node_names()

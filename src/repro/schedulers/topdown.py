@@ -17,10 +17,9 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.hypernode import HypernodeGraph
+from repro.engine.session import SchedulingSession
 from repro.graph.ddg import DependenceGraph
 from repro.graph.traversal import topological_order
-from repro.machine.machine import MachineModel
-from repro.machine.mrt import ModuloReservationTable
 from repro.mii.analysis import MIIResult
 from repro.mii.recurrences import all_backward_edge_keys
 from repro.schedulers.base import (
@@ -46,23 +45,18 @@ class TopDownScheduler(ModuloScheduler):
 
     name = "topdown"
 
-    def prepare(
-        self,
-        graph: DependenceGraph,
-        machine: MachineModel,
-        analysis: MIIResult,
-    ) -> list[str]:
-        return acyclic_topological_order(graph, analysis)
+    def prepare(self, session: SchedulingSession) -> list[str]:
+        return acyclic_topological_order(session.graph, session.analysis)
 
     def attempt(
         self,
-        graph: DependenceGraph,
-        machine: MachineModel,
+        session: SchedulingSession,
         ii: int,
         context: Any,
     ) -> dict[str, int] | None:
         order: list[str] = context
-        mrt = ModuloReservationTable(machine, ii)
+        graph = session.graph
+        mrt = session.mrt(ii)
         start: dict[str, int] = {}
         for name in order:
             op = graph.operation(name)

@@ -210,6 +210,76 @@ def _print_trace(client: ServiceClient, trace_id: str) -> None:
         emit(root, 1)
 
 
+def _submit_batch(
+    parser: argparse.ArgumentParser,
+    client: ServiceClient,
+    args: argparse.Namespace,
+) -> int:
+    """Submit a JSON list of requests as one ``POST /v1/batch``.
+
+    The file carries complete request dicts (the wire form), so the
+    per-request flags of single submissions do not apply; each entry
+    says everything about itself.  With ``--no-wait`` the job ids are
+    printed and the command returns; otherwise every job is waited on
+    and summarised, and the exit status is non-zero if any failed.
+    """
+    if args.input is not None:
+        parser.error("--batch-file replaces the positional input")
+    try:
+        entries = json.loads(
+            Path(args.batch_file).read_text(encoding="utf-8")
+        )
+        if not isinstance(entries, list) or not entries:
+            print(
+                "hrms-submit: the batch file must hold a non-empty "
+                "JSON list of request dicts",
+                file=sys.stderr,
+            )
+            return 1
+        job_ids = client.submit_batch(entries)
+        print(f"batch accepted: {len(job_ids)} job(s)")
+        if args.no_wait:
+            for job_id in job_ids:
+                print(job_id)
+            return 0
+        failures = 0
+        for job_id in job_ids:
+            record = client.wait(job_id, timeout=args.timeout)
+            if record["status"] != "done":
+                failures += 1
+                error = record.get("error") or {}
+                print(
+                    f"job {job_id} {record['status'].upper()}: "
+                    f"{error.get('type')}: {error.get('message')}",
+                    file=sys.stderr,
+                )
+                continue
+            result = record["result"]
+            if result.get("kind") == "suite":
+                print(
+                    f"job {job_id}: suite {result['suite']} "
+                    f"({result['loops']} loops)"
+                )
+                continue
+            print(
+                f"job {job_id}: {result['graph']} scheduled by "
+                f"{result['scheduler']} -> II {result['ii']} "
+                f"(MII {result['mii']}), MaxLive {result['maxlive']}"
+                f"{'  [store hit]' if result['cached'] else ''}"
+            )
+        if failures:
+            print(
+                f"hrms-submit: {failures}/{len(job_ids)} batch job(s) "
+                "did not settle as done",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"hrms-submit: {exc}", file=sys.stderr)
+        return 1
+
+
 def submit_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="hrms-submit",
@@ -223,6 +293,12 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-schedulers", action="store_true",
         help="print the server's scheduler catalog and exit",
+    )
+    parser.add_argument(
+        "--batch-file", default=None,
+        help="JSON file holding a list of request dicts; submitted as "
+             "one POST /v1/batch (same-loop requests share a scheduling "
+             "session server-side) and waited on together",
     )
     parser.add_argument(
         "--graph", action="store_true",
@@ -317,6 +393,8 @@ def submit_main(argv: list[str] | None = None) -> int:
         except ReproError as exc:
             print(f"hrms-submit: {exc}", file=sys.stderr)
             return 1
+    if args.batch_file is not None:
+        return _submit_batch(parser, client, args)
     if args.input is None:
         parser.error("an input file (or '-') is required when submitting")
     portfolio_flags = {

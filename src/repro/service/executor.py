@@ -29,6 +29,7 @@ from typing import Any, Callable
 
 from repro import cancel
 from repro.engine.mindist import fingerprint_digest
+from repro.engine.session import SessionCache
 from repro.errors import JobError
 from repro.graph.ddg import DependenceGraph
 from repro.graph.serialization import graph_from_dict
@@ -38,7 +39,6 @@ from repro.machine.configs import (
     perfect_club_machine,
 )
 from repro.machine.machine import MachineModel
-from repro.mii.analysis import compute_mii
 from repro.obs import trace
 from repro.schedule.maxlive import max_live
 from repro.schedule.schedule import Schedule, ScheduleStats
@@ -137,6 +137,11 @@ class SchedulingExecutor:
         #: Optional :class:`repro.obs.events.EventLog` for decision events.
         self.events = events
         self._study_cache = persistent_study_cache(store)
+        #: Live scheduling sessions keyed by (graph digest, machine).
+        #: Requests for the same loop × machine — batch members, racing
+        #: portfolio schedulers, resubmits — share one MII analysis and
+        #: one sweeping MinDist frontier through here.
+        self.sessions = SessionCache()
         #: Guards the portfolio race: repeated member failures trip it
         #: open and portfolio requests degrade to DEGRADED_SCHEDULER.
         self.breaker = CircuitBreaker()
@@ -235,9 +240,11 @@ class SchedulingExecutor:
             # search polls it again per attempt).
             cancel.check()
             with trace.span("schedule.compute", scheduler=scheduler):
-                analysis = compute_mii(graph, machine)
+                session = self.sessions.get(
+                    graph, machine, digest=cache_request["graph"]
+                )
                 schedule = make_scheduler(scheduler, **options).schedule(
-                    graph, machine, analysis
+                    graph, machine, session.analysis, session=session
                 )
             envelope = self.store.put(
                 key, "schedule", cache_request, schedule_payload(schedule)
@@ -427,6 +434,9 @@ class SchedulingExecutor:
                     precomputed[name] = schedule_from_payload(
                         member_envelope["payload"], graph, machine
                     )
+            session = self.sessions.get(
+                graph, machine, digest=cache_request["graph"]
+            )
             try:
                 with trace.span(
                     "portfolio.race",
@@ -442,6 +452,7 @@ class SchedulingExecutor:
                         include_exact=include_exact,
                         register_budget=register_budget,
                         precomputed=precomputed,
+                        session=session,
                         **options,
                     )
             except Exception:

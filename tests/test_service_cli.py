@@ -85,6 +85,83 @@ class TestSubmitMain:
         assert "hrms-submit:" in capsys.readouterr().err
 
 
+class TestSubmitBatchFile:
+    def _batch_path(self, tmp_path, requests):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(requests), encoding="utf-8")
+        return path
+
+    def test_batch_file_submits_and_waits_all(
+        self, tmp_path, server, capsys
+    ):
+        from repro.graph.serialization import graph_to_dict
+
+        requests = [
+            {
+                "kind": "schedule",
+                "graph": graph_to_dict(loop.graph),
+                "machine": "govindarajan",
+                "scheduler": scheduler,
+            }
+            for loop in govindarajan_suite()[:2]
+            for scheduler in ("hrms", "sms")
+        ]
+        path = self._batch_path(tmp_path, requests)
+        code = submit_main(
+            ["--batch-file", str(path), "--server", server.url]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "batch accepted: 4 job(s)" in out
+        assert out.count("scheduled by") == 4
+
+    def test_batch_file_no_wait_prints_ids(self, tmp_path, server, capsys):
+        requests = [{"kind": "schedule", "source": DAXPY}]
+        path = self._batch_path(tmp_path, requests)
+        code = submit_main(
+            ["--batch-file", str(path), "--server", server.url,
+             "--no-wait"]
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert lines[0] == "batch accepted: 1 job(s)"
+        assert len(lines[1]) == 12  # a job id
+
+    def test_batch_file_rejects_non_list(self, tmp_path, server, capsys):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({"kind": "schedule"}), encoding="utf-8")
+        code = submit_main(
+            ["--batch-file", str(path), "--server", server.url]
+        )
+        assert code == 1
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_batch_file_excludes_positional_input(
+        self, tmp_path, server, capsys
+    ):
+        path = self._batch_path(tmp_path, [{"kind": "schedule"}])
+        with pytest.raises(SystemExit):
+            submit_main(
+                ["whatever.loop", "--batch-file", str(path),
+                 "--server", server.url]
+            )
+
+    def test_batch_file_failed_job_fails_the_command(
+        self, tmp_path, server, capsys
+    ):
+        requests = [
+            {"kind": "schedule", "source": DAXPY},
+            {"kind": "schedule", "source": "not a loop"},
+        ]
+        path = self._batch_path(tmp_path, requests)
+        code = submit_main(
+            ["--batch-file", str(path), "--server", server.url]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1/2 batch job(s)" in captured.err
+
+
 class TestClientErrorSurface:
     """Unreachable servers and non-JSON bodies must surface as clear
     ServiceErrors (never raw tracebacks) — on the client and the CLI."""
